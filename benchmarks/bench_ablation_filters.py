@@ -1,0 +1,102 @@
+"""Ablation: spectral-filter variants in the propagation stage.
+
+ProNE's Gaussian band-pass is compared against the heat-kernel low-pass
+and PPR propagation on both axes the paper cares about: simulated cost
+(SpMM count differs per filter) and downstream quality (planted-community
+classification).
+"""
+
+import numpy as np
+from common import run_once, write_report  # noqa: F401
+
+from repro.bench import format_table
+from repro.core import OMeGaConfig, OMeGaEmbedder
+from repro.eval import node_classification_accuracy
+from repro.graphs import planted_partition_edges
+from repro.prone.model import ProNEParams
+
+FILTERS = ("gaussian", "heat", "ppr")
+
+
+def test_ablation_spectral_filters(run_once):
+    def experiment():
+        edges, labels = planted_partition_edges(
+            1500, 22_000, n_communities=5, p_in=0.85, seed=11
+        )
+        rows = []
+        for name in FILTERS:
+            embedder = OMeGaEmbedder(
+                OMeGaConfig(n_threads=16, dim=32),
+                params=ProNEParams(dim=32, order=8, spectral_filter=name),
+            )
+            result = embedder.embed_edges(edges, 1500)
+            accuracy = node_classification_accuracy(
+                result.embedding, labels, seed=0
+            )
+            rows.append((name, result.sim_seconds, result.n_spmm, accuracy))
+        return rows
+
+    rows = run_once(experiment)
+    table = format_table(
+        ["filter", "sim time", "SpMM ops", "classification accuracy"],
+        [
+            [name, f"{seconds * 1e3:.2f} ms", n_spmm, f"{accuracy:.3f}"]
+            for name, seconds, n_spmm, accuracy in rows
+        ],
+        title="Ablation — spectral propagation filters",
+    )
+    write_report("ablation_filters", table)
+    accuracies = {name: accuracy for name, _, _, accuracy in rows}
+    # Every filter recovers the planted signal far above the 20% chance.
+    assert all(acc > 0.5 for acc in accuracies.values())
+    # The Gaussian band-pass (the paper's choice) is competitive with the
+    # best alternative.
+    assert accuracies["gaussian"] >= max(accuracies.values()) - 0.1
+
+
+def test_ablation_partitioners(run_once):
+    """Partitioner quality table: the substrate under the DistDGL model."""
+    from repro.graphs import (
+        edge_cut_fraction,
+        greedy_community_partition,
+        hash_partition,
+        partition_load_balance,
+        range_partition,
+    )
+
+    def experiment():
+        edges, _ = planted_partition_edges(
+            1200, 16_000, n_communities=8, p_in=0.8, seed=5
+        )
+        n_parts = 4
+        arms = {
+            "hash (DistDGL)": hash_partition(1200, n_parts, seed=0),
+            "range": range_partition(1200, n_parts),
+            "greedy LDG": greedy_community_partition(
+                edges, 1200, n_parts, seed=0
+            ),
+        }
+        return [
+            (
+                name,
+                edge_cut_fraction(edges, assignment),
+                partition_load_balance(assignment),
+            )
+            for name, assignment in arms.items()
+        ]
+
+    rows = run_once(experiment)
+    table = format_table(
+        ["partitioner", "edge cut", "load balance"],
+        [
+            [name, f"{cut * 100:.1f}%", f"{balance:.2f}"]
+            for name, cut, balance in rows
+        ],
+        title=(
+            "Ablation — partitioners (edge cut drives the distributed"
+            " systems' network traffic)"
+        ),
+    )
+    write_report("ablation_partitioners", table)
+    cuts = {name: cut for name, cut, _ in rows}
+    assert cuts["greedy LDG"] < cuts["hash (DistDGL)"]

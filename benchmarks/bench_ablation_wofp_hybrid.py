@@ -1,0 +1,73 @@
+"""Ablation: WoFP's hybrid prefetcher vs frequency-only vs degree-only.
+
+The paper motivates the hybrid selection rule (frequency for dense
+workloads, in-degree for the sparse majority).  Forcing eta to the
+extremes yields the two pure policies; the hybrid should match the
+better of the two on hit rate while paying less maintenance than
+frequency-only.
+"""
+
+from common import (  # noqa: F401
+    dataset,
+    dense_operand,
+    engine_for,
+    run_once,
+    write_report,
+)
+
+from repro.bench import format_table
+
+ARMS = {
+    "hybrid (paper)": dict(eta=0.01),
+    "frequency-only": dict(eta=1e-9),
+    "degree-only": dict(eta=1e9),
+}
+
+
+def _measure(name):
+    graph = dataset(name)
+    dense = dense_operand(graph)
+    rows = {}
+    for arm, overrides in ARMS.items():
+        result = engine_for(graph, **overrides).multiply(
+            graph.adjacency_csdb(), dense, compute=False
+        )
+        maintenance = sum(p.maintenance_ops for p in result.prefetch_plans)
+        rows[arm] = (
+            result.sim_seconds,
+            result.mean_hit_fraction,
+            maintenance,
+        )
+    return graph, rows
+
+
+def test_ablation_wofp_hybrid(run_once):
+    results = run_once(lambda: [_measure(n) for n in ("PK", "LJ", "OR")])
+    table_rows = []
+    for graph, rows in results:
+        for arm, (seconds, hit, maintenance) in rows.items():
+            table_rows.append(
+                [
+                    graph.name,
+                    arm,
+                    f"{seconds * 1e3:.3f} ms",
+                    f"{hit * 100:.1f}%",
+                    f"{maintenance / 1e3:.0f}k ops",
+                ]
+            )
+    table = format_table(
+        ["Graph", "prefetcher", "SpMM time", "hit rate", "maintenance"],
+        table_rows,
+        title="Ablation — WoFP hybrid vs pure policies",
+    )
+    write_report("ablation_wofp_hybrid", table)
+    for graph, rows in results:
+        hybrid_t, hybrid_hit, hybrid_maint = rows["hybrid (paper)"]
+        freq_t, freq_hit, freq_maint = rows["frequency-only"]
+        deg_t, deg_hit, deg_maint = rows["degree-only"]
+        # Hybrid maintenance never exceeds frequency-only's.
+        assert hybrid_maint <= freq_maint
+        # Hybrid hit rate is close to the best pure policy.
+        assert hybrid_hit >= 0.9 * max(freq_hit, deg_hit)
+        # And its end-to-end time is within a few percent of the best arm.
+        assert hybrid_t <= 1.1 * min(freq_t, deg_t)

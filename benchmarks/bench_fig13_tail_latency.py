@@ -1,0 +1,55 @@
+"""Fig. 13: per-thread running-time distribution, WaTA vs EaTA (LJ)."""
+
+import numpy as np
+from common import (  # noqa: F401
+    dataset,
+    dense_operand,
+    engine_for,
+    run_once,
+    write_report,
+)
+
+from repro.core import AllocationScheme
+
+
+def _distribution(scheme):
+    graph = dataset("LJ")
+    engine = engine_for(graph, allocation=scheme)
+    result = engine.multiply(
+        graph.adjacency_csdb(), dense_operand(graph), compute=False
+    )
+    return result.thread_stats, result.thread_times
+
+
+def test_fig13_thread_time_distribution(run_once):
+    stats = run_once(
+        lambda: {
+            "WaTA": _distribution(AllocationScheme.WORKLOAD_BALANCED),
+            "EaTA": _distribution(AllocationScheme.ENTROPY_AWARE),
+        }
+    )
+    lines = ["Fig. 13 — thread running-time distribution on LJ (30 threads)"]
+    for name, (summary, times) in stats.items():
+        lines.append(
+            f"  {name}: std={summary.std * 1e3:.4f} ms"
+            f" p95={summary.p95 * 1e3:.4f} ms p99={summary.p99 * 1e3:.4f} ms"
+            f" makespan={summary.makespan * 1e3:.4f} ms"
+        )
+        hist, edges = np.histogram(times, bins=8)
+        for count, lo, hi in zip(hist, edges, edges[1:]):
+            bar = "#" * count
+            lines.append(
+                f"    [{lo * 1e3:7.3f}, {hi * 1e3:7.3f}) ms |{bar}"
+            )
+    wata, eata = stats["WaTA"][0], stats["EaTA"][0]
+    p99_reduction = 1.0 - eata.p99 / wata.p99
+    p95_reduction = 1.0 - eata.p95 / wata.p95
+    lines.append(
+        f"  EaTA vs WaTA: std ratio {wata.std / eata.std:.2f}"
+        f" (paper 1.52/0.78=1.95), P99 -{p99_reduction * 100:.0f}%"
+        f" (paper -31%), P95 -{p95_reduction * 100:.0f}% (paper -24%)"
+    )
+    write_report("fig13_tail_latency", "\n".join(lines))
+    assert eata.std < wata.std
+    assert eata.p99 < wata.p99
+    assert eata.p95 < wata.p95

@@ -1,0 +1,63 @@
+"""Fig. 14: total SpMM time with and without WoFP, on five graphs."""
+
+from common import (  # noqa: F401
+    SPMM_GRAPHS,
+    dataset,
+    dense_operand,
+    engine_for,
+    run_once,
+    write_report,
+)
+
+from repro.bench import format_seconds, format_table, project_full_scale
+
+
+def _pair(name):
+    graph = dataset(name)
+    dense = dense_operand(graph)
+    with_wofp = engine_for(graph).multiply(
+        graph.adjacency_csdb(), dense, compute=False
+    )
+    without = engine_for(graph, prefetcher_enabled=False).multiply(
+        graph.adjacency_csdb(), dense, compute=False
+    )
+    return graph, with_wofp, without
+
+
+def test_fig14_wofp_effect(run_once):
+    rows = run_once(lambda: [_pair(name) for name in SPMM_GRAPHS])
+    table_rows = []
+    improvements = []
+    for graph, with_wofp, without in rows:
+        improvement = 1.0 - with_wofp.sim_seconds / without.sim_seconds
+        improvements.append(improvement)
+        overhead = (
+            with_wofp.trace.seconds("prefetch")
+            + with_wofp.trace.seconds("allocation")
+        ) / with_wofp.trace.total_seconds
+        table_rows.append(
+            [
+                graph.name,
+                format_seconds(
+                    project_full_scale(with_wofp.sim_seconds, graph.scale)
+                ),
+                format_seconds(
+                    project_full_scale(without.sim_seconds, graph.scale)
+                ),
+                f"{improvement * 100:.1f}%",
+                f"{with_wofp.mean_hit_fraction * 100:.0f}%",
+                f"{overhead * 100:.2f}%",
+            ]
+        )
+    mean_improvement = sum(improvements) / len(improvements)
+    table = format_table(
+        ["Graph", "OMeGa", "OMeGa-w/o-WoFP", "gain", "hit rate", "overhead"],
+        table_rows,
+        title=(
+            "Fig. 14 — SpMM time with/without WoFP"
+            f" (mean gain {mean_improvement * 100:.1f}%; paper: 37.28%)"
+        ),
+    )
+    write_report("fig14_prefetcher", table)
+    assert all(i > 0.1 for i in improvements)
+    assert 0.2 < mean_improvement < 0.7

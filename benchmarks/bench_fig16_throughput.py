@@ -1,0 +1,67 @@
+"""Fig. 16: SpMM throughput (Mnnz/s) — across graphs and across threads."""
+
+from common import (  # noqa: F401
+    SPMM_GRAPHS,
+    dataset,
+    dense_operand,
+    engine_for,
+    run_once,
+    write_report,
+)
+
+from repro.bench import format_table
+from repro.core import PlacementScheme
+
+
+def _throughputs(name):
+    graph = dataset(name)
+    dense = dense_operand(graph)
+    nadp = engine_for(graph).multiply(
+        graph.adjacency_csdb(), dense, compute=False
+    )
+    interleave = engine_for(graph, placement=PlacementScheme.INTERLEAVE).multiply(
+        graph.adjacency_csdb(), dense, compute=False
+    )
+    return (
+        name,
+        nadp.throughput_nnz_per_s / 1e6,
+        interleave.throughput_nnz_per_s / 1e6,
+    )
+
+
+def test_fig16a_throughput_across_graphs(run_once):
+    rows = run_once(lambda: [_throughputs(name) for name in SPMM_GRAPHS])
+    table = format_table(
+        ["Graph", "OMeGa (Mnnz/s)", "OMeGa-w/o-NaDP (Mnnz/s)"],
+        [[n, f"{a:.1f}", f"{b:.1f}"] for n, a, b in rows],
+        title="Fig. 16(a) — SpMM throughput, 30 threads",
+    )
+    write_report("fig16a_throughput_graphs", table)
+    for _, nadp, interleave in rows:
+        assert nadp > interleave
+
+
+def test_fig16b_throughput_vs_threads(run_once):
+    graph = dataset("LJ")
+    dense = dense_operand(graph)
+    threads = (1, 2, 5, 10, 15, 20, 25, 30)
+
+    def experiment():
+        rows = []
+        for t in threads:
+            result = engine_for(graph, n_threads=t).multiply(
+                graph.adjacency_csdb(), dense, compute=False
+            )
+            rows.append((t, result.throughput_nnz_per_s / 1e6))
+        return rows
+
+    rows = run_once(experiment)
+    table = format_table(
+        ["#threads", "throughput (Mnnz/s)"],
+        [[t, f"{tp:.1f}"] for t, tp in rows],
+        title="Fig. 16(b) — SpMM throughput vs #threads (LJ)",
+    )
+    write_report("fig16b_throughput_threads", table)
+    throughputs = [tp for _, tp in rows]
+    assert throughputs[3] > 2 * throughputs[0]  # 10 threads >> 1 thread
+    assert max(throughputs) == max(throughputs[-4:])  # saturates late

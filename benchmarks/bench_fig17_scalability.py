@@ -1,0 +1,91 @@
+"""Fig. 17: scalability — thread sweep (a) and R-MAT size sweep (b)."""
+
+import numpy as np
+from common import dataset, run_once, write_report  # noqa: F401
+
+from repro.bench import format_seconds, format_table
+from repro.core import OMeGaConfig, OMeGaEmbedder, SpMMEngine
+from repro.core.embedding import embedder_for_dataset
+from repro.formats import edges_to_csdb
+from repro.graphs import rmat_edges
+
+
+def test_fig17a_thread_scaling(run_once):
+    graph = dataset("LJ")
+    threads = (5, 10, 15, 20, 25, 30)
+
+    def experiment():
+        rows = []
+        for t in threads:
+            embedder = embedder_for_dataset(
+                graph, OMeGaConfig(n_threads=t, dim=32)
+            )
+            result = embedder.embed_dataset(graph)
+            rows.append((t, result.sim_seconds, result.spmm_seconds))
+        return rows
+
+    rows = run_once(experiment)
+    table = format_table(
+        ["#threads", "overall", "SpMM"],
+        [
+            [t, format_seconds(total), format_seconds(spmm)]
+            for t, total, spmm in rows
+        ],
+        title="Fig. 17(a) — scalability with threads (LJ, simulated)",
+    )
+    write_report("fig17a_thread_scaling", table)
+    totals = [total for _, total, _ in rows]
+    assert totals[0] > totals[-1]
+    assert all(t2 <= t1 * 1.05 for t1, t2 in zip(totals, totals[1:]))
+
+
+def test_fig17b_size_scaling(run_once):
+    scales = (10, 12, 14, 16, 18)
+
+    def experiment():
+        rows = []
+        for scale in scales:
+            edges = rmat_edges(scale, edge_factor=12, seed=0)
+            n_nodes = 1 << scale
+            csdb = edges_to_csdb(edges, n_nodes)
+            dense = np.random.default_rng(0).standard_normal((n_nodes, 32))
+            engine = SpMMEngine(OMeGaConfig(n_threads=30, dim=32))
+            spmm = engine.multiply(csdb, dense, compute=False).sim_seconds
+            rows.append((n_nodes, csdb.nnz, spmm))
+        return rows
+
+    rows = run_once(experiment)
+    table = format_table(
+        ["#nodes", "nnz", "SpMM time", "ns/nnz"],
+        [
+            [n, nnz, format_seconds(t), f"{t / nnz * 1e9:.2f}"]
+            for n, nnz, t in rows
+        ],
+        title="Fig. 17(b) — scalability with R-MAT graph size (simulated)",
+    )
+    write_report("fig17b_size_scaling", table)
+    # Near-linear: time per nnz varies by < 4x over a 256x node sweep.
+    per_nnz = [t / nnz for _, nnz, t in rows]
+    assert max(per_nnz) / min(per_nnz) < 4.0
+
+
+def test_fig17b_embedding_on_rmat(run_once):
+    """End-to-end embedding on one mid-size R-MAT (sparse + dense arms)."""
+
+    def experiment():
+        rows = []
+        for edge_factor in (4, 32):  # sparse vs dense structure
+            edges = rmat_edges(13, edge_factor=edge_factor, seed=1)
+            embedder = OMeGaEmbedder(OMeGaConfig(n_threads=30, dim=16))
+            result = embedder.embed_edges(edges, 1 << 13)
+            rows.append((edge_factor, len(edges), result.sim_seconds))
+        return rows
+
+    rows = run_once(experiment)
+    table = format_table(
+        ["edge factor", "#edges", "overall time"],
+        [[f, e, format_seconds(t)] for f, e, t in rows],
+        title="Fig. 17(b) extra — end-to-end on sparse vs dense R-MAT",
+    )
+    write_report("fig17b_rmat_embedding", table)
+    assert rows[1][2] > rows[0][2]  # denser graph costs more

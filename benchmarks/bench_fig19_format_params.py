@@ -1,0 +1,105 @@
+"""Fig. 19: (a) CSDB vs CSR graph reading; (b/c) WoFP parameter sweeps."""
+
+from common import (  # noqa: F401
+    SPMM_GRAPHS,
+    dataset,
+    dense_operand,
+    engine_for,
+    run_once,
+    write_report,
+)
+
+from repro.bench import format_seconds, format_table, project_full_scale
+from repro.core import OMeGaConfig
+from repro.core.embedding import embedder_for_dataset
+
+
+def test_fig19a_graph_reading(run_once):
+    def experiment():
+        rows = []
+        for name in SPMM_GRAPHS:
+            graph = dataset(name)
+            embedder = embedder_for_dataset(
+                graph, OMeGaConfig(n_threads=30, dim=32)
+            )
+            csdb = embedder.simulate_graph_read(graph.n_nodes, graph.n_edges)
+            csr = embedder.simulate_graph_read_csr(
+                graph.n_nodes, graph.n_edges
+            )
+            csdb_index = graph.adjacency_csdb().index_bytes()
+            csr_index = graph.adjacency_csr().index_bytes()
+            rows.append((graph, csdb, csr, csdb_index, csr_index))
+        return rows
+
+    rows = run_once(experiment)
+    speedups = [csr / csdb for _, csdb, csr, _, _ in rows]
+    table = format_table(
+        ["Graph", "CSDB read", "CSR read", "speedup", "CSDB idx B", "CSR idx B"],
+        [
+            [
+                graph.name,
+                format_seconds(project_full_scale(csdb, graph.scale)),
+                format_seconds(project_full_scale(csr, graph.scale)),
+                f"{csr / csdb:.2f}x",
+                csdb_index,
+                csr_index,
+            ]
+            for graph, csdb, csr, csdb_index, csr_index in rows
+        ],
+        title=(
+            "Fig. 19(a) — graph reading, CSDB vs CSR"
+            f" (mean speedup {sum(speedups) / len(speedups):.2f}x;"
+            " paper: 1.35x)"
+        ),
+    )
+    write_report("fig19a_graph_reading", table)
+    for (graph, csdb, csr, csdb_index, csr_index), speedup in zip(
+        rows, speedups
+    ):
+        assert 1.0 < speedup < 3.0
+        assert csdb_index < csr_index  # the O(|degrees|) vs O(|V|) claim
+
+
+def _normalized_sweep(parameter, values):
+    graph = dataset("PK")
+    dense = dense_operand(graph)
+    times = []
+    for value in values:
+        engine = engine_for(graph, **{parameter: value})
+        times.append(
+            engine.multiply(
+                graph.adjacency_csdb(), dense, compute=False
+            ).sim_seconds
+        )
+    best = min(times)
+    return [(v, t / best) for v, t in zip(values, times)]
+
+
+def test_fig19b_eta_sensitivity(run_once):
+    values = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5)
+    rows = run_once(lambda: _normalized_sweep("eta", values))
+    table = format_table(
+        ["eta", "normalized time"],
+        [[f"{v:g}", f"{t:.3f}"] for v, t in rows],
+        title="Fig. 19(b) — prefetcher-type threshold eta sweep (PK)",
+    )
+    write_report("fig19b_eta_sweep", table)
+    assert max(t for _, t in rows) < 1.6  # eta is a mild knob
+
+
+def test_fig19c_sigma_sensitivity(run_once):
+    values = (0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8)
+    rows = run_once(lambda: _normalized_sweep("sigma", values))
+    table = format_table(
+        ["sigma", "normalized time"],
+        [[f"{v:g}", f"{t:.3f}"] for v, t in rows],
+        title="Fig. 19(c) — prefetch size sigma sweep (PK)",
+    )
+    write_report("fig19c_sigma_sweep", table)
+    times = [t for _, t in rows]
+    # U-shape: too small starves the cache, too large inflates the
+    # population cost; the optimum is interior.
+    best_index = times.index(min(times))
+    assert 0 < best_index < len(times) - 1
+    assert times[0] > times[best_index]
+    assert times[-1] > times[best_index]

@@ -1,0 +1,99 @@
+"""Fig. 1: the motivation chart — performance vs capacity vs cost per tier.
+
+Fig. 1 positions DRAM-, PM-, SSD-based and OMeGa solutions on the
+performance/capacity/cost plane.  This bench quantifies it: one SpMM
+workload on each backing tier, with the tier's capacity and street price
+(from the device models), plus OMeGa's heterogeneous configuration.
+"""
+
+from common import (  # noqa: F401
+    dataset,
+    dense_operand,
+    engine_for,
+    run_once,
+    write_report,
+)
+
+from repro.bench import format_table
+from repro.core import MemoryMode
+from repro.memsim import MemoryKind, dram_spec, pm_spec, ssd_spec
+from repro.memsim.devices import GIB
+
+
+def test_fig1_cost_capacity_performance(run_once):
+    graph = dataset("LJ")
+    dense = dense_operand(graph)
+
+    def experiment():
+        def spmm(mode, prefetch):
+            engine = engine_for(
+                graph, memory_mode=mode, prefetcher_enabled=prefetch
+            )
+            return engine.multiply(
+                graph.adjacency_csdb(), dense, compute=False
+            ).sim_seconds
+
+        dram_time = spmm(MemoryMode.DRAM_ONLY, False)
+        pm_time = spmm(MemoryMode.PM_ONLY, False)
+        omega_time = spmm(MemoryMode.HETEROGENEOUS, True)
+        # SSD-based solution: the SEM-SpMM model on the same workload.
+        from repro.baselines import SEMSpMMSimulator
+
+        ssd_time = SEMSpMMSimulator().spmm_seconds(
+            graph.adjacency_csdb().nnz, graph.n_nodes, dense.shape[1]
+        )
+        return dram_time, pm_time, omega_time, ssd_time
+
+    dram_time, pm_time, omega_time, ssd_time = run_once(experiment)
+
+    dram, pm, ssd = dram_spec(), pm_spec(), ssd_spec()
+    two = 2  # sockets
+    hetero_capacity = two * (dram.capacity_bytes + pm.capacity_bytes) / GIB
+    hetero_price = two * (
+        dram.capacity_bytes / GIB * dram.price_per_gib
+        + pm.capacity_bytes / GIB * pm.price_per_gib
+    )
+    rows = [
+        [
+            "DRAM-based",
+            f"{two * dram.capacity_bytes / GIB:.0f} GiB",
+            f"${two * dram.capacity_bytes / GIB * dram.price_per_gib:,.0f}",
+            f"{dram_time * 1e3:.3f} ms",
+            f"{dram_time / dram_time:.2f}x",
+        ],
+        [
+            "PM-based",
+            f"{two * pm.capacity_bytes / GIB:.0f} GiB",
+            f"${two * pm.capacity_bytes / GIB * pm.price_per_gib:,.0f}",
+            f"{pm_time * 1e3:.3f} ms",
+            f"{pm_time / dram_time:.2f}x",
+        ],
+        [
+            "SSD-based",
+            f"{ssd.capacity_bytes / GIB:.0f} GiB",
+            f"${ssd.capacity_bytes / GIB * ssd.price_per_gib:,.0f}",
+            f"{ssd_time * 1e3:.3f} ms",
+            f"{ssd_time / dram_time:.2f}x",
+        ],
+        [
+            "OMeGa (DRAM+PM)",
+            f"{hetero_capacity:.0f} GiB",
+            f"${hetero_price:,.0f}",
+            f"{omega_time * 1e3:.3f} ms",
+            f"{omega_time / dram_time:.2f}x",
+        ],
+    ]
+    table = format_table(
+        ["solution", "capacity", "memory cost", "SpMM time", "vs DRAM"],
+        rows,
+        title="Fig. 1 — performance / capacity / cost of the solution space",
+    )
+    write_report("fig1_cost_capacity", table)
+
+    # The figure's message: PM is ~2x cheaper per GiB than DRAM, OMeGa
+    # gets near-DRAM performance at ~9x the capacity, and the naive
+    # PM/SSD paths are order(s) of magnitude slower.
+    assert dram.price_per_gib / pm.price_per_gib > 1.8
+    assert omega_time < 3 * dram_time
+    assert pm_time > 10 * omega_time
+    assert ssd_time > omega_time

@@ -1,0 +1,119 @@
+"""Fig. 7: SpMM cost anatomy.
+
+(a) execution-time breakdown of the five Algorithm 1 steps;
+(b) per-thread get_dense_nnz throughput vs the workload scatter factor
+    under WaTA, on PM and DRAM;
+(c) per-thread running time vs workload entropy, with the least-squares
+    slope K of Eq. 4.
+"""
+
+import numpy as np
+from common import (  # noqa: F401
+    dataset,
+    dense_operand,
+    engine_for,
+    run_once,
+    write_report,
+)
+
+from repro.bench import format_table
+from repro.core import AllocationScheme, MemoryMode
+from repro.memsim.trace import SPMM_CATEGORIES
+
+
+def _breakdown(graph):
+    result = engine_for(graph).multiply(
+        graph.adjacency_csdb(), dense_operand(graph), compute=False
+    )
+    total = sum(result.trace.seconds(c) for c in SPMM_CATEGORIES)
+    return {c: result.trace.seconds(c) / total for c in SPMM_CATEGORIES}
+
+
+def _throughput_vs_scatter(graph, mode):
+    engine = engine_for(
+        graph,
+        allocation=AllocationScheme.WORKLOAD_BALANCED,
+        memory_mode=mode,
+        prefetcher_enabled=False,
+    )
+    result = engine.multiply(
+        graph.adjacency_csdb(), dense_operand(graph), compute=False
+    )
+    points = []
+    for partition, seconds in zip(result.partitions, result.thread_times):
+        if partition.nnz_count == 0 or seconds == 0:
+            continue
+        points.append(
+            (partition.scatter, partition.nnz_count / seconds / 1e6)
+        )
+    return sorted(points)
+
+
+def _time_vs_entropy(graph):
+    engine = engine_for(
+        graph, allocation=AllocationScheme.WORKLOAD_BALANCED
+    )
+    result = engine.multiply(
+        graph.adjacency_csdb(), dense_operand(graph), compute=False
+    )
+    entropies = np.array([p.entropy for p in result.partitions])
+    times = np.asarray(result.thread_times)
+    keep = entropies > 0
+    slope = float(
+        np.sum(entropies[keep] * times[keep]) / np.sum(entropies[keep] ** 2)
+    )
+    residual = times[keep] - slope * entropies[keep]
+    r2 = 1.0 - float(
+        np.sum(residual**2) / np.sum((times[keep] - times[keep].mean()) ** 2)
+    )
+    return entropies[keep], times[keep], slope, r2
+
+
+def test_fig7a_breakdown(run_once):
+    graph = dataset("LJ")
+    shares = run_once(lambda: _breakdown(graph))
+    table = format_table(
+        ["step", "share"],
+        [[c, f"{shares[c] * 100:.1f}%"] for c in SPMM_CATEGORIES],
+        title="Fig. 7(a) — SpMM execution-time breakdown (LJ)",
+    )
+    write_report("fig7a_breakdown", table)
+    assert shares["get_dense_nnz"] == max(shares.values())
+
+
+def test_fig7b_throughput_vs_scatter(run_once):
+    graph = dataset("LJ")
+
+    def experiment():
+        return {
+            "PM": _throughput_vs_scatter(graph, MemoryMode.PM_ONLY),
+            "DRAM": _throughput_vs_scatter(graph, MemoryMode.DRAM_ONLY),
+        }
+
+    curves = run_once(experiment)
+    lines = ["Fig. 7(b) — thread throughput vs scatter factor (WaTA, LJ)"]
+    for device, points in curves.items():
+        lines.append(f"  {device}:")
+        for scatter, mnnz in points:
+            lines.append(f"    Wsca={scatter:.6f}  throughput={mnnz:.1f} Mnnz/s")
+    write_report("fig7b_scatter", "\n".join(lines))
+    # Both curves trend the same way: more scattered (smaller Wsca) ->
+    # lower throughput.  Compare the scattered tail to the dense head.
+    for points in curves.values():
+        low = np.mean([t for _, t in points[: max(len(points) // 3, 1)]])
+        high = np.mean([t for _, t in points[-max(len(points) // 3, 1):]])
+        assert high > low
+
+
+def test_fig7c_time_vs_entropy(run_once):
+    graph = dataset("LJ")
+    entropies, times, slope, r2 = run_once(lambda: _time_vs_entropy(graph))
+    lines = [
+        "Fig. 7(c) — thread running time vs workload entropy (WaTA, LJ)",
+        f"  least-squares slope K = {slope:.3e} s/nat, R^2 = {r2:.3f}",
+    ]
+    for h, t in sorted(zip(entropies, times)):
+        lines.append(f"    H={h:7.3f}  T={t * 1e3:8.4f} ms")
+    write_report("fig7c_entropy", "\n".join(lines))
+    # The paper reports a strong linear relationship.
+    assert r2 > 0.5

@@ -1,0 +1,34 @@
+"""Fig. 9: PM bandwidth characterization (the simulated FIO/MLC sweep)."""
+
+from common import run_once, write_report  # noqa: F401
+
+from repro.memsim import pm_spec, probe_bandwidth, probe_latency
+from repro.memsim.probe import peak_bandwidth_summary
+
+
+def test_fig9_pm_bandwidth_sweep(run_once):
+    thread_counts = (1, 2, 4, 8, 12, 16, 20, 24, 28)
+    results = run_once(lambda: probe_bandwidth(pm_spec(), thread_counts))
+    by_curve: dict = {}
+    for r in results:
+        key = f"{r.op.value}-{r.pattern.value}-{r.locality.value}"
+        by_curve.setdefault(key, []).append(r.bandwidth_gib_s)
+    lines = ["Fig. 9 — PM bandwidth (GiB/s) vs #threads"]
+    header = "curve".ljust(18) + "".join(f"{t:>8d}" for t in thread_counts)
+    lines.append(header)
+    for key, curve in by_curve.items():
+        lines.append(key.ljust(18) + "".join(f"{b:8.2f}" for b in curve))
+    summary = peak_bandwidth_summary(pm_spec())
+    lines.append("")
+    lines.append("Headline ratios (paper: 2.41x, 2.45x, 3.23x, 4.99x):")
+    for name, value in summary.items():
+        lines.append(f"  {name} = {value:.2f}")
+    latency = probe_latency(pm_spec())
+    lines.append("MLC latencies (ns): " + ", ".join(
+        f"{op.value}/{loc.value}={ns:.0f}" for (op, loc), ns in latency.items()
+    ))
+    write_report("fig9_bandwidth", "\n".join(lines))
+    assert len(by_curve) == 8
+    # Every curve saturates: the last increment is below 10%.
+    for curve in by_curve.values():
+        assert curve[-1] / curve[-2] < 1.1

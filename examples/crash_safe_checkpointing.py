@@ -1,0 +1,57 @@
+"""Crash-safe embedding checkpoints on App-direct PM.
+
+The paper (§II-B) uses PM in App-directed mode, where applications get
+byte-addressable persistence through flush/fence ordering.  This example
+persists embeddings with the shadow-commit protocol and shows that an
+injected crash mid-checkpoint never loses the previous version — the
+practical payoff of App-direct mode that Memory Mode cannot offer.
+
+Run:  python examples/crash_safe_checkpointing.py
+"""
+
+import numpy as np
+
+from repro import OMeGaConfig, OMeGaEmbedder, load_dataset
+from repro.memsim import CheckpointedEmbedder, CrashInjected
+
+
+def main() -> None:
+    dataset = load_dataset("PK", scale=2048)
+    embedder = OMeGaEmbedder(
+        OMeGaConfig(n_threads=8, dim=16, capacity_scale=dataset.scale)
+    )
+    checkpointed = CheckpointedEmbedder(embedder)
+
+    # First run commits durably.
+    result, checkpoint_seconds = checkpointed.embed_and_checkpoint(
+        dataset.edges, dataset.n_nodes
+    )
+    print(
+        f"1. Embedded {dataset.n_nodes:,} nodes in"
+        f" {result.sim_seconds * 1e3:.2f} ms simulated;"
+        f" durable checkpoint took {checkpoint_seconds * 1e6:.1f} us"
+        f" ({checkpointed.domain.fences} fences,"
+        f" {checkpointed.domain.durable_bytes / 1024:.0f} KiB flushed)"
+    )
+
+    # Second run crashes mid-checkpoint (power failure injected between
+    # the shadow flush and the commit-record flip).
+    try:
+        checkpointed.embed_and_checkpoint(
+            dataset.edges, dataset.n_nodes, crash=True
+        )
+    except CrashInjected:
+        print("2. Crash injected during the second checkpoint!")
+
+    recovered = checkpointed.recover_embedding()
+    intact = np.array_equal(recovered, result.embedding)
+    print(
+        f"3. After restart the store recovers checkpoint"
+        f" #{checkpointed.store.committed_sequence} — previous embedding"
+        f" {'intact' if intact else 'LOST'}"
+    )
+    assert intact
+
+
+if __name__ == "__main__":
+    main()

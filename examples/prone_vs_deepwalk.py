@@ -1,0 +1,68 @@
+"""ProNE vs DeepWalk: the paper's motivation, measured.
+
+The introduction motivates matrix-factorization embedding by DeepWalk's
+cost ("months ... for a graph with 100M nodes").  This example embeds the
+same planted-community graph with both our from-scratch DeepWalk/SGNS
+baseline and OMeGa's ProNE pipeline, comparing wall time, simulated cost
+and downstream classification quality.
+
+Run:  python examples/prone_vs_deepwalk.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import OMeGaConfig, OMeGaEmbedder
+from repro.baselines.deepwalk import DeepWalkEmbedder, DeepWalkParams
+from repro.eval import node_classification_accuracy
+from repro.formats import edges_to_csr
+from repro.graphs import planted_partition_edges
+
+
+def main() -> None:
+    edges, labels = planted_partition_edges(
+        1200, 18_000, n_communities=5, p_in=0.85, seed=3
+    )
+    print(f"Graph: 1,200 nodes, {len(edges):,} edges, 5 planted communities\n")
+
+    # DeepWalk (real training, modest budget).
+    start = time.perf_counter()
+    deepwalk = DeepWalkEmbedder(
+        DeepWalkParams(dim=32, walks_per_node=6, walk_length=20, epochs=3)
+    )
+    dw_embedding = deepwalk.embed(edges_to_csr(edges, 1200))
+    dw_wall = time.perf_counter() - start
+    dw_accuracy = node_classification_accuracy(dw_embedding, labels, seed=0)
+    dw_macs = deepwalk.training_cost_macs(edges_to_csr(edges, 1200))
+
+    # ProNE via OMeGa.
+    start = time.perf_counter()
+    result = OMeGaEmbedder(OMeGaConfig(n_threads=16, dim=32)).embed_edges(
+        edges, 1200
+    )
+    prone_wall = time.perf_counter() - start
+    prone_accuracy = node_classification_accuracy(
+        result.embedding, labels, seed=0
+    )
+
+    print(f"{'':14s}{'wall time':>12s}{'accuracy':>10s}{'work':>22s}")
+    print(
+        f"{'DeepWalk':14s}{dw_wall:>10.2f} s{dw_accuracy:>10.3f}"
+        f"{dw_macs / 1e9:>18.2f} GMAC"
+    )
+    print(
+        f"{'ProNE/OMeGa':14s}{prone_wall:>10.2f} s{prone_accuracy:>10.3f}"
+        f"{result.n_spmm:>16d} SpMM"
+    )
+    print(
+        f"\nProNE matches DeepWalk's quality"
+        f" ({prone_accuracy:.3f} vs {dw_accuracy:.3f})"
+        f" at {dw_wall / max(prone_wall, 1e-9):.1f}x less wall time —"
+        " the gap the paper's introduction quotes grows with graph size,"
+        " which is why OMeGa builds on the MF approach."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Quickstart: embed a graph on simulated heterogeneous memory.
+
+Loads the scaled soc-Pokec analogue, runs the full OMeGa pipeline (EaTA +
+WoFP + NaDP + ASL on DRAM+PM), and compares its simulated runtime against
+the DRAM-only ideal and the PM-only worst case.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MemoryMode, OMeGaConfig, OMeGaEmbedder, load_dataset
+
+
+def main() -> None:
+    dataset = load_dataset("PK")
+    print(
+        f"Graph: {dataset.paper.full_name} analogue — "
+        f"{dataset.n_nodes:,} nodes, {dataset.n_edges:,} edges "
+        f"(1/{dataset.scale} of the original)"
+    )
+
+    arms = {
+        "OMeGa (DRAM+PM)": {},
+        "OMeGa-DRAM (ideal)": dict(
+            memory_mode=MemoryMode.DRAM_ONLY, streaming_enabled=False
+        ),
+        "OMeGa-PM (worst)": dict(
+            memory_mode=MemoryMode.PM_ONLY,
+            prefetcher_enabled=False,
+            streaming_enabled=False,
+        ),
+    }
+    times = {}
+    embedding = None
+    for name, overrides in arms.items():
+        config = OMeGaConfig(
+            n_threads=16, dim=32, capacity_scale=dataset.scale, **overrides
+        )
+        result = OMeGaEmbedder(config).embed_dataset(dataset)
+        times[name] = result.sim_seconds
+        embedding = result.embedding
+        print(
+            f"  {name:22s} simulated {result.sim_seconds * 1e3:9.2f} ms"
+            f"  ({result.n_spmm} SpMM ops, "
+            f"{result.spmm_fraction * 100:.0f}% of time in SpMM)"
+        )
+
+    omega = times["OMeGa (DRAM+PM)"]
+    dram = times["OMeGa-DRAM (ideal)"]
+    pm = times["OMeGa-PM (worst)"]
+    print(
+        f"\nOMeGa narrows the PM/DRAM gap from {pm / dram:.0f}x"
+        f" to {omega / dram:.2f}x while keeping DRAM-sized capacity needs"
+        " on the cheap tier."
+    )
+    print(f"Embedding shape: {embedding.shape}; first row: {embedding[0][:4]} ...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""OMeGa reproduction: heterogeneous-memory graph embedding (ICDE 2025).
+
+Public API tour:
+
+>>> from repro import load_dataset, OMeGaConfig, OMeGaEmbedder
+>>> dataset = load_dataset("PK")
+>>> config = OMeGaConfig(n_threads=8, dim=32, capacity_scale=dataset.scale)
+>>> result = OMeGaEmbedder(config).embed_dataset(dataset)
+>>> result.embedding.shape[1]
+32
+
+Subpackages:
+
+- :mod:`repro.core` — OMeGa itself: CSDB-driven SpMM engine with EaTA
+  thread allocation, the WoFP prefetcher, NaDP NUMA placement, ASL
+  streaming, and the end-to-end embedding pipeline;
+- :mod:`repro.formats` — from-scratch CSR and CSDB sparse formats;
+- :mod:`repro.memsim` — the simulated DRAM/PM/SSD/NUMA substrate;
+- :mod:`repro.prone` — the ProNE embedding model (tSVD + Chebyshev);
+- :mod:`repro.graphs` — generators and Table I dataset analogues;
+- :mod:`repro.baselines` — the paper's comparison systems;
+- :mod:`repro.eval` — link-prediction / node-classification probes;
+- :mod:`repro.parallel`, :mod:`repro.bench` — execution and reporting
+  helpers.
+"""
+
+from repro.core import (
+    AllocationScheme,
+    MemoryMode,
+    OMeGaConfig,
+    OMeGaEmbedder,
+    PlacementScheme,
+    SpMMEngine,
+)
+from repro.core.embedding import EmbeddingResult, embedder_for_dataset
+from repro.formats import CSDBMatrix, CSRMatrix, edges_to_csdb, edges_to_csr
+from repro.graphs import Dataset, load_dataset, rmat_edges
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AllocationScheme",
+    "CSDBMatrix",
+    "CSRMatrix",
+    "Dataset",
+    "EmbeddingResult",
+    "MemoryMode",
+    "OMeGaConfig",
+    "OMeGaEmbedder",
+    "PlacementScheme",
+    "SpMMEngine",
+    "__version__",
+    "edges_to_csdb",
+    "edges_to_csr",
+    "embedder_for_dataset",
+    "load_dataset",
+    "rmat_edges",
+]

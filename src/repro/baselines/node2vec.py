@@ -1,0 +1,124 @@
+"""node2vec biased second-order random walks (Grover & Leskovec 2016).
+
+The paper's introduction quotes node2vec among the months-slow walk
+baselines.  This module implements the (p, q)-biased walk — return
+parameter ``p`` discourages backtracking, in-out parameter ``q``
+interpolates BFS-like and DFS-like exploration — on top of the same CSR
+substrate as :class:`repro.baselines.sampling.RandomWalker`, so it can
+drive the DeepWalk/SGNS trainer for a full node2vec embedding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+
+class Node2VecWalker:
+    """Second-order biased walk generator.
+
+    Args:
+        adjacency: CSR adjacency of the (undirected) graph.
+        p: return parameter — larger p makes revisiting the previous
+            node less likely.
+        q: in-out parameter — q > 1 biases toward the previous node's
+            neighborhood (BFS-like), q < 1 toward exploration (DFS-like).
+        seed: RNG seed.
+    """
+
+    def __init__(
+        self,
+        adjacency: CSRMatrix,
+        p: float = 1.0,
+        q: float = 1.0,
+        seed: int = 0,
+    ) -> None:
+        if p <= 0 or q <= 0:
+            raise ValueError(f"p and q must be > 0, got p={p}, q={q}")
+        self.adjacency = adjacency
+        self.p = p
+        self.q = q
+        self.rng = np.random.default_rng(seed)
+        # Neighbor sets for O(1) membership tests in the bias computation.
+        self._neighbor_sets = [
+            set(adjacency.row(i)[0].tolist()) for i in range(adjacency.n_rows)
+        ]
+
+    def _step_weights(self, previous: int, current: int) -> tuple[np.ndarray, np.ndarray]:
+        neighbors, _ = self.adjacency.row(current)
+        weights = np.empty(len(neighbors), dtype=np.float64)
+        prev_neighbors = self._neighbor_sets[previous]
+        for index, candidate in enumerate(neighbors):
+            node = int(candidate)
+            if node == previous:
+                weights[index] = 1.0 / self.p
+            elif node in prev_neighbors:
+                weights[index] = 1.0
+            else:
+                weights[index] = 1.0 / self.q
+        return neighbors, weights
+
+    def walk(self, start: int, length: int) -> np.ndarray:
+        """One biased walk of up to ``length`` steps from ``start``."""
+        if length < 0:
+            raise ValueError(f"length must be >= 0, got {length}")
+        path = [int(start)]
+        if length == 0:
+            return np.asarray(path, dtype=np.int64)
+        first_neighbors, _ = self.adjacency.row(int(start))
+        if len(first_neighbors) == 0:
+            return np.asarray(path, dtype=np.int64)
+        path.append(int(first_neighbors[self.rng.integers(len(first_neighbors))]))
+        while len(path) < length + 1:
+            previous, current = path[-2], path[-1]
+            neighbors, weights = self._step_weights(previous, current)
+            if len(neighbors) == 0:
+                break
+            probabilities = weights / weights.sum()
+            path.append(
+                int(neighbors[self.rng.choice(len(neighbors), p=probabilities)])
+            )
+        return np.asarray(path, dtype=np.int64)
+
+    def build_corpus(
+        self, walks_per_node: int, walk_length: int
+    ) -> list[np.ndarray]:
+        """Full walk corpus in shuffled node order."""
+        nodes = np.arange(self.adjacency.n_rows)
+        corpus: list[np.ndarray] = []
+        for _ in range(walks_per_node):
+            self.rng.shuffle(nodes)
+            for node in nodes:
+                walk = self.walk(int(node), walk_length)
+                if len(walk) > 1:
+                    corpus.append(walk)
+        return corpus
+
+
+def node2vec_embed(
+    adjacency: CSRMatrix,
+    dim: int = 32,
+    p: float = 1.0,
+    q: float = 1.0,
+    walks_per_node: int = 4,
+    walk_length: int = 20,
+    epochs: int = 2,
+    seed: int = 0,
+) -> np.ndarray:
+    """Full node2vec: biased corpus + the shared SGNS trainer."""
+    from repro.baselines.deepwalk import DeepWalkEmbedder, DeepWalkParams
+
+    walker = Node2VecWalker(adjacency, p=p, q=q, seed=seed)
+    corpus = walker.build_corpus(walks_per_node, walk_length)
+    trainer = DeepWalkEmbedder(
+        DeepWalkParams(
+            dim=dim,
+            walks_per_node=walks_per_node,
+            walk_length=walk_length,
+            epochs=epochs,
+            seed=seed,
+        )
+    )
+    pairs = trainer.skipgram_pairs(corpus)
+    return trainer.train(adjacency.n_rows, pairs, adjacency.row_degrees())

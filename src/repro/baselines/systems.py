@@ -1,0 +1,189 @@
+"""The paper's own system arms, as configurations of the shared engine.
+
+Every arm of Figs. 12–16 is a knob setting of :class:`SpMMEngine` /
+:class:`OMeGaEmbedder`; this module names them and runs them uniformly,
+handling the expected out-of-memory failures of the DRAM-only systems on
+the billion-scale graphs (reported as ``status="oom"`` the way the paper
+reports "fails to run").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import (
+    AllocationScheme,
+    MemoryMode,
+    OMeGaConfig,
+    PlacementScheme,
+)
+from repro.core.embedding import EmbeddingResult, OMeGaEmbedder
+from repro.graphs.datasets import Dataset
+from repro.memsim.allocator import CapacityError
+from repro.prone.model import ProNEParams
+
+
+@dataclass(frozen=True)
+class SystemArm:
+    """A named engine configuration."""
+
+    name: str
+    config: OMeGaConfig
+
+    def embedder(self, dataset: Dataset, **overrides: object) -> OMeGaEmbedder:
+        """Instantiate the arm's embedder for a dataset."""
+        config = self.config.with_overrides(
+            capacity_scale=dataset.scale, **overrides
+        )
+        return OMeGaEmbedder(config)
+
+
+@dataclass
+class SystemResult:
+    """Outcome of one (arm, dataset) run.
+
+    ``status`` is ``"ok"`` or ``"oom"`` (DRAM-only systems on graphs
+    whose working set exceeds capacity — the bars the paper omits).
+    """
+
+    system: str
+    dataset: str
+    status: str
+    sim_seconds: float
+    result: EmbeddingResult | None = None
+
+    @property
+    def projected_full_scale_seconds(self) -> float:
+        """Simulated time projected to the original graph's scale."""
+        return self.sim_seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SystemResult({self.system} on {self.dataset}: {self.status},"
+            f" {self.sim_seconds:.4f}s)"
+        )
+
+
+def standard_arms(n_threads: int = 30, dim: int = 32) -> list[SystemArm]:
+    """The engine-backed arms of Fig. 12, in the paper's order.
+
+    - **OMeGa**: heterogeneous memory with every optimization;
+    - **OMeGa-DRAM**: the ideal all-DRAM baseline (OOMs at billion scale);
+    - **OMeGa-PM**: the worst-case all-PM baseline;
+    - **ProNE-DRAM**: the original model on DRAM — CSR-era scheduling
+      (round-robin threads, OS interleaved placement, no prefetch);
+    - **ProNE-HM**: the naive DRAM-PM port — matrices land on PM, no
+      prefetching/streaming/placement awareness.
+    """
+    base = dict(n_threads=n_threads, dim=dim)
+    return [
+        SystemArm("OMeGa", OMeGaConfig(**base)),
+        SystemArm(
+            "OMeGa-DRAM",
+            OMeGaConfig(
+                memory_mode=MemoryMode.DRAM_ONLY,
+                streaming_enabled=False,
+                **base,
+            ),
+        ),
+        SystemArm(
+            "OMeGa-PM",
+            OMeGaConfig(
+                memory_mode=MemoryMode.PM_ONLY,
+                prefetcher_enabled=False,
+                streaming_enabled=False,
+                **base,
+            ),
+        ),
+        SystemArm(
+            "ProNE-DRAM",
+            OMeGaConfig(
+                memory_mode=MemoryMode.DRAM_ONLY,
+                allocation=AllocationScheme.NATURAL_ROUND_ROBIN,
+                placement=PlacementScheme.INTERLEAVE,
+                prefetcher_enabled=False,
+                streaming_enabled=False,
+                kernel_slowdown=2.5,
+                graph_format="csr",
+                **base,
+            ),
+        ),
+        SystemArm(
+            "ProNE-HM",
+            OMeGaConfig(
+                memory_mode=MemoryMode.HETEROGENEOUS,
+                allocation=AllocationScheme.NATURAL_ROUND_ROBIN,
+                placement=PlacementScheme.INTERLEAVE,
+                prefetcher_enabled=False,
+                streaming_enabled=False,
+                kernel_slowdown=2.5,
+                graph_format="csr",
+                **base,
+            ),
+        ),
+    ]
+
+
+def run_arm(
+    arm: SystemArm,
+    dataset: Dataset,
+    params: ProNEParams | None = None,
+) -> SystemResult:
+    """Run one arm on one dataset, catching the expected OOMs."""
+    embedder = arm.embedder(dataset)
+    if params is not None:
+        if params.dim != embedder.config.dim:
+            raise ValueError(
+                f"params.dim ({params.dim}) must match arm dim"
+                f" ({embedder.config.dim})"
+            )
+        embedder.params = params
+    try:
+        result = embedder.embed_dataset(dataset)
+    except CapacityError:
+        return SystemResult(
+            system=arm.name,
+            dataset=dataset.name,
+            status="oom",
+            sim_seconds=float("nan"),
+        )
+    return SystemResult(
+        system=arm.name,
+        dataset=dataset.name,
+        status="ok",
+        sim_seconds=result.sim_seconds,
+        result=result,
+    )
+
+
+def speedup_table(results: list[SystemResult], reference: str = "OMeGa") -> dict:
+    """Per-system speedup of ``reference`` over each other system.
+
+    Systems that OOM'd are skipped (as the paper does).  Returns
+    {system: geometric-mean speedup across datasets}.
+    """
+    by_system: dict[str, dict[str, float]] = {}
+    for res in results:
+        by_system.setdefault(res.system, {})[res.dataset] = (
+            res.sim_seconds if res.status == "ok" else float("nan")
+        )
+    if reference not in by_system:
+        raise ValueError(f"no results for reference system {reference!r}")
+    ref = by_system[reference]
+    table: dict[str, float] = {}
+    for system, times in by_system.items():
+        if system == reference:
+            continue
+        ratios = [
+            times[ds] / ref[ds]
+            for ds in times
+            if ds in ref
+            and np.isfinite(times[ds])
+            and np.isfinite(ref[ds])
+            and ref[ds] > 0
+        ]
+        if ratios:
+            table[system] = float(np.exp(np.mean(np.log(ratios))))
+    return table

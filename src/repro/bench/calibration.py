@@ -1,0 +1,126 @@
+"""Calibration report: measured headline ratios vs the paper's targets.
+
+The simulation substrate is calibrated so the paper's comparative claims
+reproduce in *shape*.  This module measures every headline ratio in one
+pass and reports it against the paper's value with an acceptance band,
+so any change to the device models or engine is immediately visible
+(``python -m repro calibrate`` or ``tests/test_calibration.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import (
+    AllocationScheme,
+    MemoryMode,
+    OMeGaConfig,
+    PlacementScheme,
+)
+from repro.core.spmm import SpMMEngine
+from repro.graphs.datasets import Dataset, load_dataset
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One headline ratio: the paper's value and our acceptance band."""
+
+    name: str
+    paper_value: float
+    measured: float
+    low: float
+    high: float
+
+    @property
+    def in_band(self) -> bool:
+        """True when the measured ratio falls inside the band."""
+        return self.low <= self.measured <= self.high
+
+
+def _spmm_seconds(dataset: Dataset, dense: np.ndarray, **overrides) -> float:
+    base = dict(n_threads=30, dim=32, capacity_scale=dataset.scale)
+    base.update(overrides)
+    engine = SpMMEngine(OMeGaConfig(**base))
+    return engine.multiply(
+        dataset.adjacency_csdb(), dense, compute=False
+    ).sim_seconds
+
+
+def calibration_report(dataset_name: str = "LJ") -> list[CalibrationPoint]:
+    """Measure every headline SpMM-level ratio on one graph."""
+    dataset = load_dataset(dataset_name)
+    dense = np.random.default_rng(0).standard_normal((dataset.n_nodes, 32))
+
+    omega = _spmm_seconds(dataset, dense)
+    dram = _spmm_seconds(dataset, dense, memory_mode=MemoryMode.DRAM_ONLY)
+    pm = _spmm_seconds(
+        dataset,
+        dense,
+        memory_mode=MemoryMode.PM_ONLY,
+        prefetcher_enabled=False,
+    )
+    rr = _spmm_seconds(
+        dataset, dense, allocation=AllocationScheme.ROUND_ROBIN
+    )
+    wata = _spmm_seconds(
+        dataset, dense, allocation=AllocationScheme.WORKLOAD_BALANCED
+    )
+    no_wofp = _spmm_seconds(dataset, dense, prefetcher_enabled=False)
+    interleave = _spmm_seconds(
+        dataset, dense, placement=PlacementScheme.INTERLEAVE
+    )
+    prone_dram = _spmm_seconds(
+        dataset,
+        dense,
+        memory_mode=MemoryMode.DRAM_ONLY,
+        allocation=AllocationScheme.NATURAL_ROUND_ROBIN,
+        placement=PlacementScheme.INTERLEAVE,
+        prefetcher_enabled=False,
+        kernel_slowdown=2.5,
+    )
+
+    return [
+        CalibrationPoint(
+            "RR / EaTA (Table II)", 5.13, rr / omega, 3.0, 9.0
+        ),
+        CalibrationPoint(
+            "WaTA / EaTA (Table II)", 1.43, wata / omega, 0.95, 2.0
+        ),
+        CalibrationPoint(
+            "w/o-WoFP / OMeGa (Fig. 14)", 1.59, no_wofp / omega, 1.2, 2.6
+        ),
+        CalibrationPoint(
+            "w/o-NaDP / OMeGa (Fig. 15b)", 2.9, interleave / omega, 1.5, 4.5
+        ),
+        CalibrationPoint(
+            "OMeGa / OMeGa-DRAM (Fig. 15b)", 1.40, omega / dram, 1.2, 3.0
+        ),
+        CalibrationPoint(
+            "OMeGa-PM / OMeGa (Fig. 12)", 146.67, pm / omega, 25.0, 400.0
+        ),
+        CalibrationPoint(
+            "ProNE-DRAM / OMeGa-DRAM (Sec. IV-B)",
+            4.99,
+            prone_dram / dram,
+            2.0,
+            9.0,
+        ),
+    ]
+
+
+def format_report(points: list[CalibrationPoint]) -> str:
+    """Render the report as an aligned text table."""
+    lines = [
+        "Calibration — measured headline ratios vs the paper",
+        f"{'ratio':38s}{'paper':>8s}{'measured':>10s}{'band':>16s}{'ok':>4s}",
+    ]
+    for point in points:
+        band = f"[{point.low:g}, {point.high:g}]"
+        ok = "yes" if point.in_band else "NO"
+        lines.append(
+            f"{point.name:38s}{point.paper_value:>8.2f}"
+            f"{point.measured:>10.2f}{band:>16s}{ok:>4s}"
+        )
+    return "\n".join(lines)

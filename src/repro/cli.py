@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``datasets``          — print the Table I analogues;
+- ``probe``             — print the Fig. 9 PM characterization;
+- ``embed``             — embed a Table I analogue or an edge-list file;
+- ``spmm``              — run one instrumented SpMM and print the cost
+  anatomy;
+- ``compare``           — run the Fig. 12 system arms on one graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.baselines.systems import run_arm, standard_arms
+from repro.bench.harness import format_seconds, format_table, project_full_scale
+from repro.core.config import (
+    AllocationScheme,
+    MemoryMode,
+    OMeGaConfig,
+    PlacementScheme,
+)
+from repro.core.embedding import OMeGaEmbedder
+from repro.core.spmm import SpMMEngine
+from repro.formats.convert import edges_to_csdb
+from repro.graphs.datasets import DATASET_NAMES, dataset_table, load_dataset
+from repro.graphs.io import load_edge_list
+from repro.memsim.devices import pm_spec
+from repro.memsim.probe import peak_bandwidth_summary, probe_bandwidth
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--threads", type=int, default=16)
+    parser.add_argument("--dim", type=int, default=32)
+    parser.add_argument(
+        "--mode",
+        choices=[m.value for m in MemoryMode],
+        default=MemoryMode.HETEROGENEOUS.value,
+    )
+    parser.add_argument(
+        "--allocation",
+        choices=[a.value for a in AllocationScheme],
+        default=AllocationScheme.ENTROPY_AWARE.value,
+    )
+    parser.add_argument(
+        "--placement",
+        choices=[p.value for p in PlacementScheme],
+        default=PlacementScheme.NADP.value,
+    )
+    parser.add_argument("--no-prefetch", action="store_true")
+
+
+def _config_from_args(args: argparse.Namespace, capacity_scale: int) -> OMeGaConfig:
+    mode = MemoryMode(args.mode)
+    return OMeGaConfig(
+        n_threads=args.threads,
+        dim=args.dim,
+        memory_mode=mode,
+        allocation=AllocationScheme(args.allocation),
+        placement=PlacementScheme(args.placement),
+        prefetcher_enabled=(
+            not args.no_prefetch and mode is MemoryMode.HETEROGENEOUS
+        ),
+        capacity_scale=capacity_scale,
+    )
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.graph.upper() in DATASET_NAMES:
+        dataset = load_dataset(args.graph)
+        return dataset.edges, dataset.n_nodes, dataset.scale, dataset.name
+    edges, n_nodes = load_edge_list(args.graph)
+    return edges, n_nodes, 1, args.graph
+
+
+def cmd_datasets(_: argparse.Namespace) -> int:
+    rows = dataset_table()
+    print(
+        format_table(
+            ["graph", "paper nodes", "paper edges", "scale", "nodes", "edges"],
+            [
+                [
+                    r["graph"],
+                    f"{r['paper_nodes']:,}",
+                    f"{r['paper_edges']:,}",
+                    r["scale"],
+                    f"{r['nodes']:,}",
+                    f"{r['edges']:,}",
+                ]
+                for r in rows
+            ],
+            title="Table I analogues",
+        )
+    )
+    return 0
+
+
+def cmd_probe(_: argparse.Namespace) -> int:
+    results = probe_bandwidth(pm_spec(), thread_counts=(1, 4, 16, 28))
+    rows = [
+        [
+            f"{r.op.value}-{r.pattern.value}-{r.locality.value}",
+            r.threads,
+            f"{r.bandwidth_gib_s:.2f}",
+        ]
+        for r in results
+    ]
+    print(format_table(["curve", "threads", "GiB/s"], rows, "PM probe (Fig. 9)"))
+    for name, value in peak_bandwidth_summary(pm_spec()).items():
+        print(f"  {name} = {value:.2f}")
+    return 0
+
+
+def cmd_embed(args: argparse.Namespace) -> int:
+    edges, n_nodes, scale, name = _load_graph(args)
+    config = _config_from_args(args, scale)
+    result = OMeGaEmbedder(config).embed_edges(edges, n_nodes)
+    print(
+        f"{name}: embedded {n_nodes:,} nodes in"
+        f" {format_seconds(result.sim_seconds)} simulated"
+        f" ({format_seconds(project_full_scale(result.sim_seconds, scale))}"
+        f" projected), {result.n_spmm} SpMM ops,"
+        f" {result.spmm_fraction * 100:.0f}% in SpMM"
+    )
+    if args.output:
+        np.save(args.output, result.embedding)
+        print(f"embedding saved to {args.output}")
+    return 0
+
+
+def cmd_spmm(args: argparse.Namespace) -> int:
+    edges, n_nodes, scale, name = _load_graph(args)
+    config = _config_from_args(args, scale)
+    matrix = edges_to_csdb(edges, n_nodes)
+    dense = np.random.default_rng(0).standard_normal((n_nodes, args.dim))
+    result = SpMMEngine(config).multiply(matrix, dense, compute=False)
+    print(
+        f"{name}: SpMM over {matrix.nnz:,} nnz in"
+        f" {format_seconds(result.sim_seconds)} simulated"
+        f" ({result.throughput_nnz_per_s / 1e6:.1f} Mnnz/s)"
+    )
+    total = result.trace.total_seconds
+    rows = [
+        [category, format_seconds(seconds), f"{seconds / total * 100:.1f}%"]
+        for category, seconds in sorted(
+            result.trace.breakdown().items(), key=lambda kv: -kv[1]
+        )
+    ]
+    print(format_table(["step", "time (sum over threads)", "share"], rows))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.graph)
+    rows = []
+    for arm in standard_arms(n_threads=args.threads, dim=args.dim):
+        result = run_arm(arm, dataset)
+        rows.append(
+            [
+                arm.name,
+                result.status,
+                format_seconds(
+                    project_full_scale(result.sim_seconds, dataset.scale)
+                ),
+            ]
+        )
+    print(
+        format_table(
+            ["system", "status", "projected time"],
+            rows,
+            title=f"Fig. 12 arms on {dataset.name}",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OMeGa reproduction — heterogeneous-memory graph embedding",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="print the Table I analogues")
+    sub.add_parser("probe", help="print the Fig. 9 PM characterization")
+    calibrate = sub.add_parser(
+        "calibrate", help="measured headline ratios vs the paper"
+    )
+    calibrate.add_argument("--graph", default="LJ")
+
+    embed = sub.add_parser("embed", help="embed a graph")
+    embed.add_argument("graph", help="Table I name (PK..FR) or edge-list path")
+    embed.add_argument("--output", help="save the embedding as .npy")
+    _add_engine_arguments(embed)
+
+    spmm = sub.add_parser("spmm", help="run one instrumented SpMM")
+    spmm.add_argument("graph", help="Table I name (PK..FR) or edge-list path")
+    _add_engine_arguments(spmm)
+
+    compare = sub.add_parser("compare", help="run the Fig. 12 system arms")
+    compare.add_argument("graph", choices=list(DATASET_NAMES))
+    compare.add_argument("--threads", type=int, default=16)
+    compare.add_argument("--dim", type=int, default=32)
+
+    return parser
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.bench.calibration import calibration_report, format_report
+
+    points = calibration_report(args.graph)
+    print(format_report(points))
+    return 0 if all(p.in_band for p in points) else 1
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "probe": cmd_probe,
+    "calibrate": cmd_calibrate,
+    "embed": cmd_embed,
+    "spmm": cmd_spmm,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

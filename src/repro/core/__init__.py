@@ -1,0 +1,82 @@
+"""OMeGa core: the paper's primary contribution.
+
+- :mod:`repro.core.config` — configuration of every experiment arm;
+- :mod:`repro.core.eata` — entropy-aware thread allocation (+ RR/WaTA);
+- :mod:`repro.core.wofp` — workload feature-aware prefetcher;
+- :mod:`repro.core.nadp` — NUMA-aware data placement (+ OS policies);
+- :mod:`repro.core.asl` — asynchronous adaptive streaming loading;
+- :mod:`repro.core.spmm` — the instrumented parallel SpMM engine;
+- :mod:`repro.core.embedding` — the end-to-end ProNE-on-heterogeneous-
+  memory embedding pipeline.
+"""
+
+from repro.core.asl import StreamingLoader, StreamPlan, optimal_partitions
+from repro.core.config import (
+    AllocationScheme,
+    MemoryMode,
+    OMeGaConfig,
+    PlacementScheme,
+    omega_config,
+    omega_dram_config,
+    omega_pm_config,
+)
+from repro.core.eata import (
+    AllocatorContext,
+    EntropyAwareAllocator,
+    NaturalOrderRoundRobinAllocator,
+    RoundRobinAllocator,
+    ThreadAllocator,
+    WorkloadBalancedAllocator,
+    WorkloadPartition,
+    make_allocator,
+)
+from repro.core.embedding import EmbeddingResult, OMeGaEmbedder
+from repro.core.operators import OperatorResult, OperatorSuite
+from repro.core.tuning import TuningResult, tune_prefetcher
+from repro.core.nadp import (
+    AccessPlan,
+    DataPlacement,
+    InterleavePlacement,
+    LocalPlacement,
+    NaDPPlacement,
+    make_placement,
+)
+from repro.core.spmm import SpMMEngine, SpMMResult
+from repro.core.wofp import PrefetchPlan, WorkloadPrefetcher
+
+__all__ = [
+    "AccessPlan",
+    "AllocationScheme",
+    "AllocatorContext",
+    "DataPlacement",
+    "EmbeddingResult",
+    "EntropyAwareAllocator",
+    "InterleavePlacement",
+    "LocalPlacement",
+    "MemoryMode",
+    "NaDPPlacement",
+    "NaturalOrderRoundRobinAllocator",
+    "OMeGaConfig",
+    "OMeGaEmbedder",
+    "OperatorResult",
+    "OperatorSuite",
+    "PlacementScheme",
+    "PrefetchPlan",
+    "RoundRobinAllocator",
+    "SpMMEngine",
+    "SpMMResult",
+    "StreamPlan",
+    "StreamingLoader",
+    "ThreadAllocator",
+    "TuningResult",
+    "WorkloadBalancedAllocator",
+    "WorkloadPartition",
+    "WorkloadPrefetcher",
+    "make_allocator",
+    "make_placement",
+    "omega_config",
+    "omega_dram_config",
+    "omega_pm_config",
+    "optimal_partitions",
+    "tune_prefetcher",
+]

@@ -1,0 +1,119 @@
+"""ASL — asynchronous adaptive streaming loading (§III-E).
+
+The dense matrices and intermediates of the embedding pipeline exceed
+DRAM, so data streams between PM and DRAM.  ASL (i) picks the partition
+count ``n`` from the peak-memory inequality of Eq. 8/9 so each batch fits
+the available DRAM, and (ii) overlaps each batch's PM->DRAM load with the
+previous batch's compute, exposing only the non-overlapped remainder.
+
+With equal batches of total load time ``L`` and total compute ``C``::
+
+    timeline = L/n + sum_{b=2..n} max(C/n, L/n) + C/n
+
+so the *exposed* (non-overlapped) streaming time is ``L/n`` when compute
+dominates and ``L - C*(n-1)/n`` when loading dominates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def optimal_partitions(
+    n_nodes: int,
+    dim: int,
+    dram_budget_bytes: float,
+    sparse_bytes: float,
+    itemsize: int = 8,
+) -> int:
+    """Eq. 9: minimal partition count for the dense matrix.
+
+    Peak memory (Eq. 8) is ``M_l + M_al + M_li + M_s + M_r + M_ri <=
+    M_total`` with ``M_l = M_al = M_li = (d/n)*|V|*itemsize`` (the live
+    batch, the in-flight async batch and its intermediate) and
+    ``M_r = M_ri = d*|V|*itemsize`` (result and its intermediate).
+    Solving for n:
+
+        n >= 3*d*|V|*s / (M_total - M_s - 2*d*|V|*s)
+
+    When the denominator is non-positive even the non-streamed residency
+    does not fit, so streaming degenerates to the maximal split (one
+    embedding column per batch).
+    """
+    if n_nodes < 1 or dim < 1:
+        raise ValueError(f"need n_nodes, dim >= 1, got {n_nodes}, {dim}")
+    if dram_budget_bytes <= 0:
+        return dim
+    dense_bytes = float(dim * n_nodes * itemsize)
+    denominator = dram_budget_bytes - sparse_bytes - 2.0 * dense_bytes
+    if denominator <= 0:
+        return dim
+    n = math.ceil(3.0 * dense_bytes / denominator)
+    return min(max(n, 1), dim)
+
+
+@dataclass(frozen=True)
+class StreamPlan:
+    """Streaming schedule of one dense operand.
+
+    Attributes:
+        n_partitions: Eq. 9 batch count n.
+        batch_bytes: bytes of one batch ((d/n) * |V| * itemsize).
+        total_load_seconds: L — full PM->DRAM transfer time.
+    """
+
+    n_partitions: int
+    batch_bytes: float
+    total_load_seconds: float
+
+    def exposed_seconds(self, compute_seconds: float) -> float:
+        """Non-overlapped streaming time given the phase's compute time."""
+        if compute_seconds < 0:
+            raise ValueError(
+                f"compute_seconds must be >= 0, got {compute_seconds}"
+            )
+        n = self.n_partitions
+        load = self.total_load_seconds
+        if n <= 1:
+            return load
+        per_batch_load = load / n
+        per_batch_compute = compute_seconds / n
+        overlap = min(per_batch_load, per_batch_compute) * (n - 1)
+        return load - overlap
+
+
+class StreamingLoader:
+    """Plans ASL streaming for the SpMM engine.
+
+    Args:
+        pm_seq_read_bandwidth: aggregate PM sequential-read bandwidth
+            (bytes/s) available for streaming loads.
+    """
+
+    def __init__(self, pm_seq_read_bandwidth: float) -> None:
+        if pm_seq_read_bandwidth <= 0:
+            raise ValueError(
+                "pm_seq_read_bandwidth must be > 0,"
+                f" got {pm_seq_read_bandwidth}"
+            )
+        self.pm_seq_read_bandwidth = pm_seq_read_bandwidth
+
+    def plan(
+        self,
+        n_nodes: int,
+        dim: int,
+        dram_budget_bytes: float,
+        sparse_bytes: float,
+        itemsize: int = 8,
+    ) -> StreamPlan:
+        """Build the :class:`StreamPlan` for one dense operand."""
+        n = optimal_partitions(
+            n_nodes, dim, dram_budget_bytes, sparse_bytes, itemsize
+        )
+        dense_bytes = float(dim * n_nodes * itemsize)
+        return StreamPlan(
+            n_partitions=n,
+            batch_bytes=dense_bytes / n,
+            total_load_seconds=dense_bytes / self.pm_seq_read_bandwidth,
+        )

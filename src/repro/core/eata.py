@@ -1,0 +1,465 @@
+"""Thread allocation for parallel SpMM: RR, WaTA and the paper's EaTA.
+
+A *workload partition* is a contiguous run of CSDB rows handed to one
+thread (``rst``/``red``/``bst`` of Algorithm 1).  Three allocators are
+provided:
+
+- :class:`RoundRobinAllocator` (RR) — equal row counts per thread, the
+  default of parallel toolkits; ignores skew entirely.
+- :class:`WorkloadBalancedAllocator` (WaTA) — equal nnz per thread
+  (Huang et al.); balances bytes but not access randomness, so tail
+  latency remains (Fig. 13a).
+- :class:`EntropyAwareAllocator` (EaTA, Algorithm 2) — measures each
+  candidate workload's entropy (Eq. 3) and rescales it by Eq. 7 so the
+  *predicted completion times* equalize, balancing work and tail latency
+  simultaneously.
+
+All allocators are O(|V|) online using prefix-sum arrays cached per
+matrix in :class:`AllocatorContext`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.formats.csdb import CSDBMatrix
+
+
+@dataclass(frozen=True)
+class WorkloadPartition:
+    """The workload assigned to one thread (Algorithm 1's inputs).
+
+    Attributes:
+        thread_id: owning logical thread.
+        row_start / row_end: CSDB row range [rst, red).
+        nnz_start / nnz_end: edge-array range [bst, bst + W_i).
+        entropy: Eq. 3 entropy H_i of the workload (nats).
+        z_entropy: normalized entropy Z(H_i) = H_i / log|V|, in [0, 1].
+        scatter: the paper's inherent scatter factor W_sca
+            (mean nnz per row divided by |V|).
+    """
+
+    thread_id: int
+    row_start: int
+    row_end: int
+    nnz_start: int
+    nnz_end: int
+    entropy: float
+    z_entropy: float
+    scatter: float
+    #: False for partitions over non-contiguous CSDB rows (the
+    #: natural-order allocator); such partitions carry explicit counts.
+    contiguous: bool = True
+    rows_override: int | None = None
+    nnz_override: int | None = None
+
+    @property
+    def n_rows(self) -> int:
+        """Rows_i — number of sparse-matrix rows in the workload."""
+        if self.rows_override is not None:
+            return self.rows_override
+        return self.row_end - self.row_start
+
+    @property
+    def nnz_count(self) -> int:
+        """W_i — number of non-zeros in the workload."""
+        if self.nnz_override is not None:
+            return self.nnz_override
+        return self.nnz_end - self.nnz_start
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the thread received no work."""
+        return self.nnz_count == 0 and self.n_rows == 0
+
+
+class AllocatorContext:
+    """Prefix-sum arrays for O(1) entropy/workload queries on row ranges.
+
+    Eq. 3 over rows [a, b) with degrees ``d_j`` and total ``W`` reduces to
+    ``H = log W - (sum d_j log d_j) / W``, so two prefix arrays (nnz and
+    ``d log d``) answer any range query in constant time.
+    """
+
+    def __init__(self, matrix: CSDBMatrix) -> None:
+        self.matrix = matrix
+        self.n_rows = matrix.n_rows
+        degrees = matrix.row_degrees().astype(np.float64)
+        self.nnz_prefix = matrix.nnz_prefix()
+        dlogd = np.zeros_like(degrees)
+        positive = degrees > 0
+        dlogd[positive] = degrees[positive] * np.log(degrees[positive])
+        self.dlogd_prefix = np.concatenate([[0.0], np.cumsum(dlogd)])
+        self.log_v = float(np.log(max(self.n_rows, 2)))
+        self.total_nnz = int(self.nnz_prefix[-1])
+
+    def workload(self, row_start: int, row_end: int) -> int:
+        """W_i: nnz in rows [row_start, row_end)."""
+        return int(self.nnz_prefix[row_end] - self.nnz_prefix[row_start])
+
+    def entropy(self, row_start: int, row_end: int) -> float:
+        """Eq. 3 entropy of rows [row_start, row_end), in nats."""
+        w = self.workload(row_start, row_end)
+        if w == 0:
+            return 0.0
+        dlogd = self.dlogd_prefix[row_end] - self.dlogd_prefix[row_start]
+        return max(float(np.log(w) - dlogd / w), 0.0)
+
+    def z_entropy(self, row_start: int, row_end: int) -> float:
+        """Normalized entropy Z(H) = H / log|V|, clipped to [0, 1]."""
+        return min(self.entropy(row_start, row_end) / self.log_v, 1.0)
+
+    def scatter(self, row_start: int, row_end: int) -> float:
+        """The paper's W_sca: mean nnz per row over |V| columns."""
+        n_rows = row_end - row_start
+        if n_rows == 0:
+            return 0.0
+        w = self.workload(row_start, row_end)
+        return (w / n_rows) / max(self.matrix.n_cols, 1)
+
+    def row_at_workload(self, target_nnz: float, row_start: int = 0) -> int:
+        """Smallest row end such that rows [row_start, end) hold at least
+        ``target_nnz`` non-zeros (clamped to [row_start+1, n_rows])."""
+        goal = self.nnz_prefix[row_start] + target_nnz
+        end = int(np.searchsorted(self.nnz_prefix, goal, side="left"))
+        return min(max(end, row_start + 1), self.n_rows)
+
+    def make_partition(
+        self, thread_id: int, row_start: int, row_end: int
+    ) -> WorkloadPartition:
+        """Materialize a :class:`WorkloadPartition` for a row range."""
+        return WorkloadPartition(
+            thread_id=thread_id,
+            row_start=row_start,
+            row_end=row_end,
+            nnz_start=int(self.nnz_prefix[row_start]),
+            nnz_end=int(self.nnz_prefix[row_end]),
+            entropy=self.entropy(row_start, row_end),
+            z_entropy=self.z_entropy(row_start, row_end),
+            scatter=self.scatter(row_start, row_end),
+        )
+
+
+class ThreadAllocator:
+    """Base class: splits a CSDB matrix's rows across threads."""
+
+    #: Approximate bookkeeping operations per row scanned, used by the
+    #: engine to charge the (sub-1%) allocation overhead of §IV-C.
+    overhead_ops_per_row: float = 1.0
+
+    name = "base"
+
+    def allocate(
+        self, matrix: CSDBMatrix, n_threads: int
+    ) -> list[WorkloadPartition]:
+        """Return exactly ``n_threads`` partitions covering all rows."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(n_threads: int) -> None:
+        if n_threads < 1:
+            raise ValueError(f"n_threads must be >= 1, got {n_threads}")
+
+
+class RoundRobinAllocator(ThreadAllocator):
+    """RR: contiguous equal-*row* chunks (the parallel-toolkit default)."""
+
+    name = "RR"
+    overhead_ops_per_row = 0.0
+
+    def allocate(
+        self, matrix: CSDBMatrix, n_threads: int
+    ) -> list[WorkloadPartition]:
+        self._check(n_threads)
+        ctx = AllocatorContext(matrix)
+        boundaries = np.linspace(0, ctx.n_rows, n_threads + 1).astype(np.int64)
+        return [
+            ctx.make_partition(t, int(boundaries[t]), int(boundaries[t + 1]))
+            for t in range(n_threads)
+        ]
+
+
+class NaturalOrderRoundRobinAllocator(ThreadAllocator):
+    """RR over the *original* row order — the CSR-system behaviour.
+
+    ProNE-style systems split unsorted CSR rows into equal contiguous
+    chunks.  Mixing degrees balances the per-chunk byte counts (unlike
+    RR over degree-sorted CSDB rows) but every chunk inherits the
+    graph's full degree mix, so all of them run at the scattered end of
+    the Eq. 5 bandwidth curve.  Partitions are non-contiguous in CSDB
+    space and carry explicit counts; the engine computes the numeric
+    result with a single full pass instead of per-partition slices.
+    """
+
+    name = "natural-RR"
+    overhead_ops_per_row = 0.0
+
+    def allocate(
+        self, matrix: CSDBMatrix, n_threads: int
+    ) -> list[WorkloadPartition]:
+        self._check(n_threads)
+        log_v = float(np.log(max(matrix.n_rows, 2)))
+        degrees_natural = matrix.row_degrees()[matrix.inv_perm].astype(
+            np.float64
+        )
+        boundaries = np.linspace(0, matrix.n_rows, n_threads + 1).astype(
+            np.int64
+        )
+        partitions: list[WorkloadPartition] = []
+        for t in range(n_threads):
+            chunk = degrees_natural[boundaries[t] : boundaries[t + 1]]
+            w = float(chunk.sum())
+            rows = len(chunk)
+            if w > 0:
+                positive = chunk[chunk > 0]
+                entropy = max(
+                    float(np.log(w) - (positive * np.log(positive)).sum() / w),
+                    0.0,
+                )
+            else:
+                entropy = 0.0
+            scatter = (w / rows) / matrix.n_cols if rows else 0.0
+            partitions.append(
+                WorkloadPartition(
+                    thread_id=t,
+                    row_start=0,
+                    row_end=0,
+                    nnz_start=0,
+                    nnz_end=0,
+                    entropy=entropy,
+                    z_entropy=min(entropy / log_v, 1.0),
+                    scatter=scatter,
+                    contiguous=False,
+                    rows_override=rows,
+                    nnz_override=int(w),
+                )
+            )
+        return partitions
+
+
+class WorkloadBalancedAllocator(ThreadAllocator):
+    """WaTA: equal-*nnz* chunks (total_workload / #threads each)."""
+
+    name = "WaTA"
+    overhead_ops_per_row = 0.5
+
+    def allocate(
+        self, matrix: CSDBMatrix, n_threads: int
+    ) -> list[WorkloadPartition]:
+        self._check(n_threads)
+        ctx = AllocatorContext(matrix)
+        targets = np.linspace(0, ctx.total_nnz, n_threads + 1)
+        partitions: list[WorkloadPartition] = []
+        row = 0
+        for t in range(n_threads):
+            if t == n_threads - 1:
+                end = ctx.n_rows
+            else:
+                end = int(
+                    np.searchsorted(ctx.nnz_prefix, targets[t + 1], side="left")
+                )
+                end = min(max(end, row), ctx.n_rows)
+            partitions.append(ctx.make_partition(t, row, end))
+            row = end
+        return partitions
+
+
+class EntropyAwareAllocator(ThreadAllocator):
+    """EaTA (Algorithm 2): entropy-aware workload rescaling.
+
+    For each thread the dynamic balanced share ``W_i`` is computed, its
+    entropy ``H_i`` measured (Eq. 3), and the share rescaled by Eq. 7
+    against the running average objective entropy ``H_i^p``:
+
+        W_i^p = W_i * (H_p * g(H_p)) / (H_i * g(H_i)),
+        g(H)  = 1 - Z(H) + beta * Z(H)
+
+    where ``beta = BW_rand / BW_seq`` of the dense-operand device.  A
+    high-entropy (scattered) candidate workload therefore shrinks —
+    its thread would otherwise be the straggler — and the freed work
+    flows to later, lower-entropy workloads.
+
+    Args:
+        beta: random/sequential read-bandwidth ratio of the device serving
+            the dense matrix (PM in heterogeneous mode).
+        rescale_floor / rescale_ceiling: clamp on the Eq. 7 ratio to keep
+            the online scheme robust on degenerate matrices.
+    """
+
+    name = "EaTA"
+    overhead_ops_per_row = 2.0
+
+    def __init__(
+        self,
+        beta: float = 0.41,
+        row_overhead_nnz: float = 2.0,
+        rescale_floor: float = 0.25,
+        rescale_ceiling: float = 4.0,
+    ) -> None:
+        if not 0.0 < beta <= 1.0:
+            raise ValueError(f"beta must be in (0, 1], got {beta}")
+        if row_overhead_nnz < 0:
+            raise ValueError(
+                f"row_overhead_nnz must be >= 0, got {row_overhead_nnz}"
+            )
+        if not 0.0 < rescale_floor <= 1.0 <= rescale_ceiling:
+            raise ValueError(
+                "need rescale_floor in (0, 1] and rescale_ceiling >= 1,"
+                f" got {rescale_floor}, {rescale_ceiling}"
+            )
+        self.beta = beta
+        self.row_overhead_nnz = row_overhead_nnz
+        self.rescale_floor = rescale_floor
+        self.rescale_ceiling = rescale_ceiling
+
+    def _g(self, z: float) -> float:
+        """Eq. 5's bandwidth-degradation factor 1 - Z + beta*Z."""
+        return 1.0 - z + self.beta * z
+
+    def _time_proxy(self, ctx: AllocatorContext, row_start: int, row_end: int) -> float:
+        """H * g(Z(H)) — the Eq. 7 denominator for a row range."""
+        h = ctx.entropy(row_start, row_end)
+        return h * self._g(min(h / ctx.log_v, 1.0))
+
+    def allocate(
+        self, matrix: CSDBMatrix, n_threads: int
+    ) -> list[WorkloadPartition]:
+        """Split rows so the Eq. 4/5 *predicted times* equalize.
+
+        The paper calibrates Eq. 4's constant ``K`` on hardware and then
+        rescales workloads online via Eq. 7; without hardware we equalize
+        the same time model directly.  Each row of degree ``deg`` in a
+        nominal workload ``W_nom = total/#threads`` sits in a window of
+        normalized entropy ``z = log(W_nom/deg)/log|V|``, so its predicted
+        cost is ``deg / g(z)`` (Eq. 5 bandwidth degradation) plus a
+        constant per-row term (read_index).  Prefix sums of that proxy
+        yield equal-time boundaries in O(|V|).
+        """
+        self._check(n_threads)
+        ctx = AllocatorContext(matrix)
+        if n_threads == 1 or ctx.n_rows == 0:
+            first = ctx.make_partition(0, 0, ctx.n_rows)
+            rest = [
+                ctx.make_partition(t, ctx.n_rows, ctx.n_rows)
+                for t in range(1, n_threads)
+            ]
+            return [first, *rest]
+        degrees = matrix.row_degrees().astype(np.float64)
+        w_nominal = max(ctx.total_nnz / n_threads, 1.0)
+        with np.errstate(divide="ignore"):
+            z = np.log(np.maximum(w_nominal / np.maximum(degrees, 1.0), 1.0))
+        z = np.minimum(z / ctx.log_v, 1.0)
+        g = 1.0 - z + self.beta * z
+        proxy = degrees / g + self.row_overhead_nnz
+        partitions = self._split_by_proxy(ctx, proxy, n_threads)
+        # Feedback refinement: re-weight each row by its partition's
+        # *measured* entropy (the per-row estimate above uses a nominal
+        # window), then re-split.  Two sweeps suffice in practice.
+        for _ in range(2):
+            rates = np.ones(ctx.n_rows)
+            for p in partitions:
+                if p.n_rows > 0:
+                    rates[p.row_start : p.row_end] = 1.0 / self._g(p.z_entropy)
+            refined = degrees * rates + self.row_overhead_nnz
+            partitions = self._split_by_proxy(ctx, refined, n_threads)
+        return partitions
+
+    def _split_by_proxy(
+        self,
+        ctx: AllocatorContext,
+        proxy: np.ndarray,
+        n_threads: int,
+    ) -> list[WorkloadPartition]:
+        """Equal-quantile split of a per-row cost proxy."""
+        proxy_prefix = np.concatenate([[0.0], np.cumsum(proxy)])
+        targets = np.linspace(0.0, proxy_prefix[-1], n_threads + 1)
+        partitions: list[WorkloadPartition] = []
+        row = 0
+        for t in range(n_threads):
+            if t == n_threads - 1:
+                end = ctx.n_rows
+            else:
+                end = int(
+                    np.searchsorted(proxy_prefix, targets[t + 1], side="left")
+                )
+                end = min(max(end, row), ctx.n_rows)
+            partitions.append(ctx.make_partition(t, row, end))
+            row = end
+        return partitions
+
+    def allocate_algorithm2(
+        self, matrix: CSDBMatrix, n_threads: int
+    ) -> list[WorkloadPartition]:
+        """Literal Algorithm 2: online Eq. 7 rescaling of dynamic shares.
+
+        Kept for fidelity and ablation; :meth:`allocate` (the prefix-sum
+        equalizer of the same time model) is the production path.
+        """
+        self._check(n_threads)
+        ctx = AllocatorContext(matrix)
+        if n_threads == 1:
+            return [ctx.make_partition(0, 0, ctx.n_rows)]
+
+        # Initial objective entropy H_i^p: the average entropy of the
+        # plain equal-workload split (Algorithm 2, line 2).
+        targets = np.linspace(0, ctx.total_nnz, n_threads + 1)
+        split_rows = np.searchsorted(ctx.nnz_prefix, targets, side="left")
+        split_rows[0], split_rows[-1] = 0, ctx.n_rows
+        initial_entropies = [
+            ctx.entropy(int(split_rows[t]), int(split_rows[t + 1]))
+            for t in range(n_threads)
+            if split_rows[t + 1] > split_rows[t]
+        ]
+        h_objective = float(np.mean(initial_entropies)) if initial_entropies else 0.0
+
+        partitions: list[WorkloadPartition] = []
+        allocated_h_sum = 0.0
+        row = 0
+        for t in range(n_threads):
+            remaining_threads = n_threads - t
+            if t == n_threads - 1 or row >= ctx.n_rows:
+                partitions.append(ctx.make_partition(t, row, ctx.n_rows))
+                row = ctx.n_rows
+                continue
+            remaining_w = ctx.total_nnz - ctx.nnz_prefix[row]
+            w_i = remaining_w / remaining_threads
+            # Candidate balanced workload and its entropy (lines 4-5).
+            candidate_end = ctx.row_at_workload(w_i, row)
+            candidate_proxy = self._time_proxy(ctx, row, candidate_end)
+            objective_proxy = h_objective * self._g(
+                min(h_objective / ctx.log_v, 1.0)
+            )
+            # Eq. 7 rescaling (line 6), clamped for robustness.
+            if candidate_proxy > 0.0 and objective_proxy > 0.0:
+                ratio = objective_proxy / candidate_proxy
+            else:
+                ratio = 1.0
+            ratio = min(max(ratio, self.rescale_floor), self.rescale_ceiling)
+            w_p = max(w_i * ratio, 1.0)
+            end = ctx.row_at_workload(w_p, row)
+            # Never starve the remaining threads of rows.
+            max_end = ctx.n_rows - (remaining_threads - 1)
+            end = min(end, max(max_end, row + 1))
+            partition = ctx.make_partition(t, row, end)
+            partitions.append(partition)
+            # Update the running objective (lines 9-12).
+            allocated_h_sum += partition.entropy
+            h_objective = allocated_h_sum / (t + 1)
+            row = end
+        return partitions
+
+
+def make_allocator(scheme: object, beta: float = 0.41) -> ThreadAllocator:
+    """Factory mapping an :class:`AllocationScheme` to an allocator."""
+    from repro.core.config import AllocationScheme
+
+    scheme = AllocationScheme(scheme)
+    if scheme is AllocationScheme.ROUND_ROBIN:
+        return RoundRobinAllocator()
+    if scheme is AllocationScheme.NATURAL_ROUND_ROBIN:
+        return NaturalOrderRoundRobinAllocator()
+    if scheme is AllocationScheme.WORKLOAD_BALANCED:
+        return WorkloadBalancedAllocator()
+    return EntropyAwareAllocator(beta=beta)

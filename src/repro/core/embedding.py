@@ -1,0 +1,298 @@
+"""End-to-end OMeGa embedding pipeline (Fig. 4 of the paper).
+
+``OMeGaEmbedder`` runs ProNE with every sparse product routed through the
+instrumented :class:`repro.core.spmm.SpMMEngine`, accumulating simulated
+time for:
+
+- the graph reading procedure (CSDB construction; Fig. 19a);
+- every SpMM of the tSVD bootstrap and the Chebyshev propagation;
+- the serial dense algebra (QR / small SVD), charged to the CPU model;
+- ASL staging, prefetch maintenance and NaDP merges (inside the engine).
+
+The numeric output is *identical* across memory modes and optimization
+knobs — OMeGa's optimizations are placement and scheduling only — which
+tests assert explicitly (quality preservation, §IV-B).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import MemoryMode, OMeGaConfig
+from repro.core.spmm import SpMMEngine, SpMMResult
+from repro.formats.convert import edges_to_csdb
+from repro.formats.csdb import CSDBMatrix
+from repro.graphs.datasets import Dataset
+from repro.memsim.devices import (
+    AccessPattern,
+    Locality,
+    MemoryKind,
+    Operation,
+)
+from repro.memsim.trace import CostTrace
+from repro.prone.model import (
+    ProNEParams,
+    prone_propagate,
+    prone_smf,
+)
+
+#: Approximate bytes per edge of a SNAP-style text edge list (two ids,
+#: separator, newline), used to cost the read of the on-disk graph.
+TEXT_BYTES_PER_EDGE = 14.0
+
+
+@dataclass
+class EmbeddingResult:
+    """Outcome of one end-to-end embedding run.
+
+    Attributes:
+        embedding: the (|V|, d) node embedding.
+        sim_seconds: simulated end-to-end time (reading + generation),
+            the quantity Fig. 12 reports.
+        read_seconds: simulated graph-reading time (Fig. 19a).
+        factorization_seconds: simulated time of the tSVD bootstrap.
+        propagation_seconds: simulated time of the spectral propagation.
+        spmm_seconds: simulated time spent inside SpMM operations.
+        serial_seconds: simulated time of serial dense algebra.
+        n_spmm: number of SpMM operations executed.
+        wall_seconds: real wall-clock time of the run (for the harness).
+        trace: merged per-category cost ledger.
+        spmm_results: the individual engine results (thread times etc.).
+    """
+
+    embedding: np.ndarray
+    sim_seconds: float
+    read_seconds: float
+    factorization_seconds: float
+    propagation_seconds: float
+    spmm_seconds: float
+    serial_seconds: float
+    n_spmm: int
+    wall_seconds: float
+    trace: CostTrace
+    spmm_results: list[SpMMResult] = field(default_factory=list)
+
+    @property
+    def spmm_fraction(self) -> float:
+        """Share of simulated time spent in SpMM (the paper's ~70%)."""
+        if self.sim_seconds == 0.0:
+            return 0.0
+        return self.spmm_seconds / self.sim_seconds
+
+
+class _InstrumentedMatMul:
+    """Adapter routing ProNE's products through the engine."""
+
+    def __init__(self, embedder: "OMeGaEmbedder", matrix: CSDBMatrix) -> None:
+        self.embedder = embedder
+        self.matrix = matrix
+
+    def __call__(self, dense: np.ndarray) -> np.ndarray:
+        result = self.embedder.engine.multiply(self.matrix, dense)
+        self.embedder._record_spmm(result)
+        return result.output
+
+
+class OMeGaEmbedder:
+    """ProNE on simulated heterogeneous memory."""
+
+    def __init__(
+        self,
+        config: OMeGaConfig | None = None,
+        params: ProNEParams | None = None,
+    ) -> None:
+        self.config = config or OMeGaConfig()
+        self.params = params or ProNEParams(
+            dim=self.config.dim, seed=self.config.seed
+        )
+        if self.params.dim != self.config.dim:
+            raise ValueError(
+                f"config.dim ({self.config.dim}) and params.dim"
+                f" ({self.params.dim}) disagree"
+            )
+        self.engine = SpMMEngine(self.config)
+        self._spmm_results: list[SpMMResult] = []
+        self._spmm_seconds = 0.0
+        self._serial_seconds = 0.0
+        self._trace = CostTrace()
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._spmm_results = []
+        self._spmm_seconds = 0.0
+        self._serial_seconds = 0.0
+        self._trace = CostTrace()
+
+    def _record_spmm(self, result: SpMMResult) -> None:
+        self._spmm_results.append(result)
+        self._spmm_seconds += result.sim_seconds
+        self._trace.merge(result.trace)
+
+    def _charge_serial(self, flops: float, category: str) -> None:
+        # Dense BLAS (QR / small SVD) runs multithreaded in practice;
+        # charge the flops across the configured thread count.
+        seconds = self.engine.cost_model.compute_time(
+            flops / self.config.n_threads
+        )
+        self._serial_seconds += seconds
+        self._trace.charge(category, seconds)
+
+    def _matmul_factory(self, matrix: CSDBMatrix):
+        return _InstrumentedMatMul(self, matrix)
+
+    # -- pipeline stages -----------------------------------------------------
+
+    def simulate_graph_read(self, n_nodes: int, n_edges: int) -> float:
+        """Simulated cost of the graph reading procedure into CSDB.
+
+        Reading = SSD scan of the text edge list + parse compute + the
+        format build.  CSDB builds with a degree-bucket counting sort
+        whose placement passes are *sequential*; CSR's classic
+        scatter-into-rows build issues per-edge *random* writes — the
+        source of the 1.35x reading gap of Fig. 19a (see
+        :func:`simulate_graph_read_csr`).
+        """
+        return self._read_cost(n_nodes, n_edges, AccessPattern.SEQUENTIAL)
+
+    def simulate_graph_read_csr(self, n_nodes: int, n_edges: int) -> float:
+        """Simulated cost of reading the same graph into CSR."""
+        return self._read_cost(n_nodes, n_edges, AccessPattern.RANDOM)
+
+    def _read_cost(
+        self, n_nodes: int, n_edges: int, placement_pattern: AccessPattern
+    ) -> float:
+        cost_model = self.engine.cost_model
+        ssd = self.config.topology.device(MemoryKind.SSD)
+        dram = self.config.topology.device(MemoryKind.DRAM)
+        text_bytes = 2.0 * n_edges * TEXT_BYTES_PER_EDGE  # both directions
+        scan = cost_model.access_time(
+            ssd,
+            Operation.READ,
+            AccessPattern.SEQUENTIAL,
+            Locality.LOCAL,
+            text_bytes,
+        )
+        parse = cost_model.compute_time(2.0 * n_edges * 20.0)
+        edge_bytes = 2.0 * n_edges * 12.0
+        place = cost_model.access_time(
+            dram,
+            Operation.WRITE,
+            placement_pattern,
+            Locality.LOCAL,
+            edge_bytes,
+            threads_sharing=max(self.config.n_threads // 2, 1),
+        )
+        return scan + parse + place
+
+    def pipeline_working_set_bytes(self, n_nodes: int, n_edges: int) -> float:
+        """Peak DRAM-resident bytes of the ProNE pipeline (Eq. 8 terms).
+
+        The tSVD and Chebyshev stages hold several (|V|, k) dense
+        temporaries simultaneously (Lx0/Lx1/Lx2 + conv + the operand and
+        result); we count six, plus the sparse operators (the smf matrix,
+        its transpose, and the Chebyshev operator roughly triple the raw
+        adjacency footprint).
+        """
+        k = self.params.dim + self.params.n_oversamples
+        dense = 6.0 * n_nodes * k * 8.0
+        sparse = 3.0 * (2.0 * n_edges * 12.0 + 64.0)
+        return dense + sparse
+
+    # -- main entry ----------------------------------------------------------
+
+    def embed_dataset(self, dataset: Dataset) -> EmbeddingResult:
+        """Embed a loaded dataset, matching the capacity scale to it."""
+        if self.config.capacity_scale != dataset.scale:
+            raise ValueError(
+                f"config.capacity_scale ({self.config.capacity_scale}) must"
+                f" equal dataset.scale ({dataset.scale}); build the config"
+                " with capacity_scale=dataset.scale"
+            )
+        return self.embed_edges(dataset.edges, dataset.n_nodes)
+
+    def embed_edges(self, edges: np.ndarray, n_nodes: int) -> EmbeddingResult:
+        """Embed a graph given as an undirected edge list."""
+        adjacency = edges_to_csdb(edges, n_nodes)
+        return self.embed(adjacency, n_edges=len(edges))
+
+    def embed(
+        self, adjacency: CSDBMatrix, n_edges: int | None = None
+    ) -> EmbeddingResult:
+        """Embed a graph given its CSDB adjacency matrix.
+
+        Raises:
+            repro.memsim.allocator.CapacityError: in DRAM-only mode when
+                the pipeline working set exceeds the scaled DRAM capacity
+                (the OOMs of Fig. 12 on TW-2010/FR).
+        """
+        self._reset()
+        wall_start = time.perf_counter()
+        n_nodes = adjacency.n_rows
+        rank = self.params.dim + self.params.n_oversamples
+        if rank > n_nodes:
+            raise ValueError(
+                f"dim + oversamples ({rank}) exceeds the node count"
+                f" ({n_nodes}); reduce dim or use a larger graph"
+            )
+        n_edges = n_edges if n_edges is not None else adjacency.nnz // 2
+        self.engine.check_dram_residency(
+            self.pipeline_working_set_bytes(n_nodes, n_edges)
+        )
+
+        if self.config.graph_format == "csr":
+            read_seconds = self.simulate_graph_read_csr(n_nodes, n_edges)
+        else:
+            read_seconds = self.simulate_graph_read(n_nodes, n_edges)
+        self._trace.charge("graph_read", read_seconds)
+
+        # Stage 1: sparse matrix factorization.
+        stage_mark = self._stage_seconds()
+        initial = prone_smf(adjacency, self.params, self._matmul_factory)
+        k = self.params.dim + self.params.n_oversamples
+        # QR factorizations inside the tSVD + the small SVD.
+        self._charge_serial(
+            (2 * self.params.n_power_iterations + 2) * 2.0 * n_nodes * k * k,
+            "dense_algebra",
+        )
+        factorization_seconds = self._stage_seconds() - stage_mark
+
+        # Stage 2: spectral propagation.
+        stage_mark = self._stage_seconds()
+        embedding = prone_propagate(
+            adjacency, initial, self.params, self._matmul_factory
+        )
+        self._charge_serial(
+            2.0 * n_nodes * self.params.dim * self.params.dim, "dense_algebra"
+        )
+        propagation_seconds = self._stage_seconds() - stage_mark
+
+        sim_seconds = read_seconds + self._stage_seconds()
+        return EmbeddingResult(
+            embedding=embedding,
+            sim_seconds=sim_seconds,
+            read_seconds=read_seconds,
+            factorization_seconds=factorization_seconds,
+            propagation_seconds=propagation_seconds,
+            spmm_seconds=self._spmm_seconds,
+            serial_seconds=self._serial_seconds,
+            n_spmm=len(self._spmm_results),
+            wall_seconds=time.perf_counter() - wall_start,
+            trace=self._trace,
+            spmm_results=self._spmm_results,
+        )
+
+    def _stage_seconds(self) -> float:
+        return self._spmm_seconds + self._serial_seconds
+
+
+def embedder_for_dataset(
+    dataset: Dataset, config: OMeGaConfig | None = None, **overrides: object
+) -> OMeGaEmbedder:
+    """Build an embedder whose capacity scale matches a dataset."""
+    config = config or OMeGaConfig()
+    config = config.with_overrides(capacity_scale=dataset.scale, **overrides)
+    return OMeGaEmbedder(config)

@@ -1,0 +1,476 @@
+"""The instrumented parallel SpMM engine — Algorithm 1 with cost tracking.
+
+``SpMMEngine.multiply`` executes a real numpy SpMM (so results are exact
+and testable) while simultaneously *simulating* its execution time on the
+configured memory system.  Every experiment knob of the paper is a
+configuration switch:
+
+- thread allocation: RR / WaTA / EaTA (§III-B);
+- prefetching: WoFP on/off with its η/σ parameters (§III-C);
+- NUMA placement: NaDP / Interleave / Local (§III-D);
+- streaming: ASL on/off (§III-E);
+- memory mode: heterogeneous / DRAM-only / PM-only.
+
+Per-thread simulated time follows Eq. 2 of the paper, charging the five
+steps of Algorithm 1 separately (the categories of Fig. 7a):
+
+1. ``read_index``      — per-row CSDB metadata, sequential on the sparse tier;
+2. ``get_sparse_nnz``  — edge stream, sequential on the sparse tier;
+3. ``get_dense_nnz``   — dense-row gathers at the Eq. 5
+   entropy-interpolated bandwidth; WoFP hits are served from DRAM;
+4. ``accumulate``      — CPU multiply-accumulate (memory-bound on PM-only,
+   where even the scratch accumulators live in PM);
+5. ``write_result``    — sequential result writes, locality per placement.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.asl import StreamingLoader, StreamPlan
+from repro.core.config import MemoryMode, OMeGaConfig
+from repro.core.eata import ThreadAllocator, WorkloadPartition, make_allocator
+from repro.core.nadp import AccessPlan, DataPlacement, make_placement
+from repro.core.wofp import DisabledPrefetchPlan, PrefetchPlan, WorkloadPrefetcher
+from repro.formats.csdb import CSDBMatrix
+from repro.memsim.allocator import CapacityError
+from repro.memsim.clock import SimClock
+from repro.memsim.costmodel import CostModel
+from repro.memsim.devices import (
+    AccessPattern,
+    DeviceSpec,
+    Locality,
+    MemoryKind,
+    Operation,
+)
+from repro.memsim.trace import CostTrace
+from repro.parallel.stats import ThreadStats, summarize_thread_times
+
+#: Bytes of CSDB per-row metadata touched by ``read_index`` (degree-block
+#: lookup + running offset).
+INDEX_BYTES_PER_ROW = 16.0
+#: Bytes per non-zero streamed by ``get_sparse_nnz`` (int32 column id +
+#: float64 weight, padded).
+SPARSE_BYTES_PER_NNZ = 12.0
+#: Scratch read+write traffic per multiply-accumulate when the scratch
+#: accumulators themselves live on PM (PM-only mode).  Each MAC pays a
+#: read-modify-write whose 8 B store is amplified to Optane's 256 B
+#: XPLine granularity; 48 B/MAC reflects partial write-combining.
+SCRATCH_BYTES_PER_MAC = 96.0
+#: Fraction of the WoFP population cost exposed on the critical path; the
+#: paper populates the top-M map in a back-end thread, overlapping most
+#: of the transfer with compute.
+PREFETCH_EXPOSED_FRACTION = 0.2
+
+
+@dataclass
+class SpMMResult:
+    """Outcome of one engine SpMM call.
+
+    Attributes:
+        output: the real numeric result ``A @ B`` (original row order),
+            or None when ``compute=False``.
+        sim_seconds: simulated end-to-end time of the operation.
+        thread_times: per-thread simulated completion times (parallel
+            phase only; serial overheads excluded).
+        partitions: the thread allocation used.
+        prefetch_plans: per-partition WoFP plans.
+        stream_plan: the ASL plan (None outside heterogeneous mode).
+        trace: per-category simulated cost ledger.
+    """
+
+    output: np.ndarray | None
+    sim_seconds: float
+    thread_times: np.ndarray
+    partitions: list[WorkloadPartition]
+    prefetch_plans: list[PrefetchPlan | DisabledPrefetchPlan]
+    stream_plan: StreamPlan | None
+    trace: CostTrace
+    nnz: int
+
+    @property
+    def thread_stats(self) -> ThreadStats:
+        """Tail-latency summary of the parallel phase (Fig. 13)."""
+        return summarize_thread_times(self.thread_times)
+
+    @property
+    def throughput_nnz_per_s(self) -> float:
+        """Fig. 16's metric: non-zeros fetched per simulated second."""
+        if self.sim_seconds == 0.0:
+            return 0.0
+        return self.nnz / self.sim_seconds
+
+    @property
+    def mean_hit_fraction(self) -> float:
+        """Workload-weighted WoFP hit rate across partitions."""
+        total = sum(p.nnz_count for p in self.partitions)
+        if total == 0:
+            return 0.0
+        hits = sum(
+            plan.hit_fraction * part.nnz_count
+            for plan, part in zip(self.prefetch_plans, self.partitions)
+        )
+        return hits / total
+
+
+class SpMMEngine:
+    """Parallel SpMM on simulated heterogeneous memory."""
+
+    def __init__(
+        self,
+        config: OMeGaConfig | None = None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.config = config or OMeGaConfig()
+        self.topology = self.config.topology
+        self.cost_model = cost_model or CostModel()
+        self._dense_device = self._device_for_dense()
+        beta = self.cost_model.beta(self._dense_device, Locality.LOCAL)
+        self.allocator: ThreadAllocator = make_allocator(
+            self.config.allocation, beta=beta
+        )
+        self.placement: DataPlacement = make_placement(
+            self.config.placement, self.topology
+        )
+        self.prefetcher: WorkloadPrefetcher | None = None
+        if (
+            self.config.prefetcher_enabled
+            and self.config.memory_mode is MemoryMode.HETEROGENEOUS
+        ):
+            self.prefetcher = WorkloadPrefetcher(
+                eta=self.config.eta, sigma=self.config.sigma
+            )
+        pm = self.topology.device(MemoryKind.PM)
+        self.loader = StreamingLoader(
+            pm.bandwidth(
+                Operation.READ,
+                AccessPattern.SEQUENTIAL,
+                Locality.LOCAL,
+                threads=max(self.config.n_threads // 2, 1),
+            )
+        )
+
+    # -- device/tier resolution -------------------------------------------
+
+    def _device_for_sparse(self) -> DeviceSpec:
+        if self.config.memory_mode is MemoryMode.DRAM_ONLY:
+            return self.topology.device(MemoryKind.DRAM)
+        return self.topology.device(MemoryKind.PM)
+
+    def _device_for_dense(self) -> DeviceSpec:
+        if self.config.memory_mode is MemoryMode.DRAM_ONLY:
+            return self.topology.device(MemoryKind.DRAM)
+        return self.topology.device(MemoryKind.PM)
+
+    def _device_for_result(self) -> DeviceSpec:
+        return self._device_for_dense()
+
+    def _dram(self) -> DeviceSpec:
+        return self.topology.device(MemoryKind.DRAM)
+
+    def scaled_capacity(self, kind: MemoryKind) -> float:
+        """Aggregate tier capacity after the dataset's downscale factor."""
+        return self.topology.capacity(kind) / self.config.capacity_scale
+
+    def check_dram_residency(self, working_set_bytes: float) -> None:
+        """Raise :class:`CapacityError` if DRAM cannot hold a working set.
+
+        Only meaningful in DRAM-only mode — this is how OMeGa-DRAM /
+        ProNE-DRAM fail on the billion-scale graphs in Fig. 12.
+        """
+        if self.config.memory_mode is not MemoryMode.DRAM_ONLY:
+            return
+        capacity = self.scaled_capacity(MemoryKind.DRAM)
+        if working_set_bytes > capacity:
+            raise CapacityError(
+                f"DRAM-only working set {working_set_bytes / 2**30:.2f} GiB"
+                f" exceeds scaled DRAM capacity {capacity / 2**30:.2f} GiB"
+            )
+
+    # -- main entry ---------------------------------------------------------
+
+    def multiply(
+        self,
+        matrix: CSDBMatrix,
+        dense: np.ndarray,
+        compute: bool = True,
+    ) -> SpMMResult:
+        """Simulated-parallel SpMM ``matrix @ dense``.
+
+        Args:
+            matrix: the sparse operand in CSDB format.
+            dense: the dense operand, shape (n_cols, d).
+            compute: execute the real numpy kernel (disable for
+                cost-only scalability sweeps over huge synthetic inputs).
+
+        Raises:
+            CapacityError: in DRAM-only mode when the working set
+                (sparse + dense + result + scratch) exceeds the scaled
+                DRAM capacity.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.ndim == 1:
+            dense = dense[:, None]
+        if dense.shape[0] != matrix.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {matrix.shape} @ {dense.shape}"
+            )
+        d = dense.shape[1]
+        sparse_bytes = matrix.nnz * SPARSE_BYTES_PER_NNZ + matrix.index_bytes()
+        dense_bytes = float(matrix.n_cols * d * 8)
+        result_bytes = float(matrix.n_rows * d * 8)
+        self.check_dram_residency(
+            sparse_bytes + 2.0 * dense_bytes + 2.0 * result_bytes
+        )
+
+        n_threads = self.config.n_threads
+        partitions = self.allocator.allocate(matrix, n_threads)
+        trace = CostTrace()
+        clock = SimClock(n_threads)
+
+        # Allocation overhead (serial lead-in; the paper measures it
+        # under 1% of runtime).
+        alloc_ops = matrix.n_rows * self.allocator.overhead_ops_per_row
+        alloc_seconds = self.cost_model.compute_time(alloc_ops)
+        trace.charge("allocation", alloc_seconds)
+        clock.advance_all(alloc_seconds)
+
+        col_degrees = (
+            matrix.col_degrees() if self.prefetcher is not None else None
+        )
+        prefetch_plans: list[PrefetchPlan | DisabledPrefetchPlan] = []
+        output = (
+            np.zeros((matrix.n_rows, d), dtype=np.float64) if compute else None
+        )
+        needs_full_pass = False
+        for partition in partitions:
+            if self.prefetcher is not None and partition.contiguous:
+                plan = self.prefetcher.plan(matrix, partition, col_degrees)
+            else:
+                plan = DisabledPrefetchPlan()
+            prefetch_plans.append(plan)
+            seconds = self._partition_cost(
+                matrix, partition, plan, d, n_threads, trace
+            )
+            clock.advance(partition.thread_id, seconds)
+            if compute and partition.n_rows > 0:
+                if partition.contiguous:
+                    rows = slice(partition.row_start, partition.row_end)
+                    output[matrix.perm[rows]] = matrix.spmm_rows(
+                        dense, partition.row_start, partition.row_end
+                    )
+                else:
+                    # Non-contiguous (natural-order) partitions are a
+                    # costing construct; compute the result in one pass.
+                    needs_full_pass = True
+        if compute and needs_full_pass:
+            output[:] = matrix.spmm(dense)
+        thread_times = clock.thread_times
+        makespan = clock.synchronize()
+
+        # Serial tail: NaDP's cross-socket result stitch.
+        merge_fraction = self.placement.access_plan(0).merge_remote_write_fraction
+        if merge_fraction > 0.0:
+            # The stitch is itself parallel: every thread ships its share
+            # of the result across the socket link.
+            sharing = max(1, math.ceil(n_threads / self.topology.n_sockets))
+            merge_seconds = self.cost_model.access_time(
+                self._device_for_result(),
+                Operation.WRITE,
+                AccessPattern.SEQUENTIAL,
+                Locality.REMOTE,
+                merge_fraction * result_bytes / n_threads,
+                threads_sharing=sharing,
+            )
+            trace.charge("merge", merge_seconds, merge_fraction * result_bytes)
+            clock.advance_all(merge_seconds)
+
+        # ASL: stage the dense operand between pipeline stages, overlapped
+        # with this SpMM's compute.
+        stream_plan: StreamPlan | None = None
+        if self.config.memory_mode is MemoryMode.HETEROGENEOUS:
+            dram_budget = self.config.dram_headroom * self.scaled_capacity(
+                MemoryKind.DRAM
+            )
+            if self.config.streaming_enabled:
+                stream_plan = self.loader.plan(
+                    matrix.n_cols, d, dram_budget, sparse_bytes
+                )
+                exposed = stream_plan.exposed_seconds(makespan)
+            else:
+                stream_plan = self.loader.plan(matrix.n_cols, d, 0.0, sparse_bytes)
+                exposed = stream_plan.total_load_seconds
+            trace.charge("stream_load", exposed, dense_bytes)
+            clock.advance_all(exposed)
+
+        return SpMMResult(
+            output=output,
+            sim_seconds=clock.makespan,
+            thread_times=thread_times,
+            partitions=partitions,
+            prefetch_plans=prefetch_plans,
+            stream_plan=stream_plan,
+            trace=trace,
+            nnz=matrix.nnz,
+        )
+
+    # -- per-partition costing ----------------------------------------------
+
+    def _partition_cost(
+        self,
+        matrix: CSDBMatrix,
+        partition: WorkloadPartition,
+        prefetch: PrefetchPlan | DisabledPrefetchPlan,
+        d: int,
+        n_threads: int,
+        trace: CostTrace,
+    ) -> float:
+        """Eq. 2: simulated seconds for one thread's workload."""
+        if partition.nnz_count == 0 and partition.n_rows == 0:
+            return 0.0
+        socket = self.topology.socket_of_thread(partition.thread_id, n_threads)
+        plan: AccessPlan = self.placement.access_plan(socket)
+        sharing = max(1, math.ceil(n_threads / self.topology.n_sockets))
+        sparse_dev = self._device_for_sparse()
+        dense_dev = self._device_for_dense()
+        result_dev = self._device_for_result()
+        dram = self._dram()
+        w = partition.nnz_count
+        rows = partition.n_rows
+        z = partition.z_entropy
+
+        # (1) read_index — sequential row-metadata reads.
+        index_bytes = rows * INDEX_BYTES_PER_ROW
+        t_index = self._split_locality(
+            sparse_dev,
+            Operation.READ,
+            AccessPattern.SEQUENTIAL,
+            index_bytes,
+            plan.sparse_local_fraction,
+            sharing,
+        )
+        trace.charge("read_index", t_index, index_bytes)
+
+        # (2) get_sparse_nnz — sequential edge-stream reads.
+        sparse_bytes = w * SPARSE_BYTES_PER_NNZ
+        t_sparse = self._split_locality(
+            sparse_dev,
+            Operation.READ,
+            AccessPattern.SEQUENTIAL,
+            sparse_bytes,
+            plan.sparse_local_fraction,
+            sharing,
+        )
+        trace.charge("get_sparse_nnz", t_sparse, sparse_bytes)
+
+        # (3) get_dense_nnz — scattered dense-row gathers at Eq. 5
+        # bandwidth; WoFP hits come from DRAM.
+        dense_bytes = float(w * d * 8)
+        hit_bytes = dense_bytes * prefetch.hit_fraction
+        miss_bytes = dense_bytes - hit_bytes
+        t_dense = 0.0
+        local_share = plan.dense_local_fraction
+        if hit_bytes > 0.0:
+            # The pinned rows live in DRAM wherever the placement policy
+            # put them: NaDP keeps them socket-local, the OS policies
+            # spread them and pay scattered cross-socket traffic.
+            t_dense += self.cost_model.entropy_access_time(
+                dram, Locality.LOCAL, hit_bytes * local_share, z, sharing
+            )
+            t_dense += self.cost_model.entropy_access_time(
+                dram,
+                Locality.REMOTE,
+                hit_bytes * (1.0 - local_share),
+                z,
+                sharing,
+            )
+        if miss_bytes > 0.0:
+            t_dense += self.cost_model.entropy_access_time(
+                dense_dev, Locality.LOCAL, miss_bytes * local_share, z, sharing
+            )
+            t_dense += self.cost_model.entropy_access_time(
+                dense_dev,
+                Locality.REMOTE,
+                miss_bytes * (1.0 - local_share),
+                z,
+                sharing,
+            )
+        t_dense *= self.config.kernel_slowdown
+        trace.charge("get_dense_nnz", t_dense, dense_bytes)
+
+        # (4) accumulate — CPU-bound, except PM-only where the scratch
+        # accumulators themselves live on PM and every MAC pays a PM
+        # read-modify-write.
+        macs = float(w * d)
+        t_acc = self.cost_model.compute_time(macs)
+        if self.config.memory_mode is MemoryMode.PM_ONLY:
+            scratch_bytes = macs * SCRATCH_BYTES_PER_MAC
+            t_scratch = self.cost_model.access_time(
+                sparse_dev,
+                Operation.WRITE,
+                AccessPattern.RANDOM,
+                Locality.LOCAL,
+                scratch_bytes,
+                sharing,
+            )
+            t_acc = max(t_acc, t_scratch)
+        t_acc *= self.config.kernel_slowdown
+        trace.charge("accumulate", t_acc)
+
+        # (5) write_result — sequential result writes.
+        result_bytes = float(rows * d * 8)
+        t_write = self._split_locality(
+            result_dev,
+            Operation.WRITE,
+            AccessPattern.SEQUENTIAL,
+            result_bytes,
+            plan.write_local_fraction,
+            sharing,
+        )
+        trace.charge("write_result", t_write, result_bytes)
+
+        # WoFP overhead: populate the top-M map (one PM->DRAM transfer of
+        # the pinned rows, mostly overlapped by the back-end thread) plus
+        # hash maintenance.
+        t_prefetch = 0.0
+        if prefetch.capacity > 0:
+            pinned = prefetch.pinned_bytes(d)
+            t_load = self.cost_model.access_time(
+                dense_dev,
+                Operation.READ,
+                AccessPattern.SEQUENTIAL,
+                Locality.LOCAL,
+                pinned,
+                sharing,
+            )
+            t_prefetch = t_load * PREFETCH_EXPOSED_FRACTION
+            t_prefetch += self.cost_model.compute_time(prefetch.maintenance_ops)
+            trace.charge("prefetch", t_prefetch, pinned)
+
+        return t_index + t_sparse + t_dense + t_acc + t_write + t_prefetch
+
+    def _split_locality(
+        self,
+        device: DeviceSpec,
+        op: Operation,
+        pattern: AccessPattern,
+        nbytes: float,
+        local_fraction: float,
+        sharing: int,
+    ) -> float:
+        """Cost of a batch split between local and remote accesses."""
+        seconds = 0.0
+        local_bytes = nbytes * local_fraction
+        remote_bytes = nbytes - local_bytes
+        if local_bytes > 0.0:
+            seconds += self.cost_model.access_time(
+                device, op, pattern, Locality.LOCAL, local_bytes, sharing
+            )
+        if remote_bytes > 0.0:
+            seconds += self.cost_model.access_time(
+                device, op, pattern, Locality.REMOTE, remote_bytes, sharing
+            )
+        return seconds

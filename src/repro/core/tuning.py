@@ -1,0 +1,99 @@
+"""Autotuning of WoFP's empirical parameters (eta, sigma).
+
+The paper sets the prefetcher-type threshold ``eta`` and the prefetch
+size ``sigma`` empirically per deployment (Fig. 19 b/c).  Downstream
+users shouldn't have to sweep by hand: :func:`tune_prefetcher` grid
+searches the simulated SpMM cost on the actual graph — cheap, because
+cost simulation skips the numerics — and returns the best setting with
+the full sweep attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.config import OMeGaConfig
+from repro.core.spmm import SpMMEngine
+from repro.formats.csdb import CSDBMatrix
+
+#: Default grids, bracketing the paper's Fig. 19 sweep ranges.
+DEFAULT_ETA_GRID = (0.001, 0.005, 0.01, 0.05, 0.1)
+DEFAULT_SIGMA_GRID = (0.05, 0.1, 0.2, 0.3, 0.4)
+
+
+@dataclass(frozen=True)
+class TuningResult:
+    """Outcome of a prefetcher parameter search.
+
+    Attributes:
+        eta / sigma: the winning setting.
+        sim_seconds: simulated SpMM time at the winner.
+        baseline_seconds: simulated time at the starting configuration.
+        sweep: {(eta, sigma): sim_seconds} for every grid point.
+    """
+
+    eta: float
+    sigma: float
+    sim_seconds: float
+    baseline_seconds: float
+    sweep: dict[tuple[float, float], float]
+
+    @property
+    def improvement(self) -> float:
+        """Fractional time saved versus the starting configuration."""
+        if self.baseline_seconds == 0.0:
+            return 0.0
+        return 1.0 - self.sim_seconds / self.baseline_seconds
+
+    def config(self, base: OMeGaConfig) -> OMeGaConfig:
+        """The base configuration with the tuned parameters applied."""
+        return base.with_overrides(eta=self.eta, sigma=self.sigma)
+
+
+def tune_prefetcher(
+    matrix: CSDBMatrix,
+    config: OMeGaConfig | None = None,
+    eta_grid: tuple[float, ...] = DEFAULT_ETA_GRID,
+    sigma_grid: tuple[float, ...] = DEFAULT_SIGMA_GRID,
+    dim: int | None = None,
+    seed: int = 0,
+) -> TuningResult:
+    """Grid-search (eta, sigma) by simulated SpMM cost on ``matrix``.
+
+    Args:
+        matrix: the sparse operand the deployment will run on.
+        config: starting configuration (defaults to ``OMeGaConfig()``);
+            its own (eta, sigma) define the baseline.
+        eta_grid / sigma_grid: candidate values.
+        dim: dense width used for costing (defaults to ``config.dim``).
+        seed: seed of the costing operand.
+
+    Returns:
+        The best setting with the full sweep attached.
+    """
+    if not eta_grid or not sigma_grid:
+        raise ValueError("eta_grid and sigma_grid must be non-empty")
+    config = config or OMeGaConfig()
+    dim = dim or config.dim
+    rng = np.random.default_rng(seed)
+    dense = rng.standard_normal((matrix.n_cols, dim))
+
+    def cost(eta: float, sigma: float) -> float:
+        engine = SpMMEngine(config.with_overrides(eta=eta, sigma=sigma))
+        return engine.multiply(matrix, dense, compute=False).sim_seconds
+
+    baseline = cost(config.eta, config.sigma)
+    sweep: dict[tuple[float, float], float] = {}
+    for eta in eta_grid:
+        for sigma in sigma_grid:
+            sweep[(eta, sigma)] = cost(eta, sigma)
+    best_eta, best_sigma = min(sweep, key=sweep.get)
+    return TuningResult(
+        eta=best_eta,
+        sigma=best_sigma,
+        sim_seconds=sweep[(best_eta, best_sigma)],
+        baseline_seconds=baseline,
+        sweep=sweep,
+    )

@@ -1,0 +1,58 @@
+"""Link prediction by embedding dot-product ranking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def score_edges(embedding: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Dot-product score of each (u, v) pair under an embedding."""
+    embedding = np.asarray(embedding, dtype=np.float64)
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError(f"edges must be (m, 2), got {edges.shape}")
+    return np.einsum(
+        "ij,ij->i", embedding[edges[:, 0]], embedding[edges[:, 1]]
+    )
+
+
+def ranking_auc(
+    positive_scores: np.ndarray, negative_scores: np.ndarray
+) -> float:
+    """AUC via the Mann-Whitney U statistic (tie-aware)."""
+    pos = np.asarray(positive_scores, dtype=np.float64)
+    neg = np.asarray(negative_scores, dtype=np.float64)
+    if len(pos) == 0 or len(neg) == 0:
+        raise ValueError("need at least one positive and one negative score")
+    all_scores = np.concatenate([pos, neg])
+    order = np.argsort(all_scores, kind="stable")
+    ranks = np.empty(len(all_scores), dtype=np.float64)
+    ranks[order] = np.arange(1, len(all_scores) + 1)
+    # Average ranks over ties.
+    sorted_scores = all_scores[order]
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while (
+            j + 1 < len(sorted_scores)
+            and sorted_scores[j + 1] == sorted_scores[i]
+        ):
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    rank_sum = ranks[: len(pos)].sum()
+    u_stat = rank_sum - len(pos) * (len(pos) + 1) / 2.0
+    return float(u_stat / (len(pos) * len(neg)))
+
+
+def link_prediction_auc(
+    embedding: np.ndarray,
+    positive_edges: np.ndarray,
+    negative_edges: np.ndarray,
+) -> float:
+    """AUC of distinguishing held-out edges from sampled non-edges."""
+    return ranking_auc(
+        score_edges(embedding, positive_edges),
+        score_edges(embedding, negative_edges),
+    )

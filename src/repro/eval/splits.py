@@ -1,0 +1,64 @@
+"""Edge splits and negative sampling for link-prediction evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def train_test_edge_split(
+    edges: np.ndarray, test_fraction: float = 0.2, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Randomly split an edge list into train/test sets.
+
+    Returns (train_edges, test_edges); the split is deterministic in
+    ``seed``.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(
+            f"test_fraction must be in (0, 1), got {test_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(edges))
+    n_test = max(1, int(len(edges) * test_fraction))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return edges[train_idx], edges[test_idx]
+
+
+def sample_negative_edges(
+    edges: np.ndarray, n_nodes: int, n_samples: int, seed: int = 0
+) -> np.ndarray:
+    """Sample node pairs that are *not* edges of the graph.
+
+    Uses rejection sampling against a hash set of the true edges.
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be >= 1, got {n_samples}")
+    if n_nodes < 2:
+        raise ValueError(f"need n_nodes >= 2, got {n_nodes}")
+    existing = set()
+    for u, v in edges:
+        lo, hi = (int(u), int(v)) if u <= v else (int(v), int(u))
+        existing.add((lo, hi))
+    rng = np.random.default_rng(seed)
+    negatives: list[tuple[int, int]] = []
+    max_attempts = 50 * n_samples + 1000
+    attempts = 0
+    while len(negatives) < n_samples and attempts < max_attempts:
+        attempts += 1
+        u = int(rng.integers(n_nodes))
+        v = int(rng.integers(n_nodes))
+        if u == v:
+            continue
+        lo, hi = (u, v) if u < v else (v, u)
+        if (lo, hi) in existing:
+            continue
+        existing.add((lo, hi))
+        negatives.append((lo, hi))
+    if len(negatives) < n_samples:
+        raise RuntimeError(
+            f"could only sample {len(negatives)} of {n_samples} negative"
+            " edges; the graph may be too dense"
+        )
+    return np.asarray(negatives, dtype=np.int64)

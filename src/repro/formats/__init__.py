@@ -1,0 +1,37 @@
+"""Graph/sparse-matrix storage formats.
+
+- :mod:`repro.formats.csr` — a from-scratch Compressed Sparse Row matrix,
+  the baseline format of Fig. 19(a);
+- :mod:`repro.formats.csdb` — the paper's Compressed Sparse Degree-Block
+  format (§III-A) with the operator set the paper requires
+  (multiplication, addition, subtraction, transposition);
+- :mod:`repro.formats.convert` — conversions between edge lists, CSR,
+  CSDB and scipy sparse matrices.
+"""
+
+from repro.formats.csdb import CSDBMatrix
+from repro.formats.convert import (
+    csdb_from_scipy,
+    csdb_to_scipy,
+    csr_from_scipy,
+    csr_to_scipy,
+    edges_to_csdb,
+    edges_to_csr,
+)
+from repro.formats.csr import CSRMatrix
+from repro.formats.serialize import load_csdb, load_csr, save_csdb, save_csr
+
+__all__ = [
+    "CSDBMatrix",
+    "CSRMatrix",
+    "csdb_from_scipy",
+    "csdb_to_scipy",
+    "csr_from_scipy",
+    "csr_to_scipy",
+    "edges_to_csdb",
+    "edges_to_csr",
+    "load_csdb",
+    "load_csr",
+    "save_csdb",
+    "save_csr",
+]

@@ -1,0 +1,392 @@
+"""Compressed Sparse Degree-Block (CSDB) format — §III-A of the paper.
+
+CSDB exploits the skewed degree distribution of real-world graphs: rows
+are grouped into *blocks of equal degree* (sorted by decreasing degree),
+so the per-row pointer array of CSR (O(|V|)) collapses into two tiny
+arrays of size O(|unique degrees|):
+
+- ``deg_list`` — the distinct degrees, descending (``[4, 3, 2, 0]`` for
+  the paper's example graph);
+- ``deg_ind``  — the starting *row offset* of each degree block
+  (``[0, 3, 5, 7]``; we append a final ``n_rows`` sentinel for clean
+  binary search).
+
+Within a block every row has the same degree, so the edge-array offset of
+row ``i`` is computed arithmetically (Eq. 1):
+``ptr(i) = block_ptr[b] + (i - deg_ind[b]) * deg_list[b]``.
+
+Because blocks require rows sorted by degree, the matrix stores a
+permutation ``perm`` (CSDB row -> original row id).  All public operators
+speak the *original* indexing; the permutation is an internal detail,
+except for the SpMM engine which deliberately works in CSDB row space
+(partitions are contiguous runs of CSDB rows) and uses
+:meth:`CSDBMatrix.spmm_rows` + :attr:`CSDBMatrix.perm` to scatter results
+back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csr import CSRMatrix
+
+
+class CSDBMatrix:
+    """Sparse matrix in the paper's compressed sparse degree-block layout."""
+
+    def __init__(
+        self,
+        deg_list: np.ndarray,
+        deg_ind: np.ndarray,
+        col_list: np.ndarray,
+        nnz_list: np.ndarray,
+        perm: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        """Build from raw block arrays; prefer the ``from_*`` constructors.
+
+        Args:
+            deg_list: distinct row degrees, strictly descending.
+            deg_ind: row offsets of each degree block, length
+                ``len(deg_list) + 1``, ending at ``n_rows``.
+            col_list: column ids of the non-zeros, in CSDB row order.
+            nnz_list: values of the non-zeros, aligned with ``col_list``.
+            perm: ``perm[csdb_row] = original_row``.
+            shape: (n_rows, n_cols) in original indexing.
+        """
+        self.deg_list = np.asarray(deg_list, dtype=np.int64)
+        self.deg_ind = np.asarray(deg_ind, dtype=np.int64)
+        self.col_list = np.asarray(col_list, dtype=np.int64)
+        self.nnz_list = np.asarray(nnz_list, dtype=np.float64)
+        self.perm = np.asarray(perm, dtype=np.int64)
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._validate()
+        block_sizes = np.diff(self.deg_ind)
+        self.block_ptr = np.concatenate(
+            [[0], np.cumsum(block_sizes * self.deg_list)]
+        ).astype(np.int64)
+        self._inv_perm: np.ndarray | None = None
+        self._row_degrees: np.ndarray | None = None
+        self._nnz_prefix: np.ndarray | None = None
+
+    def _validate(self) -> None:
+        n_rows, n_cols = self.shape
+        if len(self.deg_ind) != len(self.deg_list) + 1:
+            raise ValueError(
+                "deg_ind must have len(deg_list)+1 entries"
+                f" ({len(self.deg_list) + 1}), got {len(self.deg_ind)}"
+            )
+        if len(self.deg_list) and np.any(np.diff(self.deg_list) >= 0):
+            raise ValueError("deg_list must be strictly descending")
+        if len(self.deg_list) and self.deg_list.min() < 0:
+            raise ValueError("degrees must be non-negative")
+        if self.deg_ind[0] != 0 or self.deg_ind[-1] != n_rows:
+            raise ValueError("deg_ind must start at 0 and end at n_rows")
+        if np.any(np.diff(self.deg_ind) < 0):
+            raise ValueError("deg_ind must be non-decreasing")
+        expected_nnz = int(np.sum(np.diff(self.deg_ind) * self.deg_list))
+        if len(self.col_list) != expected_nnz:
+            raise ValueError(
+                f"col_list length {len(self.col_list)} does not match"
+                f" block structure nnz {expected_nnz}"
+            )
+        if len(self.col_list) != len(self.nnz_list):
+            raise ValueError("col_list and nnz_list lengths differ")
+        if len(self.perm) != n_rows:
+            raise ValueError(f"perm must have {n_rows} entries")
+        if len(self.col_list) and (
+            self.col_list.min() < 0 or self.col_list.max() >= n_cols
+        ):
+            raise ValueError("column index out of range")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "CSDBMatrix":
+        """Convert a CSR matrix by sorting rows into degree blocks."""
+        degrees = csr.row_degrees()
+        # Stable sort by descending degree keeps equal-degree rows in
+        # original order, matching the paper's example layout.
+        perm = np.argsort(-degrees, kind="stable").astype(np.int64)
+        sorted_degrees = degrees[perm]
+        if len(sorted_degrees):
+            boundary = np.concatenate(
+                [[True], sorted_degrees[1:] != sorted_degrees[:-1]]
+            )
+            deg_list = sorted_degrees[boundary]
+            deg_ind = np.concatenate(
+                [np.flatnonzero(boundary), [len(sorted_degrees)]]
+            )
+        else:
+            deg_list = np.empty(0, dtype=np.int64)
+            deg_ind = np.zeros(1, dtype=np.int64)
+        nnz_total = csr.nnz
+        col_list = np.empty(nnz_total, dtype=np.int64)
+        nnz_list = np.empty(nnz_total, dtype=np.float64)
+        # Gather each original row's slice into its CSDB position.  Build a
+        # gather index over the nnz array in one vectorized pass.
+        starts = csr.indptr[perm]
+        lengths = degrees[perm]
+        if nnz_total:
+            out_offsets = np.concatenate([[0], np.cumsum(lengths)])
+            gather = (
+                np.repeat(starts, lengths)
+                + np.arange(nnz_total, dtype=np.int64)
+                - np.repeat(out_offsets[:-1], lengths)
+            )
+            col_list = csr.indices[gather]
+            nnz_list = csr.data[gather]
+        return cls(deg_list, deg_ind, col_list, nnz_list, perm, csr.shape)
+
+    @classmethod
+    def from_coo(
+        cls,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSDBMatrix":
+        """Build from coordinate triplets (duplicates summed)."""
+        return cls.from_csr(CSRMatrix.from_coo(rows, cols, vals, shape))
+
+    # -- structure accessors ----------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zeros."""
+        return int(len(self.nnz_list))
+
+    @property
+    def n_rows(self) -> int:
+        """Number of rows."""
+        return self.shape[0]
+
+    @property
+    def n_cols(self) -> int:
+        """Number of columns."""
+        return self.shape[1]
+
+    @property
+    def n_blocks(self) -> int:
+        """Number of degree blocks (= number of distinct degrees)."""
+        return len(self.deg_list)
+
+    @property
+    def inv_perm(self) -> np.ndarray:
+        """``inv_perm[original_row] = csdb_row`` (cached)."""
+        if self._inv_perm is None:
+            inv = np.empty(self.n_rows, dtype=np.int64)
+            inv[self.perm] = np.arange(self.n_rows, dtype=np.int64)
+            self._inv_perm = inv
+        return self._inv_perm
+
+    def index_bytes(self) -> int:
+        """Bytes of index metadata — O(|distinct degrees|), not O(|V|).
+
+        This is the compression the paper claims over CSR's O(|V|)
+        ``indptr``; the permutation is excluded because the paper stores
+        the graph pre-relabeled (we keep ``perm`` for API convenience).
+        """
+        return int(
+            self.deg_list.nbytes + self.deg_ind.nbytes + self.block_ptr.nbytes
+        )
+
+    def block_of_row(self, csdb_row: int) -> int:
+        """Degree-block index containing a CSDB row."""
+        if not 0 <= csdb_row < self.n_rows:
+            raise IndexError(f"row {csdb_row} out of range [0, {self.n_rows})")
+        return int(np.searchsorted(self.deg_ind, csdb_row, side="right") - 1)
+
+    def degree_of_row(self, csdb_row: int) -> int:
+        """Degree of a CSDB row (constant within its block)."""
+        return int(self.deg_list[self.block_of_row(csdb_row)])
+
+    def row_ptr(self, csdb_row: int) -> int:
+        """Eq. 1: offset of a CSDB row's first non-zero in ``col_list``."""
+        if csdb_row == self.n_rows:
+            return self.nnz
+        block = self.block_of_row(csdb_row)
+        offset_in_block = csdb_row - self.deg_ind[block]
+        return int(self.block_ptr[block] + offset_in_block * self.deg_list[block])
+
+    def row_degrees(self) -> np.ndarray:
+        """Per-CSDB-row degrees, expanded from the blocks (cached)."""
+        if self._row_degrees is None:
+            self._row_degrees = np.repeat(
+                self.deg_list, np.diff(self.deg_ind)
+            ).astype(np.int64)
+        return self._row_degrees
+
+    def nnz_prefix(self) -> np.ndarray:
+        """Prefix sums of per-row nnz: ``prefix[i]`` = nnz before row i.
+
+        Length ``n_rows + 1``; the workhorse of the thread allocators.
+        """
+        if self._nnz_prefix is None:
+            self._nnz_prefix = np.concatenate(
+                [[0], np.cumsum(self.row_degrees())]
+            ).astype(np.int64)
+        return self._nnz_prefix
+
+    def neighbors(self, original_row: int) -> tuple[np.ndarray, np.ndarray]:
+        """(column ids, values) of an *original* row, via Eq. 1 lookup."""
+        if not 0 <= original_row < self.n_rows:
+            raise IndexError(
+                f"row {original_row} out of range [0, {self.n_rows})"
+            )
+        csdb_row = int(self.inv_perm[original_row])
+        lo = self.row_ptr(csdb_row)
+        hi = lo + self.degree_of_row(csdb_row)
+        return self.col_list[lo:hi], self.nnz_list[lo:hi]
+
+    # -- operators (§III-A: multiplication, addition, subtraction,
+    #    transposition) ----------------------------------------------------
+
+    def spmm_rows(
+        self, dense: np.ndarray, row_start: int, row_end: int
+    ) -> np.ndarray:
+        """SpMM restricted to CSDB rows ``[row_start, row_end)``.
+
+        This is the unit of work of Algorithm 1: a thread's partition is a
+        contiguous run of CSDB rows.  Returns the partial result in CSDB
+        row order (shape ``(row_end - row_start, dense.shape[1])``).
+        """
+        if not 0 <= row_start <= row_end <= self.n_rows:
+            raise ValueError(
+                f"invalid row range [{row_start}, {row_end})"
+                f" for {self.n_rows} rows"
+            )
+        dense = np.asarray(dense, dtype=np.float64)
+        if dense.shape[0] != self.n_cols:
+            raise ValueError(
+                f"dimension mismatch: {self.shape} @ {dense.shape}"
+            )
+        n_out = row_end - row_start
+        d = dense.shape[1]
+        out = np.zeros((n_out, d), dtype=np.float64)
+        if n_out == 0:
+            return out
+        lo = self.row_ptr(row_start)
+        hi = self.row_ptr(row_end)
+        if lo == hi:
+            return out
+        cols = self.col_list[lo:hi]
+        vals = self.nnz_list[lo:hi]
+        prod = vals[:, None] * dense[cols]
+        degrees = self.row_degrees()[row_start:row_end]
+        nonzero_rows = degrees > 0
+        # reduceat needs strictly increasing offsets: segment only the
+        # rows that actually own non-zeros, then scatter.
+        offsets = np.concatenate([[0], np.cumsum(degrees)])[:-1][nonzero_rows]
+        out[nonzero_rows] = np.add.reduceat(prod, offsets, axis=0)
+        return out
+
+    def spmm(self, dense: np.ndarray, chunk_rows: int | None = None) -> np.ndarray:
+        """Full SpMM ``self @ dense`` in original row order.
+
+        Args:
+            dense: the dense operand, shape (n_cols, d) or (n_cols,).
+            chunk_rows: optional CSDB-row chunk size to bound the peak
+                footprint of the intermediate gather (useful for large
+                graphs); None computes in one shot.
+        """
+        dense = np.asarray(dense, dtype=np.float64)
+        squeeze = dense.ndim == 1
+        if squeeze:
+            dense = dense[:, None]
+        out = np.zeros((self.n_rows, dense.shape[1]), dtype=np.float64)
+        step = chunk_rows or self.n_rows
+        if step < 1:
+            raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        for start in range(0, self.n_rows, step):
+            end = min(start + step, self.n_rows)
+            out[self.perm[start:end]] = self.spmm_rows(dense, start, end)
+        return out[:, 0] if squeeze else out
+
+    def spmv(self, vector: np.ndarray) -> np.ndarray:
+        """Sparse x vector multiplication in original indexing."""
+        return self.spmm(np.asarray(vector).reshape(-1))
+
+    def transpose(self) -> "CSDBMatrix":
+        """Transposed copy, re-blocked by the transpose's row degrees."""
+        csdb_rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), self.row_degrees()
+        )
+        original_rows = self.perm[csdb_rows]
+        return CSDBMatrix.from_coo(
+            self.col_list,
+            original_rows,
+            self.nnz_list,
+            (self.n_cols, self.n_rows),
+        )
+
+    def _elementwise(self, other: "CSDBMatrix", sign: float) -> "CSDBMatrix":
+        if self.shape != other.shape:
+            raise ValueError(f"shape mismatch: {self.shape} vs {other.shape}")
+        rows = np.concatenate(
+            [
+                self.perm[
+                    np.repeat(
+                        np.arange(self.n_rows, dtype=np.int64),
+                        self.row_degrees(),
+                    )
+                ],
+                other.perm[
+                    np.repeat(
+                        np.arange(other.n_rows, dtype=np.int64),
+                        other.row_degrees(),
+                    )
+                ],
+            ]
+        )
+        cols = np.concatenate([self.col_list, other.col_list])
+        vals = np.concatenate([self.nnz_list, sign * other.nnz_list])
+        merged = CSRMatrix.from_coo(rows, cols, vals, self.shape).prune()
+        return CSDBMatrix.from_csr(merged)
+
+    def __add__(self, other: "CSDBMatrix") -> "CSDBMatrix":
+        return self._elementwise(other, 1.0)
+
+    def __sub__(self, other: "CSDBMatrix") -> "CSDBMatrix":
+        return self._elementwise(other, -1.0)
+
+    def scale(self, factor: float) -> "CSDBMatrix":
+        """Return ``factor * self`` (same block structure)."""
+        return CSDBMatrix(
+            self.deg_list,
+            self.deg_ind,
+            self.col_list,
+            self.nnz_list * factor,
+            self.perm,
+            self.shape,
+        )
+
+    def col_degrees(self) -> np.ndarray:
+        """In-degree of every column — the metric of WoFP's degree-based
+        prefetcher (§III-C)."""
+        return np.bincount(self.col_list, minlength=self.n_cols).astype(np.int64)
+
+    # -- conversions --------------------------------------------------------
+
+    def to_csr(self) -> CSRMatrix:
+        """Convert back to CSR in original row order."""
+        csdb_rows = np.repeat(
+            np.arange(self.n_rows, dtype=np.int64), self.row_degrees()
+        )
+        return CSRMatrix.from_coo(
+            self.perm[csdb_rows],
+            self.col_list,
+            self.nnz_list,
+            self.shape,
+            sum_duplicates=False,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Dense ndarray copy (testing/small matrices only)."""
+        return self.to_csr().to_dense()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CSDBMatrix(shape={self.shape}, nnz={self.nnz},"
+            f" blocks={self.n_blocks})"
+        )

@@ -1,0 +1,89 @@
+"""Binary (de)serialization of CSDB and CSR matrices.
+
+Large-scale pipelines persist the converted graph so the reading
+procedure (Fig. 19a) runs once; this module provides a compact ``.npz``
+container for both formats with format/version validation, so a CSDB
+graph built on one machine can be memory-mapped on another.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.formats.csdb import CSDBMatrix
+from repro.formats.csr import CSRMatrix
+
+#: Container-format version; bump on layout changes.
+FORMAT_VERSION = 1
+
+
+def save_csdb(path: str | Path, matrix: CSDBMatrix) -> None:
+    """Persist a CSDB matrix as a compressed .npz container."""
+    np.savez_compressed(
+        Path(path),
+        kind=np.array(["csdb"]),
+        version=np.array([FORMAT_VERSION]),
+        shape=np.array(matrix.shape, dtype=np.int64),
+        deg_list=matrix.deg_list,
+        deg_ind=matrix.deg_ind,
+        col_list=matrix.col_list,
+        nnz_list=matrix.nnz_list,
+        perm=matrix.perm,
+    )
+
+
+def load_csdb(path: str | Path) -> CSDBMatrix:
+    """Load a CSDB matrix saved by :func:`save_csdb`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check_container(data, "csdb")
+        return CSDBMatrix(
+            deg_list=data["deg_list"],
+            deg_ind=data["deg_ind"],
+            col_list=data["col_list"],
+            nnz_list=data["nnz_list"],
+            perm=data["perm"],
+            shape=tuple(int(x) for x in data["shape"]),
+        )
+
+
+def save_csr(path: str | Path, matrix: CSRMatrix) -> None:
+    """Persist a CSR matrix as a compressed .npz container."""
+    np.savez_compressed(
+        Path(path),
+        kind=np.array(["csr"]),
+        version=np.array([FORMAT_VERSION]),
+        shape=np.array(matrix.shape, dtype=np.int64),
+        indptr=matrix.indptr,
+        indices=matrix.indices,
+        data=matrix.data,
+    )
+
+
+def load_csr(path: str | Path) -> CSRMatrix:
+    """Load a CSR matrix saved by :func:`save_csr`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        _check_container(data, "csr")
+        return CSRMatrix(
+            indptr=data["indptr"],
+            indices=data["indices"],
+            data=data["data"],
+            shape=tuple(int(x) for x in data["shape"]),
+        )
+
+
+def _check_container(data: np.lib.npyio.NpzFile, expected_kind: str) -> None:
+    if "kind" not in data or "version" not in data:
+        raise ValueError("not a repro matrix container")
+    kind = str(data["kind"][0])
+    if kind != expected_kind:
+        raise ValueError(
+            f"container holds a {kind!r} matrix, expected {expected_kind!r}"
+        )
+    version = int(data["version"][0])
+    if version > FORMAT_VERSION:
+        raise ValueError(
+            f"container version {version} is newer than supported"
+            f" ({FORMAT_VERSION})"
+        )

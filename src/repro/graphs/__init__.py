@@ -1,0 +1,51 @@
+"""Graph generation, datasets, I/O and statistics.
+
+The paper evaluates on six public graphs (Table I) up to 3.6 B edges plus
+R-MAT synthetics.  We have no network access and no 768 GiB of PM, so
+:mod:`repro.graphs.datasets` provides deterministic, degree-skew-matched
+*scaled analogues* of each Table I graph (the ``scale`` field records the
+downscale factor; simulated device capacities are scaled by the same
+factor so capacity pressure — e.g. the DRAM OOMs on TW-2010/FR — is
+preserved).  :mod:`repro.graphs.rmat` is the R-MAT generator used for the
+scalability sweep of Fig. 17(b).
+"""
+
+from repro.graphs.datasets import (
+    DATASET_NAMES,
+    Dataset,
+    dataset_table,
+    load_dataset,
+)
+from repro.graphs.io import load_edge_list, save_edge_list
+from repro.graphs.partition import (
+    balanced_edge_partition,
+    edge_cut_fraction,
+    greedy_community_partition,
+    hash_partition,
+    partition_load_balance,
+    range_partition,
+)
+from repro.graphs.powerlaw import chung_lu_edges, planted_partition_edges
+from repro.graphs.rmat import rmat_edges
+from repro.graphs.stats import GraphStats, degree_histogram, graph_stats
+
+__all__ = [
+    "DATASET_NAMES",
+    "Dataset",
+    "GraphStats",
+    "balanced_edge_partition",
+    "edge_cut_fraction",
+    "greedy_community_partition",
+    "hash_partition",
+    "partition_load_balance",
+    "range_partition",
+    "chung_lu_edges",
+    "dataset_table",
+    "degree_histogram",
+    "graph_stats",
+    "load_dataset",
+    "load_edge_list",
+    "planted_partition_edges",
+    "rmat_edges",
+    "save_edge_list",
+]

@@ -1,0 +1,62 @@
+"""R-MAT recursive graph generator (Chakrabarti, Zhan, Faloutsos 2004).
+
+Used by the paper's scalability study (Fig. 17(b)) to sweep graph sizes
+from 1e4 to 1e9 nodes while controlling density and skew.  Quadrant
+probabilities ``(a, b, c, d)`` default to the standard Graph500-style
+(0.57, 0.19, 0.19, 0.05), giving a strongly skewed degree distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: float = 16.0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    deduplicate: bool = True,
+) -> np.ndarray:
+    """Generate an R-MAT graph with ``2**scale`` nodes.
+
+    Args:
+        scale: log2 of the node count.
+        edge_factor: target edges per node (before deduplication).
+        a, b, c: quadrant probabilities; ``d = 1 - a - b - c``.
+        seed: RNG seed — output is fully deterministic.
+        deduplicate: drop self-loops and duplicate undirected edges.
+
+    Returns:
+        (m, 2) int64 edge array over nodes ``[0, 2**scale)``.
+    """
+    if scale < 1:
+        raise ValueError(f"scale must be >= 1, got {scale}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0 or max(a, b, c, d) > 1:
+        raise ValueError(f"invalid quadrant probabilities ({a}, {b}, {c}, {d})")
+    n_nodes = 1 << scale
+    n_edges = int(edge_factor * n_nodes)
+    rng = np.random.default_rng(seed)
+    src = np.zeros(n_edges, dtype=np.int64)
+    dst = np.zeros(n_edges, dtype=np.int64)
+    # Vectorized bit-by-bit recursion: at every level each edge picks a
+    # quadrant, setting one bit of the source and destination ids.
+    for _ in range(scale):
+        r = rng.random(n_edges)
+        right = (r >= a) & (r < a + b) | (r >= a + b + c)  # quadrants b, d
+        bottom = r >= a + b  # quadrants c, d
+        src = (src << 1) | bottom.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+    if not deduplicate:
+        return np.stack([src, dst], axis=1)
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    keep = lo != hi
+    lo, hi = lo[keep], hi[keep]
+    key = lo * np.int64(n_nodes) + hi
+    _, unique_idx = np.unique(key, return_index=True)
+    unique_idx.sort()
+    return np.stack([lo[unique_idx], hi[unique_idx]], axis=1)

@@ -1,0 +1,94 @@
+"""Heterogeneous-memory simulation substrate.
+
+The paper evaluates OMeGa on a two-socket Optane machine (DRAM + Persistent
+Memory under NUMA).  This subpackage replaces that hardware with a calibrated
+analytical model:
+
+- :mod:`repro.memsim.devices` — bandwidth/latency tables for DRAM, PM, SSD
+  and the network link, including thread-count saturation curves;
+- :mod:`repro.memsim.numa` — the two-socket topology and thread binding;
+- :mod:`repro.memsim.costmodel` — converts access batches (bytes, pattern,
+  locality, entropy) into simulated nanoseconds, implementing Eq. 5 of the
+  paper for entropy-interpolated bandwidth;
+- :mod:`repro.memsim.allocator` — placement-tracking allocator with
+  capacity accounting and the OS policies (Local / Interleaved) plus
+  explicit placement used by NaDP;
+- :mod:`repro.memsim.clock` — per-thread simulated clocks and makespan;
+- :mod:`repro.memsim.trace` — per-operation cost ledgers (Fig. 7a);
+- :mod:`repro.memsim.probe` — the FIO/MLC-style probe that regenerates the
+  bandwidth characterization of Fig. 9;
+- :mod:`repro.memsim.memorymode` — the transparent Memory-Mode
+  configuration (DRAM as a direct-mapped write-back cache);
+- :mod:`repro.memsim.persistence` — App-direct flush/fence accounting and
+  crash-consistent shadow commits.
+
+All SpMM numerics are still computed for real with numpy; only *time* is
+simulated.
+"""
+
+from repro.memsim.allocator import (
+    CapacityError,
+    HeterogeneousAllocator,
+    Placement,
+    PlacementPolicy,
+    TieredMatrix,
+)
+from repro.memsim.clock import SimClock
+from repro.memsim.costmodel import CostModel
+from repro.memsim.devices import (
+    AccessPattern,
+    DeviceSpec,
+    Locality,
+    MemoryKind,
+    Operation,
+    cxl_spec,
+    default_devices,
+    dram_spec,
+    network_spec,
+    pm_spec,
+    ssd_spec,
+)
+from repro.memsim.memorymode import DirectMappedCache, MemoryModeModel
+from repro.memsim.persistence import (
+    CheckpointedEmbedder,
+    CrashInjected,
+    PersistenceDomain,
+    ShadowCommit,
+)
+from repro.memsim.numa import NumaTopology, cxl_testbed, paper_testbed
+from repro.memsim.probe import BandwidthprobeResult, probe_bandwidth, probe_latency
+from repro.memsim.trace import CostTrace
+
+__all__ = [
+    "AccessPattern",
+    "BandwidthprobeResult",
+    "CapacityError",
+    "CheckpointedEmbedder",
+    "CostModel",
+    "CostTrace",
+    "CrashInjected",
+    "DirectMappedCache",
+    "MemoryModeModel",
+    "PersistenceDomain",
+    "ShadowCommit",
+    "DeviceSpec",
+    "HeterogeneousAllocator",
+    "Locality",
+    "MemoryKind",
+    "NumaTopology",
+    "Operation",
+    "Placement",
+    "PlacementPolicy",
+    "SimClock",
+    "TieredMatrix",
+    "cxl_spec",
+    "cxl_testbed",
+    "default_devices",
+    "dram_spec",
+    "paper_testbed",
+    "network_spec",
+    "pm_spec",
+    "probe_bandwidth",
+    "probe_latency",
+    "ssd_spec",
+]

@@ -1,0 +1,250 @@
+"""Placement-tracking allocator for the simulated DRAM/PM tiers.
+
+In App-directed mode (the configuration the paper uses, §II-B) the
+application chooses, per allocation, which tier and which NUMA socket a
+buffer lives on.  :class:`HeterogeneousAllocator` plays the role of
+libmemkind/PMDK here: it tracks per-(tier, socket) usage, enforces
+capacity, and records where every matrix lives so the cost model can
+classify each access as DRAM/PM x local/remote.
+
+Besides explicit placement (used by NaDP) the allocator implements the two
+OS policies the paper compares against (§III-D):
+
+- ``LOCAL``: allocate on a preferred socket, spilling to other sockets
+  when the preferred one is full;
+- ``INTERLEAVE``: round-robin pages across sockets, modeled as an even
+  fractional split.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.devices import MemoryKind
+from repro.memsim.numa import NumaTopology
+
+
+class CapacityError(MemoryError):
+    """Raised when an allocation exceeds the capacity of a tier.
+
+    This is the simulated analogue of the OOM failures the paper reports
+    for ProNE-DRAM / OMeGa-DRAM / FusedMM on billion-scale graphs.
+    """
+
+
+class PlacementPolicy(enum.Enum):
+    """How an allocation is spread across NUMA sockets."""
+
+    LOCAL = "local"
+    INTERLEAVE = "interleave"
+    EXPLICIT = "explicit"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a buffer lives: a tier plus a per-socket byte split.
+
+    Attributes:
+        kind: memory tier holding the buffer.
+        socket_fractions: fraction of the buffer's bytes resident on each
+            socket; sums to 1.  A single-socket placement has a 1.0 entry.
+        nbytes: total size of the buffer.
+    """
+
+    kind: MemoryKind
+    socket_fractions: tuple[float, ...]
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        total = sum(self.socket_fractions)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(
+                f"socket_fractions must sum to 1, got {self.socket_fractions}"
+            )
+        if any(f < -1e-12 for f in self.socket_fractions):
+            raise ValueError("socket_fractions must be non-negative")
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+
+    def local_fraction(self, socket: int) -> float:
+        """Fraction of this buffer that is local to ``socket``."""
+        return self.socket_fractions[socket]
+
+    @property
+    def home_socket(self) -> int:
+        """Socket holding the largest share of the buffer."""
+        return int(np.argmax(self.socket_fractions))
+
+
+@dataclass
+class TieredMatrix:
+    """A numpy array plus the placement metadata the simulator needs.
+
+    The array's contents are real (all matrix algebra is executed for
+    real); only its *location* is simulated.
+    """
+
+    data: np.ndarray
+    placement: Placement
+    name: str = ""
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the underlying buffer in bytes."""
+        return int(self.data.nbytes)
+
+    @property
+    def kind(self) -> MemoryKind:
+        """Tier the buffer lives on."""
+        return self.placement.kind
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Shape of the underlying array."""
+        return self.data.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TieredMatrix(name={self.name!r}, shape={self.data.shape},"
+            f" kind={self.kind.value}, fractions={self.placement.socket_fractions})"
+        )
+
+
+class HeterogeneousAllocator:
+    """Capacity-enforcing allocator over the simulated tiers.
+
+    Args:
+        topology: NUMA machine the allocations live on.
+        dram_capacity_bytes: optional override of the per-socket DRAM
+            capacity (used to emulate small-DRAM configurations in tests
+            and in the ASL granularity computation).
+        pm_capacity_bytes: optional override of the per-socket PM capacity.
+    """
+
+    def __init__(
+        self,
+        topology: NumaTopology,
+        dram_capacity_bytes: int | None = None,
+        pm_capacity_bytes: int | None = None,
+    ) -> None:
+        self.topology = topology
+        self._capacity: dict[MemoryKind, int] = {}
+        for kind in (MemoryKind.DRAM, MemoryKind.PM, MemoryKind.SSD):
+            self._capacity[kind] = topology.devices[kind].capacity_bytes
+        if dram_capacity_bytes is not None:
+            self._capacity[MemoryKind.DRAM] = dram_capacity_bytes
+        if pm_capacity_bytes is not None:
+            self._capacity[MemoryKind.PM] = pm_capacity_bytes
+        self._used: dict[tuple[MemoryKind, int], int] = {
+            (kind, socket): 0
+            for kind, socket in itertools.product(
+                self._capacity, range(topology.n_sockets)
+            )
+        }
+        self._live: list[TieredMatrix] = []
+
+    def capacity(self, kind: MemoryKind, socket: int | None = None) -> int:
+        """Capacity in bytes of a tier (one socket, or all if None)."""
+        per_socket = self._capacity[kind]
+        if socket is None:
+            return per_socket * self.topology.n_sockets
+        return per_socket
+
+    def used(self, kind: MemoryKind, socket: int | None = None) -> int:
+        """Bytes currently allocated on a tier (one socket, or all)."""
+        if socket is None:
+            return sum(
+                used for (k, _), used in self._used.items() if k is kind
+            )
+        return self._used[(kind, socket)]
+
+    def available(self, kind: MemoryKind, socket: int | None = None) -> int:
+        """Bytes still free on a tier (one socket, or all)."""
+        return self.capacity(kind, socket) - self.used(kind, socket)
+
+    def allocate(
+        self,
+        array: np.ndarray,
+        kind: MemoryKind,
+        policy: PlacementPolicy = PlacementPolicy.LOCAL,
+        socket: int = 0,
+        name: str = "",
+    ) -> TieredMatrix:
+        """Place ``array`` on a tier and return its tracked handle.
+
+        Raises:
+            CapacityError: if the tier cannot hold the array anywhere
+                permitted by the policy.
+        """
+        nbytes = int(array.nbytes)
+        fractions = self._resolve_fractions(kind, policy, socket, nbytes)
+        for s, fraction in enumerate(fractions):
+            self._used[(kind, s)] += int(round(fraction * nbytes))
+        matrix = TieredMatrix(
+            data=array,
+            placement=Placement(
+                kind=kind, socket_fractions=tuple(fractions), nbytes=nbytes
+            ),
+            name=name,
+        )
+        self._live.append(matrix)
+        return matrix
+
+    def free(self, matrix: TieredMatrix) -> None:
+        """Release a previously allocated matrix."""
+        try:
+            self._live.remove(matrix)
+        except ValueError:
+            raise ValueError(f"matrix {matrix.name!r} is not live") from None
+        nbytes = matrix.placement.nbytes
+        for s, fraction in enumerate(matrix.placement.socket_fractions):
+            self._used[(matrix.kind, s)] -= int(round(fraction * nbytes))
+
+    def live_matrices(self) -> tuple[TieredMatrix, ...]:
+        """All currently allocated matrices (for introspection/tests)."""
+        return tuple(self._live)
+
+    def _resolve_fractions(
+        self,
+        kind: MemoryKind,
+        policy: PlacementPolicy,
+        socket: int,
+        nbytes: int,
+    ) -> list[float]:
+        n = self.topology.n_sockets
+        if policy is PlacementPolicy.EXPLICIT:
+            if self.available(kind, socket) < nbytes:
+                raise CapacityError(
+                    f"{kind.value} socket {socket}: need {nbytes} B,"
+                    f" only {self.available(kind, socket)} B free"
+                )
+            return [1.0 if s == socket else 0.0 for s in range(n)]
+        if policy is PlacementPolicy.INTERLEAVE:
+            share = nbytes // n + 1
+            for s in range(n):
+                if self.available(kind, s) < share:
+                    raise CapacityError(
+                        f"{kind.value} socket {s}: interleave share {share} B"
+                        f" exceeds free {self.available(kind, s)} B"
+                    )
+            return [1.0 / n] * n
+        # LOCAL: prefer the requested socket, spill the remainder elsewhere.
+        remaining = nbytes
+        fractions = [0.0] * n
+        order = [socket] + [s for s in range(n) if s != socket]
+        for s in order:
+            take = min(remaining, self.available(kind, s))
+            fractions[s] = take / nbytes if nbytes else 0.0
+            remaining -= take
+            if remaining == 0:
+                break
+        if remaining > 0:
+            raise CapacityError(
+                f"{kind.value}: need {nbytes} B, only"
+                f" {self.available(kind)} B free across all sockets"
+            )
+        return fractions

@@ -1,0 +1,197 @@
+"""App-direct PM persistence: flush/fence costs and crash-safe commits.
+
+§II-B: in App-directed mode applications access PM with loads/stores
+"while employing ordering facilities to enforce consistency and ensure
+crash recovery".  This module supplies those facilities for the
+simulation substrate:
+
+- :class:`PersistenceDomain` — charges ``CLWB``-style cache-line
+  write-backs and ``SFENCE`` ordering points, and tracks which bytes are
+  durable vs merely stored;
+- :class:`ShadowCommit` — the classic crash-consistent double-buffer
+  protocol (write shadow → flush → fence → flip a flushed commit record),
+  used by :class:`CheckpointedEmbedder` to persist embeddings so a crash
+  mid-checkpoint always recovers the previous complete version.
+
+Crashes are *injected* (``crash=True`` aborts before the commit flip), so
+tests can verify recovery semantics exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.memsim.costmodel import CostModel
+from repro.memsim.devices import (
+    AccessPattern,
+    DeviceSpec,
+    Locality,
+    Operation,
+)
+
+#: Cache-line granularity of CLWB write-backs.
+CACHE_LINE_BYTES = 64
+#: Cost of one SFENCE ordering point, seconds (~tens of ns).
+FENCE_SECONDS = 30e-9
+
+
+@dataclass
+class PersistenceDomain:
+    """Durability accounting for one PM device.
+
+    Stores are fast (cache-resident) until flushed; ``flush`` charges the
+    PM write path per cache line, ``fence`` orders them.  ``sim_seconds``
+    accumulates the persistence overhead the paper's App-direct mode
+    pays and Memory Mode does not expose to the application.
+    """
+
+    device: DeviceSpec
+    cost_model: CostModel = field(default_factory=CostModel)
+    sim_seconds: float = 0.0
+    stored_bytes: float = 0.0
+    durable_bytes: float = 0.0
+    fences: int = 0
+
+    def store(self, nbytes: float) -> None:
+        """Buffer ``nbytes`` of stores (not yet durable)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        self.stored_bytes += nbytes
+
+    def flush(self) -> float:
+        """CLWB all pending stores to the PM media; returns the cost."""
+        pending = self.stored_bytes
+        if pending == 0.0:
+            return 0.0
+        lines = -(-pending // CACHE_LINE_BYTES)
+        seconds = self.cost_model.access_time(
+            self.device,
+            Operation.WRITE,
+            AccessPattern.SEQUENTIAL,
+            Locality.LOCAL,
+            lines * CACHE_LINE_BYTES,
+        )
+        self.sim_seconds += seconds
+        self.durable_bytes += pending
+        self.stored_bytes = 0.0
+        return seconds
+
+    def fence(self) -> float:
+        """SFENCE: order preceding flushes; returns the cost."""
+        self.fences += 1
+        self.sim_seconds += FENCE_SECONDS
+        return FENCE_SECONDS
+
+    @property
+    def all_durable(self) -> bool:
+        """True when no stores are pending."""
+        return self.stored_bytes == 0.0
+
+
+class CrashInjected(RuntimeError):
+    """Raised when a commit is aborted by an injected crash."""
+
+
+@dataclass
+class _Version:
+    data: np.ndarray
+    sequence: int
+
+
+class ShadowCommit:
+    """Crash-consistent double-buffered object store on a PM domain.
+
+    Protocol per commit: write the inactive buffer, flush, fence, then
+    flip the commit record (one durable 8-byte store + flush + fence).
+    A crash injected before the flip leaves the previous version intact.
+    """
+
+    def __init__(self, domain: PersistenceDomain) -> None:
+        self.domain = domain
+        self._buffers: list[_Version | None] = [None, None]
+        self._active: int = -1  # no committed version yet
+        self._sequence = 0
+
+    def commit(self, data: np.ndarray, crash: bool = False) -> int:
+        """Durably commit a new version; returns its sequence number.
+
+        Args:
+            data: the object state to persist (copied).
+            crash: abort after writing the shadow but *before* the commit
+                record flips — simulating a power failure.
+
+        Raises:
+            CrashInjected: when ``crash`` is set; the store still holds
+                the previous committed version.
+        """
+        shadow = 1 - self._active if self._active >= 0 else 0
+        self._sequence += 1
+        self._buffers[shadow] = _Version(
+            data=np.array(data, copy=True), sequence=self._sequence
+        )
+        self.domain.store(float(np.asarray(data).nbytes))
+        self.domain.flush()
+        self.domain.fence()
+        if crash:
+            # The shadow is durable but the commit record never flips.
+            self._sequence -= 1
+            self._buffers[shadow] = None
+            raise CrashInjected("crash injected before commit record flip")
+        # Flip the commit record durably.
+        self.domain.store(8.0)
+        self.domain.flush()
+        self.domain.fence()
+        self._active = shadow
+        return self._sequence
+
+    def recover(self) -> np.ndarray | None:
+        """State visible after a restart: the last committed version."""
+        if self._active < 0:
+            return None
+        version = self._buffers[self._active]
+        assert version is not None
+        return np.array(version.data, copy=True)
+
+    @property
+    def committed_sequence(self) -> int:
+        """Sequence number of the last durable commit (0 if none)."""
+        if self._active < 0:
+            return 0
+        version = self._buffers[self._active]
+        assert version is not None
+        return version.sequence
+
+
+class CheckpointedEmbedder:
+    """Embedding pipeline wrapper with crash-safe PM checkpoints.
+
+    Wraps an :class:`repro.core.embedding.OMeGaEmbedder`, committing the
+    embedding to a :class:`ShadowCommit` after each run; the persistence
+    overhead is reported alongside the pipeline's simulated time, and a
+    crash during checkpointing never loses the previous embedding.
+    """
+
+    def __init__(self, embedder, domain: PersistenceDomain | None = None) -> None:
+        from repro.memsim.devices import pm_spec
+
+        self.embedder = embedder
+        self.domain = domain or PersistenceDomain(device=pm_spec())
+        self.store = ShadowCommit(self.domain)
+
+    def embed_and_checkpoint(
+        self, edges: np.ndarray, n_nodes: int, crash: bool = False
+    ):
+        """Run the pipeline and durably commit its embedding.
+
+        Returns (EmbeddingResult, checkpoint_seconds).
+        """
+        result = self.embedder.embed_edges(edges, n_nodes)
+        before = self.domain.sim_seconds
+        self.store.commit(result.embedding, crash=crash)
+        return result, self.domain.sim_seconds - before
+
+    def recover_embedding(self) -> np.ndarray | None:
+        """The last durably committed embedding (survives crashes)."""
+        return self.store.recover()

@@ -1,0 +1,108 @@
+"""Bandwidth/latency probe over the simulated devices.
+
+The paper characterizes its PM with NUMACTL + FIO (bandwidth, Fig. 9) and
+the Intel Memory Latency Checker (latency).  This module is the simulated
+analogue: it sweeps thread counts over a device spec and reports the
+aggregate bandwidth per (operation, pattern, locality) combination, which
+is what the bench for Fig. 9 prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memsim.devices import (
+    GIB,
+    AccessPattern,
+    DeviceSpec,
+    Locality,
+    Operation,
+)
+
+
+@dataclass(frozen=True)
+class BandwidthprobeResult:
+    """One FIO-style probe point.
+
+    Attributes:
+        op: read or write.
+        pattern: sequential or random.
+        locality: local or remote socket.
+        threads: number of concurrent probing threads.
+        bandwidth_gib_s: aggregate observed bandwidth.
+    """
+
+    op: Operation
+    pattern: AccessPattern
+    locality: Locality
+    threads: int
+    bandwidth_gib_s: float
+
+
+def probe_bandwidth(
+    device: DeviceSpec,
+    thread_counts: tuple[int, ...] = (1, 2, 4, 8, 12, 16, 20, 24, 28),
+) -> list[BandwidthprobeResult]:
+    """Sweep the eight (op x pattern x locality) curves of Fig. 9.
+
+    Returns one result per (combination, thread count), in a stable order:
+    read before write, sequential before random, local before remote.
+    """
+    results: list[BandwidthprobeResult] = []
+    for op in (Operation.READ, Operation.WRITE):
+        for pattern in (AccessPattern.SEQUENTIAL, AccessPattern.RANDOM):
+            for locality in (Locality.LOCAL, Locality.REMOTE):
+                for threads in thread_counts:
+                    bandwidth = device.bandwidth(op, pattern, locality, threads)
+                    results.append(
+                        BandwidthprobeResult(
+                            op=op,
+                            pattern=pattern,
+                            locality=locality,
+                            threads=threads,
+                            bandwidth_gib_s=bandwidth / GIB,
+                        )
+                    )
+    return results
+
+
+def probe_latency(device: DeviceSpec) -> dict[tuple[Operation, Locality], float]:
+    """MLC-style latency probe: nanoseconds per (operation, locality)."""
+    return {
+        (op, locality): device.latency(op, locality) * 1e9
+        for op in (Operation.READ, Operation.WRITE)
+        for locality in (Locality.LOCAL, Locality.REMOTE)
+    }
+
+
+def peak_bandwidth_summary(device: DeviceSpec, threads: int = 28) -> dict[str, float]:
+    """Headline ratios the paper quotes from its Fig. 9 analysis.
+
+    Returns a dict with the sequential-vs-random read gaps and the
+    local-vs-remote write gaps, so tests can assert the calibration.
+    """
+    def bw(op: Operation, pattern: AccessPattern, locality: Locality) -> float:
+        return device.bandwidth(op, pattern, locality, threads)
+
+    return {
+        "seq_local_read_over_rand_local_read": bw(
+            Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL
+        )
+        / bw(Operation.READ, AccessPattern.RANDOM, Locality.LOCAL),
+        "seq_remote_read_over_rand_remote_read": bw(
+            Operation.READ, AccessPattern.SEQUENTIAL, Locality.REMOTE
+        )
+        / bw(Operation.READ, AccessPattern.RANDOM, Locality.REMOTE),
+        "seq_local_write_over_seq_remote_write": bw(
+            Operation.WRITE, AccessPattern.SEQUENTIAL, Locality.LOCAL
+        )
+        / bw(Operation.WRITE, AccessPattern.SEQUENTIAL, Locality.REMOTE),
+        "seq_local_write_over_rand_remote_write": bw(
+            Operation.WRITE, AccessPattern.SEQUENTIAL, Locality.LOCAL
+        )
+        / bw(Operation.WRITE, AccessPattern.RANDOM, Locality.REMOTE),
+        "seq_remote_read_over_seq_local_read": bw(
+            Operation.READ, AccessPattern.SEQUENTIAL, Locality.REMOTE
+        )
+        / bw(Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL),
+    }

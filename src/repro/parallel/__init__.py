@@ -1,0 +1,11 @@
+"""Simulated parallel execution: thread pool and tail-latency statistics."""
+
+from repro.parallel.scheduler import SimulatedExecutor, ThreadTask
+from repro.parallel.stats import ThreadStats, summarize_thread_times
+
+__all__ = [
+    "SimulatedExecutor",
+    "ThreadStats",
+    "ThreadTask",
+    "summarize_thread_times",
+]

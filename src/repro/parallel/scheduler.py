@@ -1,0 +1,55 @@
+"""Simulated thread pool.
+
+Real work (numpy kernels) executes serially in-process; simulated *time*
+advances per logical thread, so a parallel phase's completion time is the
+maximum simulated clock (the makespan) rather than the serial wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.memsim.clock import SimClock
+
+
+@dataclass
+class ThreadTask:
+    """One unit of simulated-parallel work.
+
+    Attributes:
+        thread_id: logical thread executing the task.
+        work: callable performing the real computation (may be None for
+            cost-only simulation).
+        cost_seconds: simulated duration charged to the thread's clock.
+    """
+
+    thread_id: int
+    cost_seconds: float
+    work: Callable[[], None] | None = None
+
+
+class SimulatedExecutor:
+    """Executes :class:`ThreadTask` batches against a :class:`SimClock`."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+
+    def run(self, tasks: list[ThreadTask]) -> float:
+        """Run all tasks; returns the makespan after a barrier.
+
+        Tasks assigned to the same thread are serialized on its clock;
+        tasks on different threads overlap.  A barrier synchronizes all
+        clocks at the end, modelling the join at the end of a parallel
+        SpMM phase.
+        """
+        for task in tasks:
+            if not 0 <= task.thread_id < self.clock.n_threads:
+                raise ValueError(
+                    f"thread_id {task.thread_id} out of range"
+                    f" [0, {self.clock.n_threads})"
+                )
+            if task.work is not None:
+                task.work()
+            self.clock.advance(task.thread_id, task.cost_seconds)
+        return self.clock.synchronize()

@@ -1,0 +1,84 @@
+"""Graph-matrix transforms used by ProNE, expressed on CSDB matrices.
+
+All transforms preserve or rebuild the CSDB block structure:
+
+- :func:`row_l1_normalize` keeps the structure (only values change), so
+  it is free of re-sorting;
+- :func:`add_identity` and :func:`chebyshev_operator` change the sparsity
+  pattern (diagonal insertion) and therefore rebuild the blocks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.csdb import CSDBMatrix
+
+
+def row_l1_normalize(matrix: CSDBMatrix) -> CSDBMatrix:
+    """Row-stochastic (random-walk) normalization D^-1 A.
+
+    Rows with zero mass are left as zero rows.
+    """
+    degrees = matrix.row_degrees()
+    if matrix.nnz == 0:
+        return matrix.scale(1.0)
+    nonzero = degrees > 0
+    starts = np.concatenate([[0], np.cumsum(degrees)])[:-1][nonzero]
+    sums = np.add.reduceat(matrix.nnz_list, starts)
+    row_sum_per_nnz = np.repeat(
+        np.where(sums != 0, sums, 1.0), degrees[nonzero]
+    )
+    values = matrix.nnz_list / row_sum_per_nnz
+    return CSDBMatrix(
+        matrix.deg_list,
+        matrix.deg_ind,
+        matrix.col_list,
+        values,
+        matrix.perm,
+        matrix.shape,
+    )
+
+
+def _to_coo(matrix: CSDBMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(original rows, cols, values) triplets of a CSDB matrix."""
+    csdb_rows = np.repeat(
+        np.arange(matrix.n_rows, dtype=np.int64), matrix.row_degrees()
+    )
+    return matrix.perm[csdb_rows], matrix.col_list, matrix.nnz_list
+
+
+def add_identity(matrix: CSDBMatrix, scale: float = 1.0) -> CSDBMatrix:
+    """``matrix + scale * I`` (rebuilds the degree blocks)."""
+    if matrix.n_rows != matrix.n_cols:
+        raise ValueError(f"matrix must be square, got {matrix.shape}")
+    rows, cols, vals = _to_coo(matrix)
+    n = matrix.n_rows
+    diag = np.arange(n, dtype=np.int64)
+    return CSDBMatrix.from_coo(
+        np.concatenate([rows, diag]),
+        np.concatenate([cols, diag]),
+        np.concatenate([vals, np.full(n, scale)]),
+        matrix.shape,
+    )
+
+
+def chebyshev_operator(adjacency: CSDBMatrix, mu: float = 0.5) -> CSDBMatrix:
+    """ProNE's shifted modified Laplacian ``M = L - mu*I``.
+
+    With ``A' = I + A`` and ``DA = l1norm(A')``, the operator is
+    ``M = (1 - mu) * I - DA``: the matrix repeatedly applied by the
+    Chebyshev recurrence of the spectral-propagation stage.
+    """
+    if adjacency.n_rows != adjacency.n_cols:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    da = row_l1_normalize(add_identity(adjacency))
+    rows, cols, vals = _to_coo(da)
+    n = adjacency.n_rows
+    diag = np.arange(n, dtype=np.int64)
+    return CSDBMatrix.from_coo(
+        np.concatenate([rows, diag]),
+        np.concatenate([cols, diag]),
+        np.concatenate([-vals, np.full(n, 1.0 - mu)]),
+        adjacency.shape,
+    )

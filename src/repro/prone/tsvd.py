@@ -1,0 +1,74 @@
+"""Randomized truncated SVD (Halko, Martinsson, Tropp 2011).
+
+ProNE's sparse-matrix-factorization stage uses randomized tSVD, whose
+cost is dominated by the sparse-times-dense products — exactly the SpMM
+operations OMeGa accelerates.  The implementation therefore takes the
+products as callables (``matmul(X) = A @ X`` and ``rmatmul(Y) = A.T @ Y``)
+so the caller can route them through the instrumented engine; the small
+dense factorizations (QR, economy SVD) run in numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+MatMul = Callable[[np.ndarray], np.ndarray]
+
+
+def randomized_tsvd(
+    matmul: MatMul,
+    rmatmul: MatMul,
+    shape: tuple[int, int],
+    rank: int,
+    n_oversamples: int = 8,
+    n_power_iterations: int = 2,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Truncated SVD ``A ~= U diag(s) Vt`` via randomized range finding.
+
+    Args:
+        matmul: computes ``A @ X`` for a dense (n_cols, k) X.
+        rmatmul: computes ``A.T @ Y`` for a dense (n_rows, k) Y.
+        shape: (n_rows, n_cols) of A.
+        rank: target rank d.
+        n_oversamples: extra random directions for range accuracy.
+        n_power_iterations: subspace (power) iterations sharpening the
+            spectrum; each costs one matmul + one rmatmul.
+        seed: RNG seed for the Gaussian test matrix.
+
+    Returns:
+        (U, s, Vt) with U (n_rows, rank), s (rank,), Vt (rank, n_cols).
+    """
+    n_rows, n_cols = shape
+    if rank < 1:
+        raise ValueError(f"rank must be >= 1, got {rank}")
+    if rank > min(n_rows, n_cols):
+        raise ValueError(
+            f"rank {rank} exceeds min(shape) = {min(n_rows, n_cols)}"
+        )
+    k = min(rank + n_oversamples, min(n_rows, n_cols))
+    rng = np.random.default_rng(seed)
+    omega = rng.standard_normal((n_cols, k))
+    y = matmul(omega)
+    # Power iterations with intermediate orthonormalization for stability.
+    for _ in range(n_power_iterations):
+        y, _ = np.linalg.qr(y)
+        z = rmatmul(y)
+        z, _ = np.linalg.qr(z)
+        y = matmul(z)
+    q, _ = np.linalg.qr(y)
+    # Project: B = Q^T A  (computed as (A^T Q)^T, one rmatmul).
+    b = rmatmul(q).T
+    u_small, s, vt = np.linalg.svd(b, full_matrices=False)
+    u = q @ u_small
+    return u[:, :rank], s[:rank], vt[:rank]
+
+
+def embedding_from_factors(u: np.ndarray, s: np.ndarray) -> np.ndarray:
+    """ProNE's embedding post-processing: ``U * sqrt(s)``, l2-normalized."""
+    emb = u * np.sqrt(np.maximum(s, 0.0))
+    norms = np.linalg.norm(emb, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return emb / norms

@@ -1,0 +1,78 @@
+"""Shared fixtures: small deterministic graphs and engine configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import OMeGaConfig
+from repro.formats import CSDBMatrix, CSRMatrix, edges_to_csdb, edges_to_csr
+from repro.graphs import chung_lu_edges
+
+
+#: The example graph of Fig. 5(a): 7 nodes, 11 undirected edges, chosen so
+#: the degree sequence matches the paper's (one deg-4 node block, etc.).
+PAPER_EDGES = np.array(
+    [
+        [0, 1],
+        [0, 2],
+        [0, 3],
+        [0, 5],
+        [1, 3],
+        [1, 4],
+        [1, 6],
+        [2, 4],
+        [2, 6],
+        [3, 5],
+        [4, 6],
+    ],
+    dtype=np.int64,
+)
+
+
+@pytest.fixture
+def paper_edges() -> np.ndarray:
+    """Edge list of the running example graph (|V|=7, |E|=11)."""
+    return PAPER_EDGES.copy()
+
+
+@pytest.fixture
+def paper_csr(paper_edges) -> CSRMatrix:
+    """CSR adjacency of the example graph."""
+    return edges_to_csr(paper_edges, 7)
+
+
+@pytest.fixture
+def paper_csdb(paper_edges) -> CSDBMatrix:
+    """CSDB adjacency of the example graph."""
+    return edges_to_csdb(paper_edges, 7)
+
+
+@pytest.fixture(scope="session")
+def skewed_edges() -> np.ndarray:
+    """A 600-node power-law graph (deterministic)."""
+    return chung_lu_edges(600, 4000, gamma=2.2, seed=7)
+
+
+@pytest.fixture(scope="session")
+def skewed_csdb(skewed_edges) -> CSDBMatrix:
+    """CSDB adjacency of the skewed test graph."""
+    return edges_to_csdb(skewed_edges, 600)
+
+
+@pytest.fixture(scope="session")
+def skewed_csr(skewed_edges) -> CSRMatrix:
+    """CSR adjacency of the skewed test graph."""
+    return edges_to_csr(skewed_edges, 600)
+
+
+@pytest.fixture
+def small_config() -> OMeGaConfig:
+    """A fast engine configuration for unit tests."""
+    return OMeGaConfig(n_threads=4, dim=8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test inputs."""
+    return np.random.default_rng(42)

@@ -1,0 +1,59 @@
+"""Unit tests for the benchmark harness helpers."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    format_seconds,
+    format_table,
+    geometric_mean,
+    project_full_scale,
+)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_skips_nans(self):
+        assert geometric_mean([2.0, float("nan"), 8.0]) == pytest.approx(4.0)
+
+    def test_all_invalid(self):
+        assert np.isnan(geometric_mean([float("nan"), -1.0]))
+
+
+class TestProjection:
+    def test_multiplies_by_scale(self):
+        assert project_full_scale(2.0, 512) == 1024.0
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError, match="scale"):
+            project_full_scale(1.0, 0)
+
+
+class TestFormatting:
+    def test_format_seconds_ranges(self):
+        assert format_seconds(2 * 3600) == "2.00 h"
+        assert format_seconds(120) == "2.00 min"
+        assert format_seconds(1.5) == "1.50 s"
+        assert format_seconds(0.002) == "2.00 ms"
+        assert format_seconds(2e-6) == "2.0 us"
+
+    def test_format_seconds_oom(self):
+        assert format_seconds(float("nan")) == "OOM"
+
+    def test_format_table_alignment(self):
+        table = format_table(
+            ["graph", "time"],
+            [["PK", "1.0 s"], ["TW-2010", "3.0 s"]],
+            title="Demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Demo"
+        assert "graph" in lines[1]
+        assert lines[2].startswith("-")
+        assert "TW-2010" in table
+
+    def test_format_table_empty(self):
+        table = format_table(["a"], [])
+        assert "a" in table

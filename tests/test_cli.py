@@ -1,0 +1,95 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs import chung_lu_edges, save_edge_list
+
+
+class TestDatasets:
+    def test_datasets_table(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PK", "LJ", "OR", "TW", "TW-2010", "FR"):
+            assert name in out
+
+
+class TestProbe:
+    def test_probe_output(self, capsys):
+        assert main(["probe"]) == 0
+        out = capsys.readouterr().out
+        assert "read-seq-local" in out
+        assert "seq_local_write_over_seq_remote_write" in out
+
+
+class TestEmbed:
+    def test_embed_named_dataset(self, capsys):
+        assert main(["embed", "PK", "--threads", "4", "--dim", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "SpMM ops" in out
+
+    def test_embed_edge_list_file(self, tmp_path, capsys):
+        path = tmp_path / "graph.txt"
+        save_edge_list(path, chung_lu_edges(100, 500, seed=0))
+        output = tmp_path / "emb.npy"
+        code = main(
+            [
+                "embed",
+                str(path),
+                "--threads",
+                "2",
+                "--dim",
+                "8",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        emb = np.load(output)
+        assert emb.shape[1] == 8
+
+    def test_embed_modes(self, capsys):
+        assert (
+            main(["embed", "PK", "--threads", "4", "--dim", "8", "--mode", "dram"])
+            == 0
+        )
+
+
+class TestSpMM:
+    def test_spmm_breakdown(self, capsys):
+        assert main(["spmm", "PK", "--threads", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "get_dense_nnz" in out
+        assert "Mnnz/s" in out
+
+    def test_spmm_allocation_flag(self, capsys):
+        assert (
+            main(["spmm", "PK", "--threads", "4", "--allocation", "rr"]) == 0
+        )
+
+
+class TestCompare:
+    def test_compare_arms(self, capsys):
+        assert main(["compare", "PK", "--threads", "4", "--dim", "8"]) == 0
+        out = capsys.readouterr().out
+        for arm in ("OMeGa", "OMeGa-DRAM", "OMeGa-PM", "ProNE-DRAM", "ProNE-HM"):
+            assert arm in out
+
+    def test_compare_rejects_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "nope"])
+
+
+class TestCalibrate:
+    def test_calibrate_exits_zero_when_in_band(self, capsys):
+        assert main(["calibrate", "--graph", "PK"]) == 0
+        out = capsys.readouterr().out
+        assert "Calibration" in out
+        assert "NO" not in out.split("measured")[1]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

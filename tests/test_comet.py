@@ -1,0 +1,81 @@
+"""Unit tests for the COMET-style buffer ordering (MariusGNN substrate)."""
+
+import pytest
+
+from repro.baselines.comet import (
+    BufferSchedule,
+    greedy_buffer_order,
+    naive_order_loads,
+    pair_universe,
+    swap_efficiency,
+)
+
+
+class TestPairUniverse:
+    def test_count(self):
+        assert len(pair_universe(4)) == 10  # 4 choose 2 + 4 diagonal
+
+    def test_ordered(self):
+        assert all(i <= j for i, j in pair_universe(5))
+
+
+class TestGreedyOrder:
+    @pytest.mark.parametrize(
+        "partitions,buffer", [(4, 2), (6, 3), (8, 4), (8, 2), (10, 4)]
+    )
+    def test_covers_every_pair_exactly_once(self, partitions, buffer):
+        schedule = greedy_buffer_order(partitions, buffer)
+        assert sorted(schedule.order) == pair_universe(partitions)
+        assert len(set(schedule.order)) == len(schedule.order)
+
+    def test_pairs_only_processed_when_resident(self):
+        """Replay the schedule and check buffer feasibility."""
+        partitions, buffer = 8, 4
+        schedule = greedy_buffer_order(partitions, buffer)
+        # Reconstruct residency: replay with the same greedy rules is
+        # complex, so check a necessary condition instead — between
+        # consecutive pairs, at most `swaps` distinct new partitions
+        # appear overall.
+        seen: set[int] = set()
+        introductions = 0
+        resident_estimate: set[int] = set(range(buffer))
+        for i, j in schedule.order:
+            for part in (i, j):
+                if part not in resident_estimate:
+                    introductions += 1
+                    resident_estimate.add(part)
+                seen.add(part)
+        assert introductions <= schedule.swaps + buffer
+
+    def test_buffer_must_hold_two(self):
+        with pytest.raises(ValueError, match="buffer_size"):
+            greedy_buffer_order(4, 1)
+
+    def test_buffer_larger_than_partitions_rejected(self):
+        with pytest.raises(ValueError, match="n_partitions"):
+            greedy_buffer_order(2, 4)
+
+    def test_full_buffer_needs_no_swaps(self):
+        schedule = greedy_buffer_order(4, 4)
+        assert schedule.swaps == 0
+        assert schedule.total_loads == 4
+
+    def test_total_loads(self):
+        schedule = greedy_buffer_order(8, 4)
+        assert schedule.total_loads == schedule.initial_fill + schedule.swaps
+        assert isinstance(schedule, BufferSchedule)
+
+
+class TestEfficiency:
+    def test_greedy_beats_naive(self):
+        for partitions, buffer in ((8, 4), (10, 4), (12, 6)):
+            assert swap_efficiency(partitions, buffer) > 1.0
+
+    def test_naive_loads_counts(self):
+        # With the full buffer, even naive order loads each partition once.
+        assert naive_order_loads(4, 4) == 4
+
+    def test_larger_buffers_need_fewer_swaps(self):
+        small = greedy_buffer_order(10, 3).swaps
+        large = greedy_buffer_order(10, 6).swaps
+        assert large < small

@@ -1,0 +1,78 @@
+"""Unit tests for the from-scratch DeepWalk/SGNS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deepwalk import DeepWalkEmbedder, DeepWalkParams
+from repro.eval import node_classification_accuracy
+from repro.formats import edges_to_csr
+from repro.graphs import planted_partition_edges
+
+
+@pytest.fixture(scope="module")
+def embedder():
+    return DeepWalkEmbedder(
+        DeepWalkParams(dim=16, walks_per_node=3, walk_length=12, epochs=2)
+    )
+
+
+class TestCorpus:
+    def test_corpus_covers_nodes(self, embedder, skewed_csr):
+        corpus = embedder.build_corpus(skewed_csr)
+        visited = set(np.concatenate(corpus).tolist())
+        connected = int((skewed_csr.row_degrees() > 0).sum())
+        assert len(visited) >= 0.9 * connected
+
+    def test_corpus_walks_bounded(self, embedder, skewed_csr):
+        corpus = embedder.build_corpus(skewed_csr)
+        assert all(
+            2 <= len(walk) <= embedder.params.walk_length + 1
+            for walk in corpus
+        )
+
+    def test_pairs_within_window(self, embedder):
+        walk = np.array([4, 7, 9, 2])
+        pairs = embedder.skipgram_pairs([walk])
+        for center, context in pairs.tolist():
+            pos_c = np.flatnonzero(walk == center)
+            pos_x = np.flatnonzero(walk == context)
+            assert min(
+                abs(int(a) - int(b)) for a in pos_c for b in pos_x
+            ) <= embedder.params.window
+
+    def test_pairs_symmetric(self, embedder):
+        walk = np.array([0, 1, 2])
+        pairs = {tuple(p) for p in embedder.skipgram_pairs([walk]).tolist()}
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_empty_corpus(self, embedder):
+        assert embedder.skipgram_pairs([]).shape == (0, 2)
+
+
+class TestTraining:
+    def test_embedding_shape_and_norm(self, embedder, skewed_csr):
+        emb = embedder.embed(skewed_csr)
+        assert emb.shape == (skewed_csr.n_rows, 16)
+        norms = np.linalg.norm(emb, axis=1)
+        assert np.all(norms <= 1.0 + 1e-9)
+
+    def test_deterministic(self, skewed_csr):
+        params = DeepWalkParams(dim=8, walks_per_node=2, walk_length=8, epochs=1)
+        a = DeepWalkEmbedder(params).embed(skewed_csr)
+        b = DeepWalkEmbedder(params).embed(skewed_csr)
+        assert np.array_equal(a, b)
+
+    def test_recovers_communities(self):
+        edges, labels = planted_partition_edges(
+            300, 4500, n_communities=3, p_in=0.9, seed=4
+        )
+        csr = edges_to_csr(edges, 300)
+        emb = DeepWalkEmbedder(
+            DeepWalkParams(dim=16, walks_per_node=6, walk_length=15, epochs=3)
+        ).embed(csr)
+        accuracy = node_classification_accuracy(emb, labels, seed=0)
+        assert accuracy > 0.55  # chance is 1/3
+
+    def test_training_cost_estimate_positive(self, embedder, skewed_csr):
+        macs = embedder.training_cost_macs(skewed_csr)
+        assert macs > skewed_csr.n_rows

@@ -1,0 +1,160 @@
+"""Unit tests for the embedding-quality evaluation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    LogisticRegressionOVR,
+    link_prediction_auc,
+    node_classification_accuracy,
+    sample_negative_edges,
+    score_edges,
+    train_test_edge_split,
+)
+from repro.eval.linkpred import ranking_auc
+from repro.graphs import planted_partition_edges
+
+
+class TestSplits:
+    def test_split_sizes(self, skewed_edges):
+        train, test = train_test_edge_split(skewed_edges, test_fraction=0.25)
+        assert len(train) + len(test) == len(skewed_edges)
+        assert len(test) == int(len(skewed_edges) * 0.25)
+
+    def test_split_deterministic(self, skewed_edges):
+        a = train_test_edge_split(skewed_edges, seed=1)
+        b = train_test_edge_split(skewed_edges, seed=1)
+        assert np.array_equal(a[0], b[0])
+
+    def test_split_disjoint(self, skewed_edges):
+        train, test = train_test_edge_split(skewed_edges, test_fraction=0.2)
+        train_keys = {tuple(e) for e in train.tolist()}
+        test_keys = {tuple(e) for e in test.tolist()}
+        assert not train_keys & test_keys
+
+    def test_invalid_fraction(self, skewed_edges):
+        with pytest.raises(ValueError, match="test_fraction"):
+            train_test_edge_split(skewed_edges, test_fraction=1.0)
+
+    def test_negative_edges_are_nonedges(self, skewed_edges):
+        negatives = sample_negative_edges(skewed_edges, 600, 100, seed=0)
+        true_keys = {
+            (min(u, v), max(u, v)) for u, v in skewed_edges.tolist()
+        }
+        for u, v in negatives.tolist():
+            assert (min(u, v), max(u, v)) not in true_keys
+            assert u != v
+
+    def test_negative_sampling_count(self, skewed_edges):
+        negatives = sample_negative_edges(skewed_edges, 600, 250, seed=3)
+        assert len(negatives) == 250
+
+    def test_negative_sampling_dense_graph_fails(self):
+        # K4 minus nothing: no negatives exist.
+        complete = np.array(
+            [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]]
+        )
+        with pytest.raises(RuntimeError, match="negative"):
+            sample_negative_edges(complete, 4, 5, seed=0)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert ranking_auc(np.array([2.0, 3.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_inverted_separation(self):
+        assert ranking_auc(np.array([0.0]), np.array([1.0])) == 0.0
+
+    def test_ties_give_half(self):
+        assert ranking_auc(np.ones(5), np.ones(5)) == pytest.approx(0.5)
+
+    def test_random_scores_near_half(self, rng):
+        auc = ranking_auc(rng.standard_normal(500), rng.standard_normal(500))
+        assert 0.4 < auc < 0.6
+
+    def test_score_edges_shape_check(self, rng):
+        with pytest.raises(ValueError, match=r"\(m, 2\)"):
+            score_edges(rng.standard_normal((5, 3)), np.zeros((2, 3)))
+
+    def test_link_prediction_pipeline(self, rng):
+        # Embeddings where edges are pairs of identical vectors separate
+        # perfectly from random negatives.
+        emb = rng.standard_normal((10, 4))
+        emb[1] = emb[0]
+        emb[3] = emb[2]
+        positives = np.array([[0, 1], [2, 3]])
+        negatives = np.array([[0, 5], [2, 7]])
+        auc = link_prediction_auc(emb, positives, negatives)
+        assert auc >= 0.5
+
+
+class TestLogisticRegression:
+    def test_separable_problem(self, rng):
+        x = np.vstack(
+            [rng.normal(-2, 0.3, size=(50, 2)), rng.normal(2, 0.3, size=(50, 2))]
+        )
+        y = np.array([0] * 50 + [1] * 50)
+        model = LogisticRegressionOVR(n_iterations=300).fit(x, y)
+        assert model.accuracy(x, y) > 0.95
+
+    def test_multiclass(self, rng):
+        centers = np.array([[0, 4], [4, 0], [-4, -4]])
+        x = np.vstack(
+            [rng.normal(c, 0.5, size=(40, 2)) for c in centers]
+        )
+        y = np.repeat([0, 1, 2], 40)
+        model = LogisticRegressionOVR(n_iterations=300).fit(x, y)
+        assert model.accuracy(x, y) > 0.9
+
+    def test_predict_before_fit(self, rng):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LogisticRegressionOVR().predict(rng.standard_normal((3, 2)))
+
+    def test_length_mismatch(self, rng):
+        with pytest.raises(ValueError, match="lengths differ"):
+            LogisticRegressionOVR().fit(rng.standard_normal((3, 2)), [0, 1])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError, match="learning_rate"):
+            LogisticRegressionOVR(learning_rate=0.0)
+        with pytest.raises(ValueError, match="n_iterations"):
+            LogisticRegressionOVR(n_iterations=0)
+
+
+class TestEndToEndQuality:
+    def test_embeddings_recover_planted_communities(self):
+        """A full quality probe: ProNE embeddings of a planted-partition
+        graph classify communities far above chance."""
+        from repro.formats import edges_to_csdb
+        from repro.prone import prone_embed
+        from repro.prone.model import ProNEParams
+
+        edges, labels = planted_partition_edges(
+            400, 6000, n_communities=4, p_in=0.85, seed=1
+        )
+        csdb = edges_to_csdb(edges, 400)
+        emb = prone_embed(csdb, ProNEParams(dim=16, order=8))
+        accuracy = node_classification_accuracy(emb, labels, seed=0)
+        assert accuracy > 0.5  # chance is 0.25
+
+    def test_embeddings_predict_held_out_links(self, skewed_edges):
+        from repro.formats import edges_to_csdb
+        from repro.prone import prone_embed
+        from repro.prone.model import ProNEParams
+
+        from repro.prone import prone_smf
+
+        train, test = train_test_edge_split(skewed_edges, 0.15, seed=0)
+        csdb = edges_to_csdb(train, 600)
+        params = ProNEParams(dim=16, order=8)
+        emb = prone_embed(csdb, params)
+        negatives = sample_negative_edges(skewed_edges, 600, len(test), seed=0)
+        auc = link_prediction_auc(emb, test, negatives)
+        # A Chung-Lu graph carries little structure beyond degree, so the
+        # bar is modest — but clearly above chance, and spectral
+        # propagation must improve on the raw SMF bootstrap.
+        assert auc > 0.55
+        auc_smf = link_prediction_auc(
+            prone_smf(csdb, params), test, negatives
+        )
+        assert auc > auc_smf

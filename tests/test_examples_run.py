@@ -1,0 +1,35 @@
+"""Every shipped example must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(example):
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert completed.stdout.strip()  # every example narrates its result
+
+
+def test_expected_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "link_prediction",
+        "numa_placement_study",
+        "scalability_sweep",
+        "prone_vs_deepwalk",
+        "custom_graph_pipeline",
+        "crash_safe_checkpointing",
+    } <= names

@@ -1,0 +1,121 @@
+"""Tests for the extension substrates: natural-order RR, CXL tier."""
+
+import numpy as np
+import pytest
+
+from repro.core import AllocationScheme, OMeGaConfig, SpMMEngine, make_allocator
+from repro.core.eata import NaturalOrderRoundRobinAllocator
+from repro.memsim.devices import cxl_spec, pm_spec
+from repro.memsim.numa import cxl_testbed, paper_testbed
+from repro.memsim import MemoryKind
+
+
+class TestNaturalOrderAllocator:
+    def test_counts_cover_matrix(self, skewed_csdb):
+        partitions = NaturalOrderRoundRobinAllocator().allocate(skewed_csdb, 6)
+        assert len(partitions) == 6
+        assert sum(p.nnz_count for p in partitions) == skewed_csdb.nnz
+        assert sum(p.n_rows for p in partitions) == skewed_csdb.n_rows
+
+    def test_partitions_marked_non_contiguous(self, skewed_csdb):
+        partitions = NaturalOrderRoundRobinAllocator().allocate(skewed_csdb, 4)
+        assert all(not p.contiguous for p in partitions)
+
+    def test_balanced_on_shuffled_graphs(self, skewed_csdb):
+        """Shuffled node ids mean natural chunks carry similar nnz."""
+        partitions = NaturalOrderRoundRobinAllocator().allocate(skewed_csdb, 6)
+        loads = np.array([p.nnz_count for p in partitions], dtype=float)
+        assert loads.std() / loads.mean() < 0.5
+
+    def test_chunks_are_scattered(self, skewed_csdb):
+        """Every natural chunk inherits the graph's full degree mix."""
+        partitions = NaturalOrderRoundRobinAllocator().allocate(skewed_csdb, 6)
+        assert all(p.z_entropy > 0.5 for p in partitions)
+
+    def test_factory(self):
+        assert isinstance(
+            make_allocator(AllocationScheme.NATURAL_ROUND_ROBIN),
+            NaturalOrderRoundRobinAllocator,
+        )
+
+    def test_engine_computes_correct_result(self, skewed_csdb, rng):
+        dense = rng.standard_normal((skewed_csdb.n_cols, 8))
+        engine = SpMMEngine(
+            OMeGaConfig(
+                n_threads=4,
+                dim=8,
+                allocation=AllocationScheme.NATURAL_ROUND_ROBIN,
+            )
+        )
+        result = engine.multiply(skewed_csdb, dense)
+        assert np.allclose(result.output, skewed_csdb.spmm(dense))
+
+    def test_slower_than_eata_but_faster_than_sorted_rr(self, skewed_csdb, rng):
+        dense = rng.standard_normal((skewed_csdb.n_cols, 8))
+
+        def run(scheme):
+            engine = SpMMEngine(
+                OMeGaConfig(n_threads=12, dim=8, allocation=scheme)
+            )
+            return engine.multiply(skewed_csdb, dense, compute=False).sim_seconds
+
+        eata = run(AllocationScheme.ENTROPY_AWARE)
+        natural = run(AllocationScheme.NATURAL_ROUND_ROBIN)
+        sorted_rr = run(AllocationScheme.ROUND_ROBIN)
+        assert eata < natural < sorted_rr
+
+
+class TestCXL:
+    def test_cxl_spec_properties(self):
+        cxl = cxl_spec()
+        # CXL's scattered reads degrade less than Optane's.
+        assert cxl.scatter_beta_scale > pm_spec().scatter_beta_scale
+        # Latency-wise CXL sits between DRAM and Optane: the link adds
+        # ~170 ns over DRAM but avoids Optane's slow media.
+        from repro.memsim import Locality, Operation
+
+        assert cxl.latency(
+            Operation.READ, Locality.LOCAL
+        ) < pm_spec().latency(Operation.READ, Locality.LOCAL)
+
+    def test_cxl_testbed_swaps_capacity_tier(self):
+        topo = cxl_testbed()
+        assert "CXL" in topo.device(MemoryKind.PM).name
+        assert topo.device(MemoryKind.DRAM).name == paper_testbed().device(
+            MemoryKind.DRAM
+        ).name
+
+    def test_engine_runs_on_cxl(self, skewed_csdb, rng):
+        dense = rng.standard_normal((skewed_csdb.n_cols, 8))
+        engine = SpMMEngine(
+            OMeGaConfig(n_threads=8, dim=8, topology=cxl_testbed())
+        )
+        result = engine.multiply(skewed_csdb, dense)
+        assert np.allclose(result.output, skewed_csdb.spmm(dense))
+        assert result.sim_seconds > 0
+
+
+class TestKernelSlowdown:
+    def test_slowdown_scales_dense_cost(self, skewed_csdb, rng):
+        dense = rng.standard_normal((skewed_csdb.n_cols, 8))
+
+        def run(slowdown):
+            engine = SpMMEngine(
+                OMeGaConfig(n_threads=4, dim=8, kernel_slowdown=slowdown)
+            )
+            return engine.multiply(skewed_csdb, dense, compute=False)
+
+        base = run(1.0)
+        slow = run(3.0)
+        assert slow.trace.seconds("get_dense_nnz") == pytest.approx(
+            3.0 * base.trace.seconds("get_dense_nnz")
+        )
+        assert slow.sim_seconds > base.sim_seconds
+
+    def test_invalid_slowdown(self):
+        with pytest.raises(ValueError, match="kernel_slowdown"):
+            OMeGaConfig(kernel_slowdown=0.5)
+
+    def test_invalid_graph_format(self):
+        with pytest.raises(ValueError, match="graph_format"):
+            OMeGaConfig(graph_format="coo")

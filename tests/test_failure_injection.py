@@ -1,0 +1,137 @@
+"""Failure-injection and degenerate-input tests across the stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AllocationScheme,
+    MemoryMode,
+    OMeGaConfig,
+    OMeGaEmbedder,
+    SpMMEngine,
+)
+from repro.formats import CSDBMatrix, edges_to_csdb
+from repro.memsim import CapacityError
+
+
+class TestDegenerateGraphs:
+    def test_empty_matrix_spmm(self, rng):
+        empty = CSDBMatrix.from_coo([], [], [], (10, 10))
+        engine = SpMMEngine(OMeGaConfig(n_threads=4, dim=4))
+        result = engine.multiply(empty, rng.standard_normal((10, 4)))
+        assert np.allclose(result.output, 0.0)
+        assert np.isfinite(result.sim_seconds)
+
+    def test_single_edge_graph(self, rng):
+        csdb = edges_to_csdb(np.array([[0, 1]]), 16)
+        engine = SpMMEngine(OMeGaConfig(n_threads=8, dim=4))
+        dense = rng.standard_normal((16, 4))
+        result = engine.multiply(csdb, dense)
+        assert np.allclose(result.output, csdb.spmm(dense))
+        assert result.sim_seconds > 0
+
+    def test_star_graph_extreme_skew(self, rng):
+        # One hub connected to everything: the worst case for RR.
+        hub = np.stack(
+            [np.zeros(99, dtype=np.int64), np.arange(1, 100)], axis=1
+        )
+        csdb = edges_to_csdb(hub, 100)
+        dense = rng.standard_normal((100, 4))
+        for scheme in AllocationScheme:
+            engine = SpMMEngine(
+                OMeGaConfig(n_threads=8, dim=4, allocation=scheme)
+            )
+            result = engine.multiply(csdb, dense)
+            assert np.allclose(result.output, csdb.spmm(dense))
+
+    def test_graph_with_isolated_nodes_embeds(self):
+        edges = np.array([[0, 1], [1, 2], [2, 3]] * 20)
+        edges = np.unique(edges, axis=0)
+        # 60 nodes, but only 4 connected.
+        embedder = OMeGaEmbedder(OMeGaConfig(n_threads=2, dim=2))
+        result = embedder.embed_edges(edges, 60)
+        assert result.embedding.shape == (60, 2)
+        assert np.all(np.isfinite(result.embedding))
+
+    def test_dim_exceeding_nodes_rejected(self, paper_edges):
+        embedder = OMeGaEmbedder(OMeGaConfig(n_threads=2, dim=32))
+        with pytest.raises(ValueError, match="exceeds the node count"):
+            embedder.embed_edges(paper_edges, 7)
+
+    def test_more_threads_than_rows(self, paper_csdb, rng):
+        engine = SpMMEngine(OMeGaConfig(n_threads=32, dim=4))
+        dense = rng.standard_normal((7, 4))
+        result = engine.multiply(paper_csdb, dense)
+        assert np.allclose(result.output, paper_csdb.spmm(dense))
+        assert len(result.partitions) == 32
+
+    def test_single_thread(self, skewed_csdb, rng):
+        engine = SpMMEngine(OMeGaConfig(n_threads=1, dim=4))
+        dense = rng.standard_normal((skewed_csdb.n_cols, 4))
+        result = engine.multiply(skewed_csdb, dense)
+        assert np.allclose(result.output, skewed_csdb.spmm(dense))
+
+
+class TestCapacityFailures:
+    def test_dram_oom_message_mentions_capacity(self, skewed_csdb, rng):
+        engine = SpMMEngine(
+            OMeGaConfig(
+                n_threads=4,
+                dim=8,
+                memory_mode=MemoryMode.DRAM_ONLY,
+                capacity_scale=10**9,
+            )
+        )
+        with pytest.raises(CapacityError, match="GiB"):
+            engine.multiply(skewed_csdb, rng.standard_normal((600, 8)))
+
+    def test_oom_raised_before_compute(self, skewed_csdb, rng):
+        """The capacity check fires before any numerics run."""
+        engine = SpMMEngine(
+            OMeGaConfig(
+                n_threads=4,
+                dim=8,
+                memory_mode=MemoryMode.DRAM_ONLY,
+                capacity_scale=10**9,
+            )
+        )
+        with pytest.raises(CapacityError):
+            engine.multiply(
+                skewed_csdb, rng.standard_normal((600, 8)), compute=False
+            )
+
+    def test_pipeline_oom_leaves_embedder_reusable(self, skewed_edges):
+        embedder = OMeGaEmbedder(
+            OMeGaConfig(
+                n_threads=2,
+                dim=4,
+                memory_mode=MemoryMode.DRAM_ONLY,
+                capacity_scale=10**9,
+            )
+        )
+        with pytest.raises(CapacityError):
+            embedder.embed_edges(skewed_edges, 600)
+        # A subsequent heterogeneous run on a fresh embedder succeeds.
+        ok = OMeGaEmbedder(
+            OMeGaConfig(n_threads=2, dim=4, capacity_scale=10**9)
+        ).embed_edges(skewed_edges, 600)
+        assert ok.sim_seconds > 0
+
+
+class TestWeightedGraphs:
+    def test_weighted_spmm_through_engine(self, rng):
+        rows = rng.integers(0, 80, size=400)
+        cols = rng.integers(0, 80, size=400)
+        vals = rng.uniform(0.1, 5.0, size=400)
+        csdb = CSDBMatrix.from_coo(rows, cols, vals, (80, 80))
+        dense = rng.standard_normal((80, 6))
+        engine = SpMMEngine(OMeGaConfig(n_threads=6, dim=6))
+        result = engine.multiply(csdb, dense)
+        assert np.allclose(result.output, csdb.to_dense() @ dense)
+
+    def test_negative_weights(self, rng):
+        csdb = CSDBMatrix.from_coo([0, 1], [1, 0], [-2.0, 3.0], (4, 4))
+        dense = rng.standard_normal((4, 3))
+        engine = SpMMEngine(OMeGaConfig(n_threads=2, dim=3))
+        result = engine.multiply(csdb, dense)
+        assert np.allclose(result.output, csdb.to_dense() @ dense)

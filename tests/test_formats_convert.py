@@ -1,0 +1,77 @@
+"""Unit tests for format conversions and scipy interop."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.formats import (
+    csdb_from_scipy,
+    csdb_to_scipy,
+    csr_from_scipy,
+    csr_to_scipy,
+    edges_to_csdb,
+    edges_to_csr,
+)
+
+
+class TestEdgeConversions:
+    def test_undirected_mirrors_edges(self, paper_edges):
+        csr = edges_to_csr(paper_edges, 7)
+        dense = csr.to_dense()
+        assert np.allclose(dense, dense.T)
+        assert csr.nnz == 2 * len(paper_edges)
+
+    def test_directed(self, paper_edges):
+        csr = edges_to_csr(paper_edges, 7, undirected=False)
+        assert csr.nnz == len(paper_edges)
+
+    def test_weighted(self, paper_edges):
+        weights = np.arange(1.0, len(paper_edges) + 1)
+        csr = edges_to_csr(paper_edges, 7, weights=weights)
+        u, v = paper_edges[0]
+        assert csr.to_dense()[u, v] == 1.0
+        u, v = paper_edges[-1]
+        assert csr.to_dense()[u, v] == len(paper_edges)
+
+    def test_weights_length_mismatch(self, paper_edges):
+        with pytest.raises(ValueError, match="weights"):
+            edges_to_csr(paper_edges, 7, weights=np.ones(3))
+
+    def test_bad_edge_shape(self):
+        with pytest.raises(ValueError, match=r"\(m, 2\)"):
+            edges_to_csr(np.zeros((3, 3), dtype=np.int64), 5)
+
+    def test_csdb_equals_csr_route(self, paper_edges):
+        assert np.allclose(
+            edges_to_csdb(paper_edges, 7).to_dense(),
+            edges_to_csr(paper_edges, 7).to_dense(),
+        )
+
+
+class TestScipyInterop:
+    def test_csr_roundtrip(self, skewed_csr):
+        back = csr_from_scipy(csr_to_scipy(skewed_csr))
+        assert np.allclose(back.to_dense(), skewed_csr.to_dense())
+
+    def test_csdb_roundtrip(self, skewed_csdb):
+        back = csdb_from_scipy(csdb_to_scipy(skewed_csdb))
+        assert np.allclose(back.to_dense(), skewed_csdb.to_dense())
+
+    def test_import_from_scipy_coo(self, rng):
+        scipy_mat = sp.random(40, 30, density=0.1, random_state=7, format="coo")
+        ours = csr_from_scipy(scipy_mat)
+        assert np.allclose(ours.to_dense(), scipy_mat.toarray())
+
+    def test_spmm_agrees_with_scipy(self, skewed_csdb, rng):
+        scipy_mat = csdb_to_scipy(skewed_csdb)
+        dense = rng.standard_normal((skewed_csdb.n_cols, 5))
+        assert np.allclose(skewed_csdb.spmm(dense), scipy_mat @ dense)
+
+    def test_scipy_duplicates_summed(self):
+        coo = sp.coo_matrix(
+            (np.array([1.0, 2.0]), (np.array([0, 0]), np.array([1, 1]))),
+            shape=(2, 2),
+        )
+        ours = csr_from_scipy(coo)
+        assert ours.nnz == 1
+        assert ours.to_dense()[0, 1] == 3.0

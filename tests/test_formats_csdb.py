@@ -1,0 +1,198 @@
+"""Unit tests for the CSDB format (§III-A), including the paper's example."""
+
+import numpy as np
+import pytest
+
+from repro.formats import CSDBMatrix, CSRMatrix
+
+
+class TestPaperExample:
+    """The worked example of Fig. 5: |V|=7, |E|=11."""
+
+    def test_block_structure(self, paper_csdb):
+        # Degree sequence: two deg-4 nodes, four deg-3, one deg-2 (the
+        # fixture graph); deg_list is strictly descending.
+        assert np.all(np.diff(paper_csdb.deg_list) < 0)
+        assert paper_csdb.deg_ind[0] == 0
+        assert paper_csdb.deg_ind[-1] == 7
+        block_sizes = np.diff(paper_csdb.deg_ind)
+        assert int((block_sizes * paper_csdb.deg_list).sum()) == 22  # 2|E|
+
+    def test_neighbors_of_v1(self, paper_csdb):
+        cols, vals = paper_csdb.neighbors(1)
+        assert sorted(cols.tolist()) == [0, 3, 4, 6]
+        assert np.all(vals == 1.0)
+
+    def test_neighbors_every_node_matches_csr(self, paper_csdb, paper_csr):
+        for node in range(7):
+            csdb_cols, _ = paper_csdb.neighbors(node)
+            csr_cols, _ = paper_csr.row(node)
+            assert sorted(csdb_cols.tolist()) == sorted(csr_cols.tolist())
+
+    def test_row_ptr_eq1(self, paper_csdb):
+        # Eq. 1: the pointer of each CSDB row equals the prefix sum of
+        # preceding degrees.
+        degrees = paper_csdb.row_degrees()
+        expected = 0
+        for row in range(paper_csdb.n_rows):
+            assert paper_csdb.row_ptr(row) == expected
+            expected += degrees[row]
+        assert paper_csdb.row_ptr(paper_csdb.n_rows) == paper_csdb.nnz
+
+    def test_index_is_compressed(self, paper_csdb, paper_csr):
+        # O(|distinct degrees|) beats O(|V|) even on 7 nodes here.
+        assert paper_csdb.index_bytes() < paper_csr.index_bytes()
+
+
+class TestStructure:
+    def test_from_csr_roundtrip(self, skewed_csr):
+        csdb = CSDBMatrix.from_csr(skewed_csr)
+        assert np.allclose(csdb.to_dense(), skewed_csr.to_dense())
+
+    def test_to_csr_roundtrip(self, skewed_csdb):
+        back = skewed_csdb.to_csr()
+        assert np.allclose(back.to_dense(), skewed_csdb.to_dense())
+
+    def test_perm_is_permutation(self, skewed_csdb):
+        assert sorted(skewed_csdb.perm.tolist()) == list(
+            range(skewed_csdb.n_rows)
+        )
+
+    def test_inv_perm(self, skewed_csdb):
+        assert np.array_equal(
+            skewed_csdb.perm[skewed_csdb.inv_perm],
+            np.arange(skewed_csdb.n_rows),
+        )
+
+    def test_rows_sorted_by_descending_degree(self, skewed_csdb):
+        degrees = skewed_csdb.row_degrees()
+        assert np.all(np.diff(degrees) <= 0)
+
+    def test_nnz_prefix(self, skewed_csdb):
+        prefix = skewed_csdb.nnz_prefix()
+        assert prefix[0] == 0
+        assert prefix[-1] == skewed_csdb.nnz
+        assert np.all(np.diff(prefix) == skewed_csdb.row_degrees())
+
+    def test_block_of_row_bounds(self, paper_csdb):
+        with pytest.raises(IndexError):
+            paper_csdb.block_of_row(7)
+        with pytest.raises(IndexError):
+            paper_csdb.block_of_row(-1)
+
+    def test_empty_matrix(self):
+        empty = CSDBMatrix.from_coo([], [], [], (5, 5))
+        assert empty.nnz == 0
+        assert empty.n_blocks == 1  # the all-zero degree block
+        assert np.allclose(empty.to_dense(), 0.0)
+
+    def test_zero_degree_rows_present(self):
+        # Node 3 has no edges: it must land in a trailing degree-0 block.
+        m = CSDBMatrix.from_coo([0, 1], [1, 0], [1.0, 1.0], (4, 4))
+        assert 0 in m.deg_list
+        assert m.degree_of_row(m.n_rows - 1) == 0
+
+    def test_validation_rejects_bad_deg_list(self):
+        with pytest.raises(ValueError, match="descending"):
+            CSDBMatrix(
+                deg_list=[1, 2],
+                deg_ind=[0, 1, 2],
+                col_list=[0, 0, 1],
+                nnz_list=[1.0, 1.0, 1.0],
+                perm=[0, 1],
+                shape=(2, 2),
+            )
+
+    def test_validation_rejects_inconsistent_nnz(self):
+        with pytest.raises(ValueError, match="block structure"):
+            CSDBMatrix(
+                deg_list=[2],
+                deg_ind=[0, 1],
+                col_list=[0],
+                nnz_list=[1.0],
+                perm=[0],
+                shape=(1, 2),
+            )
+
+
+class TestAlgebra:
+    def test_spmm_matches_dense(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 6))
+        assert np.allclose(skewed_csdb.spmm(b), skewed_csdb.to_dense() @ b)
+
+    def test_spmm_chunked_matches_unchunked(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 4))
+        assert np.allclose(
+            skewed_csdb.spmm(b, chunk_rows=37), skewed_csdb.spmm(b)
+        )
+
+    def test_spmm_rows_partition_consistency(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 3))
+        full = skewed_csdb.spmm(b)
+        mid = skewed_csdb.n_rows // 3
+        top = skewed_csdb.spmm_rows(b, 0, mid)
+        bottom = skewed_csdb.spmm_rows(b, mid, skewed_csdb.n_rows)
+        assert np.allclose(full[skewed_csdb.perm[:mid]], top)
+        assert np.allclose(full[skewed_csdb.perm[mid:]], bottom)
+
+    def test_spmm_rows_empty_range(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 3))
+        out = skewed_csdb.spmm_rows(b, 5, 5)
+        assert out.shape == (0, 3)
+
+    def test_spmm_rows_invalid_range(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 3))
+        with pytest.raises(ValueError, match="invalid row range"):
+            skewed_csdb.spmm_rows(b, 5, 3)
+
+    def test_spmm_vector(self, paper_csdb, rng):
+        v = rng.standard_normal(7)
+        assert np.allclose(paper_csdb.spmm(v), paper_csdb.to_dense() @ v)
+
+    def test_spmv(self, paper_csdb, rng):
+        v = rng.standard_normal(7)
+        assert np.allclose(paper_csdb.spmv(v), paper_csdb.to_dense() @ v)
+
+    def test_spmm_dimension_mismatch(self, paper_csdb, rng):
+        with pytest.raises(ValueError, match="dimension mismatch"):
+            paper_csdb.spmm(rng.standard_normal((9, 2)))
+
+    def test_transpose(self, skewed_csdb):
+        assert np.allclose(
+            skewed_csdb.transpose().to_dense(), skewed_csdb.to_dense().T
+        )
+
+    def test_transpose_rectangular(self):
+        m = CSDBMatrix.from_coo([0, 0, 1], [2, 3, 0], [1.0, 2.0, 3.0], (2, 4))
+        assert np.allclose(m.transpose().to_dense(), m.to_dense().T)
+
+    def test_add(self, paper_csdb):
+        assert np.allclose(
+            (paper_csdb + paper_csdb).to_dense(), 2 * paper_csdb.to_dense()
+        )
+
+    def test_sub_to_zero(self, paper_csdb):
+        assert np.allclose((paper_csdb - paper_csdb).to_dense(), 0.0)
+
+    def test_add_shape_mismatch(self, paper_csdb):
+        other = CSDBMatrix.from_coo([0], [0], [1.0], (3, 3))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            paper_csdb + other
+
+    def test_scale_preserves_structure(self, paper_csdb):
+        scaled = paper_csdb.scale(3.0)
+        assert np.array_equal(scaled.deg_list, paper_csdb.deg_list)
+        assert np.array_equal(scaled.perm, paper_csdb.perm)
+        assert np.allclose(scaled.to_dense(), 3 * paper_csdb.to_dense())
+
+    def test_col_degrees(self, paper_csdb, paper_csr):
+        assert np.array_equal(paper_csdb.col_degrees(), paper_csr.col_degrees())
+
+    def test_weighted_matrix(self, rng):
+        rows = rng.integers(0, 50, size=200)
+        cols = rng.integers(0, 50, size=200)
+        vals = rng.standard_normal(200)
+        csdb = CSDBMatrix.from_coo(rows, cols, vals, (50, 50))
+        csr = CSRMatrix.from_coo(rows, cols, vals, (50, 50))
+        b = rng.standard_normal((50, 4))
+        assert np.allclose(csdb.spmm(b), csr.spmm(b))

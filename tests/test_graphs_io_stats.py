@@ -1,0 +1,89 @@
+"""Unit tests for edge-list I/O and graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    degree_histogram,
+    graph_stats,
+    load_edge_list,
+    save_edge_list,
+)
+from repro.graphs.stats import (
+    degrees_from_edges,
+    gini_coefficient,
+    shannon_entropy,
+)
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path, skewed_edges):
+        path = tmp_path / "graph.txt"
+        save_edge_list(path, skewed_edges, header="test graph")
+        edges, n_nodes = load_edge_list(path)
+        assert n_nodes == len(np.unique(skewed_edges))
+        assert len(edges) == len(skewed_edges)
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# SNAP header\n# more\n0\t1\n1\t2\n")
+        edges, n_nodes = load_edge_list(path)
+        assert n_nodes == 3
+        assert len(edges) == 2
+
+    def test_node_id_compaction(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("100\t200\n200\t5\n")
+        edges, n_nodes = load_edge_list(path)
+        assert n_nodes == 3
+        assert edges.max() == 2
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# only comments\n")
+        edges, n_nodes = load_edge_list(path)
+        assert len(edges) == 0
+        assert n_nodes == 0
+
+    def test_save_rejects_bad_shape(self, tmp_path):
+        with pytest.raises(ValueError, match=r"\(m, 2\)"):
+            save_edge_list(tmp_path / "x.txt", np.zeros((3, 3)))
+
+
+class TestStats:
+    def test_degrees_from_edges(self, paper_edges):
+        degrees = degrees_from_edges(paper_edges, 7)
+        assert degrees.sum() == 22
+        assert degrees[0] == 4
+
+    def test_degree_histogram(self, paper_edges):
+        values, counts = degree_histogram(degrees_from_edges(paper_edges, 7))
+        assert counts.sum() == 7
+        assert set(values.tolist()) == {2, 3, 4}
+
+    def test_shannon_entropy_uniform_is_log_n(self):
+        h = shannon_entropy(np.ones(16))
+        assert h == pytest.approx(np.log(16))
+
+    def test_shannon_entropy_point_mass_is_zero(self):
+        assert shannon_entropy(np.array([0.0, 5.0, 0.0])) == 0.0
+
+    def test_shannon_entropy_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            shannon_entropy(np.array([-1.0]))
+
+    def test_gini_uniform_is_zero(self):
+        assert gini_coefficient(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 1.0
+        assert gini_coefficient(values) > 0.9
+
+    def test_graph_stats_fields(self, skewed_edges):
+        stats = graph_stats(skewed_edges, 600)
+        assert stats.n_nodes == 600
+        assert stats.n_edges == len(skewed_edges)
+        assert 0.0 <= stats.normalized_entropy <= 1.0
+        assert stats.max_degree >= stats.mean_degree
+        assert stats.n_distinct_degrees <= stats.max_degree + 1

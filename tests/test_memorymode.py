@@ -1,0 +1,95 @@
+"""Unit tests for the Memory-Mode (DRAM-as-cache) substrate."""
+
+import numpy as np
+import pytest
+
+from repro.memsim import CostModel, dram_spec, pm_spec
+from repro.memsim.memorymode import (
+    DirectMappedCache,
+    MemoryModeModel,
+    sample_dense_access_addresses,
+)
+
+
+class TestDirectMappedCache:
+    def test_cold_miss_then_hit(self):
+        cache = DirectMappedCache(capacity_bytes=8 * 4096)
+        assert cache.access_addresses(np.array([0])) == 0.0
+        assert cache.access_addresses(np.array([0])) == 1.0
+
+    def test_same_block_hits(self):
+        cache = DirectMappedCache(capacity_bytes=8 * 4096, block_bytes=4096)
+        rate = cache.access_addresses(np.array([0, 100, 4000, 4095]))
+        assert rate == pytest.approx(3 / 4)
+
+    def test_conflict_eviction(self):
+        # Two blocks mapping to the same set alternate: zero hits.
+        cache = DirectMappedCache(capacity_bytes=2 * 4096, block_bytes=4096)
+        trace = np.array([0, 2 * 4096, 0, 2 * 4096], dtype=np.int64)
+        assert cache.access_addresses(trace) == 0.0
+
+    def test_working_set_fits(self):
+        cache = DirectMappedCache(capacity_bytes=64 * 4096)
+        trace = np.tile(np.arange(16) * 4096, 10)
+        rate = cache.access_addresses(trace)
+        assert rate == pytest.approx((160 - 16) / 160)
+
+    def test_cumulative_hit_rate_and_reset(self):
+        cache = DirectMappedCache(capacity_bytes=4 * 4096)
+        cache.access_addresses(np.array([0, 0]))
+        assert cache.hit_rate == 0.5
+        cache.reset()
+        assert cache.hit_rate == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            DirectMappedCache(0)
+        cache = DirectMappedCache(4096)
+        with pytest.raises(ValueError, match="non-negative"):
+            cache.access_addresses(np.array([-1]))
+
+
+class TestMemoryModeModel:
+    @pytest.fixture
+    def model(self):
+        return MemoryModeModel(
+            dram=dram_spec(), pm=pm_spec(), cost_model=CostModel()
+        )
+
+    def test_all_hits_equals_dram_time(self, model):
+        t = model.access_time(2**20, hit_rate=1.0, z_entropy=0.8)
+        dram_only = model.cost_model.entropy_access_time(
+            dram_spec(), __import__("repro.memsim", fromlist=["Locality"]).Locality.LOCAL, 2**20, 0.8
+        )
+        assert t == pytest.approx(dram_only)
+
+    def test_misses_amplify(self, model):
+        hit_heavy = model.access_time(2**20, hit_rate=0.95, z_entropy=0.8)
+        miss_heavy = model.access_time(2**20, hit_rate=0.3, z_entropy=0.8)
+        assert miss_heavy > 5 * hit_heavy
+
+    def test_monotone_in_hit_rate(self, model):
+        times = [
+            model.access_time(2**20, hit_rate=h, z_entropy=0.8)
+            for h in (0.0, 0.3, 0.6, 0.9, 1.0)
+        ]
+        assert all(t2 < t1 for t1, t2 in zip(times, times[1:]))
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError, match="hit_rate"):
+            model.access_time(100, hit_rate=1.5, z_entropy=0.5)
+        with pytest.raises(ValueError, match="nbytes"):
+            model.access_time(-1, hit_rate=0.5, z_entropy=0.5)
+
+
+class TestAddressSampling:
+    def test_addresses_are_row_offsets(self):
+        cols = np.array([0, 3, 7])
+        addresses = sample_dense_access_addresses(cols, dense_cols=16)
+        assert np.array_equal(addresses, cols * 16 * 8)
+
+    def test_subsampling_bounds_length(self, skewed_csdb):
+        addresses = sample_dense_access_addresses(
+            skewed_csdb.col_list, dense_cols=8, max_samples=100
+        )
+        assert len(addresses) == 100

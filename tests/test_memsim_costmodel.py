@@ -1,0 +1,180 @@
+"""Unit tests for the cost model, including the Eq. 5 entropy path."""
+
+import pytest
+
+from repro.memsim import (
+    AccessPattern,
+    CostModel,
+    Locality,
+    Operation,
+    dram_spec,
+    pm_spec,
+    ssd_spec,
+)
+
+
+@pytest.fixture
+def model():
+    return CostModel()
+
+
+class TestAccessTime:
+    def test_zero_bytes_is_free(self, model):
+        assert (
+            model.access_time(
+                dram_spec(),
+                Operation.READ,
+                AccessPattern.SEQUENTIAL,
+                Locality.LOCAL,
+                0,
+            )
+            == 0.0
+        )
+
+    def test_negative_bytes_rejected(self, model):
+        with pytest.raises(ValueError, match="nbytes"):
+            model.access_time(
+                dram_spec(),
+                Operation.READ,
+                AccessPattern.SEQUENTIAL,
+                Locality.LOCAL,
+                -1,
+            )
+
+    def test_sequential_scales_linearly(self, model):
+        args = (
+            dram_spec(),
+            Operation.READ,
+            AccessPattern.SEQUENTIAL,
+            Locality.LOCAL,
+        )
+        t1 = model.access_time(*args, 2**24)
+        t2 = model.access_time(*args, 2**25)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_random_slower_than_sequential(self, model):
+        for device in (dram_spec(), pm_spec()):
+            seq = model.access_time(
+                device,
+                Operation.READ,
+                AccessPattern.SEQUENTIAL,
+                Locality.LOCAL,
+                2**24,
+            )
+            rand = model.access_time(
+                device,
+                Operation.READ,
+                AccessPattern.RANDOM,
+                Locality.LOCAL,
+                2**24,
+            )
+            assert rand > seq
+
+    def test_remote_write_slower_than_local(self, model):
+        local = model.access_time(
+            pm_spec(),
+            Operation.WRITE,
+            AccessPattern.SEQUENTIAL,
+            Locality.LOCAL,
+            2**24,
+        )
+        remote = model.access_time(
+            pm_spec(),
+            Operation.WRITE,
+            AccessPattern.SEQUENTIAL,
+            Locality.REMOTE,
+            2**24,
+        )
+        assert remote > 2.0 * local
+
+    def test_sequential_not_latency_bound(self, model):
+        # A large sequential SSD scan must be bandwidth-bound: per-burst
+        # latency would make it ~30x slower.
+        nbytes = 2**28
+        t = model.access_time(
+            ssd_spec(),
+            Operation.READ,
+            AccessPattern.SEQUENTIAL,
+            Locality.LOCAL,
+            nbytes,
+        )
+        key = (Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL)
+        bandwidth_bound = nbytes / ssd_spec().per_thread_bandwidth(*key)
+        assert t == pytest.approx(bandwidth_bound, rel=0.05)
+
+    def test_small_random_access_latency_bound(self, model):
+        # A tiny random PM read costs at least one device latency.
+        t = model.access_time(
+            pm_spec(),
+            Operation.READ,
+            AccessPattern.RANDOM,
+            Locality.LOCAL,
+            8,
+        )
+        assert t >= pm_spec().latency(Operation.READ, Locality.LOCAL)
+
+    def test_contention_slows_each_thread(self, model):
+        args = (
+            pm_spec(),
+            Operation.READ,
+            AccessPattern.SEQUENTIAL,
+            Locality.LOCAL,
+            2**24,
+        )
+        alone = model.access_time(*args, threads_sharing=1)
+        crowded = model.access_time(*args, threads_sharing=16)
+        assert crowded > alone
+
+
+class TestEntropyPath:
+    def test_z_zero_matches_sequential_bandwidth(self, model):
+        pm = pm_spec()
+        bw = model.entropy_interpolated_bandwidth(pm, Locality.LOCAL, 0.0)
+        seq = pm.per_thread_bandwidth(
+            Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL, 1
+        )
+        assert bw == pytest.approx(seq)
+
+    def test_z_one_matches_scattered_floor(self, model):
+        pm = pm_spec()
+        bw = model.entropy_interpolated_bandwidth(pm, Locality.LOCAL, 1.0)
+        seq = pm.per_thread_bandwidth(
+            Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL, 1
+        )
+        assert bw == pytest.approx(seq * model.beta(pm, Locality.LOCAL))
+
+    def test_bandwidth_monotone_in_entropy(self, model):
+        pm = pm_spec()
+        values = [
+            model.entropy_interpolated_bandwidth(pm, Locality.LOCAL, z)
+            for z in (0.0, 0.25, 0.5, 0.75, 1.0)
+        ]
+        assert all(b1 > b2 for b1, b2 in zip(values, values[1:]))
+
+    def test_invalid_z_rejected(self, model):
+        with pytest.raises(ValueError, match="z_entropy"):
+            model.entropy_interpolated_bandwidth(pm_spec(), Locality.LOCAL, 1.5)
+
+    def test_entropy_access_time_zero_bytes(self, model):
+        assert (
+            model.entropy_access_time(pm_spec(), Locality.LOCAL, 0.0, 0.5)
+            == 0.0
+        )
+
+    def test_pm_scatter_penalty_stronger_than_dram(self, model):
+        # The PM scattered floor (relative to its own sequential) must be
+        # far below DRAM's: the core reason WoFP pins hot rows in DRAM.
+        assert model.beta(pm_spec(), Locality.LOCAL) < 0.5 * model.beta(
+            dram_spec(), Locality.LOCAL
+        )
+
+
+class TestCompute:
+    def test_compute_time_linear(self, model):
+        assert model.compute_time(2e9) == pytest.approx(
+            2 * model.compute_time(1e9)
+        )
+
+    def test_negative_macs_rejected(self, model):
+        with pytest.raises(ValueError, match="macs"):
+            model.compute_time(-1.0)

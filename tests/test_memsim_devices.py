@@ -1,0 +1,127 @@
+"""Unit tests for the device models and their paper-calibrated ratios."""
+
+import pytest
+
+from repro.memsim import (
+    AccessPattern,
+    Locality,
+    MemoryKind,
+    Operation,
+    default_devices,
+    dram_spec,
+    network_spec,
+    pm_spec,
+    ssd_spec,
+)
+from repro.memsim.devices import GIB
+from repro.memsim.probe import peak_bandwidth_summary
+
+
+class TestCalibration:
+    """The bandwidth asymmetries quoted in §II-B / §III-D / Fig. 9."""
+
+    def test_pm_read_is_one_third_of_dram(self):
+        key = (Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL)
+        ratio = dram_spec().peak_bandwidth[key] / pm_spec().peak_bandwidth[key]
+        assert ratio == pytest.approx(3.0, rel=0.05)
+
+    def test_pm_write_is_one_sixth_of_dram(self):
+        key = (Operation.WRITE, AccessPattern.SEQUENTIAL, Locality.LOCAL)
+        ratio = dram_spec().peak_bandwidth[key] / pm_spec().peak_bandwidth[key]
+        assert ratio == pytest.approx(6.0, rel=0.05)
+
+    def test_fig9_read_ratios(self):
+        summary = peak_bandwidth_summary(pm_spec())
+        assert summary["seq_local_read_over_rand_local_read"] == pytest.approx(
+            2.41, rel=0.01
+        )
+        assert summary[
+            "seq_remote_read_over_rand_remote_read"
+        ] == pytest.approx(2.45, rel=0.01)
+
+    def test_fig9_write_ratios(self):
+        summary = peak_bandwidth_summary(pm_spec())
+        assert summary[
+            "seq_local_write_over_seq_remote_write"
+        ] == pytest.approx(3.23, rel=0.01)
+        assert summary[
+            "seq_local_write_over_rand_remote_write"
+        ] == pytest.approx(4.99, rel=0.01)
+
+    def test_remote_sequential_read_comparable_to_local(self):
+        # The key NaDP observation: sequential PM reads are nearly
+        # locality-insensitive.
+        summary = peak_bandwidth_summary(pm_spec())
+        assert 0.9 < summary["seq_remote_read_over_seq_local_read"] <= 1.0
+
+    def test_pm_latency_multipliers(self):
+        pm, dram = pm_spec(), dram_spec()
+        local = pm.latency(Operation.READ, Locality.LOCAL) / dram.latency(
+            Operation.READ, Locality.LOCAL
+        )
+        remote = pm.latency(Operation.READ, Locality.REMOTE) / dram.latency(
+            Operation.READ, Locality.REMOTE
+        )
+        assert local == pytest.approx(4.2, rel=0.01)
+        assert remote == pytest.approx(3.3, rel=0.01)
+
+    def test_pm_cheaper_per_gib_than_dram(self):
+        assert pm_spec().price_per_gib < dram_spec().price_per_gib
+
+    def test_capacities(self):
+        assert dram_spec().capacity_bytes == int(96 * GIB)
+        assert pm_spec().capacity_bytes == int(768 * GIB)
+
+
+class TestBandwidthCurve:
+    def test_bandwidth_increases_with_threads(self):
+        pm = pm_spec()
+        args = (Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL)
+        bandwidths = [pm.bandwidth(*args, threads=t) for t in (1, 2, 4, 8, 16)]
+        assert all(b2 > b1 for b1, b2 in zip(bandwidths, bandwidths[1:]))
+
+    def test_bandwidth_never_exceeds_peak(self):
+        pm = pm_spec()
+        key = (Operation.READ, AccessPattern.SEQUENTIAL, Locality.LOCAL)
+        assert pm.bandwidth(*key, threads=1000) < pm.peak_bandwidth[key]
+
+    def test_per_thread_bandwidth_decreases_with_contention(self):
+        pm = pm_spec()
+        args = (Operation.WRITE, AccessPattern.SEQUENTIAL, Locality.LOCAL)
+        per_thread = [
+            pm.per_thread_bandwidth(*args, threads=t) for t in (1, 4, 16)
+        ]
+        assert per_thread[0] > per_thread[1] > per_thread[2]
+
+    def test_pm_writes_saturate_earlier_than_reads(self):
+        pm = pm_spec()
+        assert (
+            pm.half_saturation_threads[Operation.WRITE]
+            > pm.half_saturation_threads[Operation.READ]
+        )
+
+    def test_invalid_thread_count(self):
+        with pytest.raises(ValueError, match="threads"):
+            pm_spec().bandwidth(
+                Operation.READ,
+                AccessPattern.SEQUENTIAL,
+                Locality.LOCAL,
+                threads=0,
+            )
+
+
+class TestComplement:
+    def test_default_devices_cover_all_tiers(self):
+        devices = default_devices()
+        assert set(devices) == set(MemoryKind)
+
+    def test_ssd_page_granularity(self):
+        assert ssd_spec().random_burst_bytes == 4096
+
+    def test_network_has_no_capacity(self):
+        assert network_spec().capacity_bytes == 0
+
+    def test_ssd_latency_dwarfs_memory_latency(self):
+        assert ssd_spec().latency(
+            Operation.READ, Locality.LOCAL
+        ) > 100 * pm_spec().latency(Operation.READ, Locality.LOCAL)

@@ -1,0 +1,99 @@
+"""Unit tests for graph partitioning and its quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.partition import (
+    balanced_edge_partition,
+    edge_cut_fraction,
+    greedy_community_partition,
+    hash_partition,
+    partition_load_balance,
+    range_partition,
+)
+from repro.graphs import planted_partition_edges
+
+
+class TestBasicPartitioners:
+    def test_hash_partition_covers_parts(self):
+        assignment = hash_partition(1000, 4, seed=0)
+        assert set(np.unique(assignment)) == {0, 1, 2, 3}
+        assert partition_load_balance(assignment) < 1.2
+
+    def test_hash_partition_deterministic(self):
+        a = hash_partition(100, 4, seed=1)
+        b = hash_partition(100, 4, seed=1)
+        assert np.array_equal(a, b)
+
+    def test_range_partition_contiguous(self):
+        assignment = range_partition(10, 3)
+        assert np.all(np.diff(assignment) >= 0)
+        assert assignment[0] == 0 and assignment[-1] == 2
+
+    def test_range_partition_balanced(self):
+        assignment = range_partition(1000, 8)
+        assert partition_load_balance(assignment) == pytest.approx(1.0)
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError, match="n_parts"):
+            hash_partition(10, 0)
+
+
+class TestBalancedEdgePartition:
+    def test_balances_degree_mass(self, skewed_csdb):
+        degrees = skewed_csdb.row_degrees()[skewed_csdb.inv_perm]
+        assignment = balanced_edge_partition(degrees, 4)
+        balance = partition_load_balance(assignment, weights=degrees)
+        assert balance < 1.3
+
+    def test_single_part(self):
+        assignment = balanced_edge_partition(np.array([3, 1, 2]), 1)
+        assert np.all(assignment == 0)
+
+    def test_parts_are_contiguous_ranges(self):
+        degrees = np.array([10, 1, 1, 1, 10, 1, 1, 1])
+        assignment = balanced_edge_partition(degrees, 2)
+        assert np.all(np.diff(assignment) >= 0)
+
+
+class TestGreedyCommunityPartition:
+    def test_lower_cut_than_hash_on_community_graph(self):
+        edges, _ = planted_partition_edges(
+            300, 4000, n_communities=4, p_in=0.9, seed=0
+        )
+        greedy = greedy_community_partition(edges, 300, 4, seed=0)
+        hashed = hash_partition(300, 4, seed=0)
+        assert edge_cut_fraction(edges, greedy) < edge_cut_fraction(
+            edges, hashed
+        )
+
+    def test_all_nodes_assigned(self, skewed_edges):
+        assignment = greedy_community_partition(skewed_edges, 600, 4, seed=0)
+        assert np.all(assignment >= 0)
+        assert assignment.max() < 4
+
+    def test_roughly_balanced(self, skewed_edges):
+        assignment = greedy_community_partition(skewed_edges, 600, 4, seed=0)
+        assert partition_load_balance(assignment) < 2.0
+
+
+class TestMetrics:
+    def test_edge_cut_all_same_part(self, skewed_edges):
+        assignment = np.zeros(600, dtype=np.int64)
+        assert edge_cut_fraction(skewed_edges, assignment) == 0.0
+
+    def test_edge_cut_hash_near_expectation(self, skewed_edges):
+        assignment = hash_partition(600, 4, seed=0)
+        cut = edge_cut_fraction(skewed_edges, assignment)
+        assert 0.6 < cut < 0.9  # expectation is 3/4 for 4 random parts
+
+    def test_edge_cut_empty_graph(self):
+        assert edge_cut_fraction(np.empty((0, 2), dtype=np.int64), np.zeros(5)) == 0.0
+
+    def test_load_balance_perfect(self):
+        assert partition_load_balance(np.array([0, 0, 1, 1])) == 1.0
+
+    def test_load_balance_skewed(self):
+        assert partition_load_balance(np.array([0, 0, 0, 1])) == pytest.approx(
+            1.5
+        )

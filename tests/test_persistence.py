@@ -1,0 +1,127 @@
+"""Unit tests for the App-direct persistence facilities (§II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OMeGaConfig, OMeGaEmbedder
+from repro.graphs import chung_lu_edges
+from repro.memsim import pm_spec
+from repro.memsim.persistence import (
+    CheckpointedEmbedder,
+    CrashInjected,
+    PersistenceDomain,
+    ShadowCommit,
+)
+
+
+@pytest.fixture
+def domain():
+    return PersistenceDomain(device=pm_spec())
+
+
+class TestPersistenceDomain:
+    def test_stores_are_not_durable_until_flushed(self, domain):
+        domain.store(1000)
+        assert not domain.all_durable
+        assert domain.durable_bytes == 0.0
+        domain.flush()
+        assert domain.all_durable
+        assert domain.durable_bytes == 1000
+
+    def test_flush_charges_pm_write_cost(self, domain):
+        domain.store(2**20)
+        cost = domain.flush()
+        assert cost > 0
+        assert domain.sim_seconds == pytest.approx(cost)
+
+    def test_empty_flush_is_free(self, domain):
+        assert domain.flush() == 0.0
+
+    def test_fence_cost_and_count(self, domain):
+        domain.fence()
+        domain.fence()
+        assert domain.fences == 2
+        assert domain.sim_seconds == pytest.approx(2 * 30e-9)
+
+    def test_negative_store_rejected(self, domain):
+        with pytest.raises(ValueError, match="nbytes"):
+            domain.store(-1)
+
+
+class TestShadowCommit:
+    def test_commit_and_recover(self, domain, rng):
+        store = ShadowCommit(domain)
+        data = rng.standard_normal((10, 4))
+        seq = store.commit(data)
+        assert seq == 1
+        assert np.array_equal(store.recover(), data)
+
+    def test_recover_before_any_commit(self, domain):
+        assert ShadowCommit(domain).recover() is None
+
+    def test_versions_alternate_buffers(self, domain, rng):
+        store = ShadowCommit(domain)
+        first = rng.standard_normal((5, 2))
+        second = rng.standard_normal((5, 2))
+        store.commit(first)
+        store.commit(second)
+        assert np.array_equal(store.recover(), second)
+        assert store.committed_sequence == 2
+
+    def test_crash_preserves_previous_version(self, domain, rng):
+        store = ShadowCommit(domain)
+        safe = rng.standard_normal((8, 3))
+        store.commit(safe)
+        with pytest.raises(CrashInjected):
+            store.commit(rng.standard_normal((8, 3)), crash=True)
+        # Recovery sees the pre-crash version, untouched.
+        assert np.array_equal(store.recover(), safe)
+        assert store.committed_sequence == 1
+
+    def test_crash_on_first_commit_recovers_nothing(self, domain, rng):
+        store = ShadowCommit(domain)
+        with pytest.raises(CrashInjected):
+            store.commit(rng.standard_normal((4, 2)), crash=True)
+        assert store.recover() is None
+
+    def test_commit_copies_data(self, domain):
+        store = ShadowCommit(domain)
+        data = np.ones((3, 3))
+        store.commit(data)
+        data[:] = 0.0
+        assert np.all(store.recover() == 1.0)
+
+    def test_commit_charges_flush_and_fences(self, domain, rng):
+        store = ShadowCommit(domain)
+        store.commit(rng.standard_normal((100, 8)))
+        assert domain.fences == 2  # data fence + commit-record fence
+        assert domain.sim_seconds > 0
+
+
+class TestCheckpointedEmbedder:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        edges = chung_lu_edges(300, 2500, seed=9)
+        embedder = OMeGaEmbedder(OMeGaConfig(n_threads=4, dim=8))
+        return edges, CheckpointedEmbedder(embedder)
+
+    def test_embed_and_checkpoint(self, setup):
+        edges, checkpointed = setup
+        result, checkpoint_seconds = checkpointed.embed_and_checkpoint(
+            edges, 300
+        )
+        assert checkpoint_seconds > 0
+        assert np.array_equal(
+            checkpointed.recover_embedding(), result.embedding
+        )
+        # Checkpointing is cheap relative to the pipeline itself.
+        assert checkpoint_seconds < result.sim_seconds
+
+    def test_crash_keeps_previous_checkpoint(self, setup):
+        edges, checkpointed = setup
+        result, _ = checkpointed.embed_and_checkpoint(edges, 300)
+        with pytest.raises(CrashInjected):
+            checkpointed.embed_and_checkpoint(edges, 300, crash=True)
+        assert np.array_equal(
+            checkpointed.recover_embedding(), result.embedding
+        )

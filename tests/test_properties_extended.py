@@ -1,0 +1,135 @@
+"""Extended property-based tests: partitioning, COMET, engine conservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.comet import (
+    greedy_buffer_order,
+    naive_order_loads,
+    pair_universe,
+)
+from repro.core import OMeGaConfig, SpMMEngine
+from repro.formats import CSDBMatrix
+from repro.graphs.partition import (
+    balanced_edge_partition,
+    edge_cut_fraction,
+    hash_partition,
+    partition_load_balance,
+    range_partition,
+)
+
+
+class TestPartitionProperties:
+    @given(st.integers(1, 500), st.integers(1, 8), st.integers(0, 100))
+    @settings(max_examples=50, deadline=None)
+    def test_hash_partition_total_and_range(self, n_nodes, n_parts, seed):
+        assignment = hash_partition(n_nodes, n_parts, seed)
+        assert len(assignment) == n_nodes
+        assert np.all((assignment >= 0) & (assignment < n_parts))
+
+    @given(st.integers(1, 500), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_range_partition_monotone(self, n_nodes, n_parts):
+        assignment = range_partition(n_nodes, n_parts)
+        assert np.all(np.diff(assignment) >= 0)
+        assert partition_load_balance(assignment) <= n_parts + 1e-9
+
+    @given(
+        st.lists(st.integers(0, 50), min_size=1, max_size=200),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_balanced_edge_partition_covers(self, degrees, n_parts):
+        degrees = np.array(degrees, dtype=np.int64)
+        assignment = balanced_edge_partition(degrees, n_parts)
+        assert len(assignment) == len(degrees)
+        assert np.all(np.diff(assignment) >= 0)  # contiguous ranges
+        assert assignment.max() <= n_parts - 1
+
+    @given(st.integers(2, 60), st.integers(1, 6), st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_cut_bounds(self, n_nodes, n_parts, seed):
+        rng = np.random.default_rng(seed)
+        m = rng.integers(1, 50)
+        edges = rng.integers(0, n_nodes, size=(m, 2))
+        assignment = hash_partition(n_nodes, n_parts, seed)
+        cut = edge_cut_fraction(edges, assignment)
+        assert 0.0 <= cut <= 1.0
+        if n_parts == 1:
+            assert cut == 0.0
+
+
+class TestCometProperties:
+    @given(st.integers(2, 12), st.integers(2, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_order_is_exact_cover(self, n_partitions, buffer_size):
+        if buffer_size > n_partitions:
+            n_partitions, buffer_size = buffer_size, n_partitions
+        schedule = greedy_buffer_order(n_partitions, buffer_size)
+        assert sorted(schedule.order) == pair_universe(n_partitions)
+        assert len(set(schedule.order)) == len(schedule.order)
+        assert schedule.swaps >= 0
+
+    @given(st.integers(3, 12), st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_never_worse_than_naive(self, n_partitions, buffer_size):
+        buffer_size = min(buffer_size, n_partitions)
+        if buffer_size < 2:
+            buffer_size = 2
+        greedy = greedy_buffer_order(n_partitions, buffer_size).total_loads
+        naive = naive_order_loads(n_partitions, buffer_size)
+        assert greedy <= naive
+
+    @given(st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_full_buffer_loads_each_partition_once(self, n_partitions):
+        schedule = greedy_buffer_order(n_partitions, n_partitions)
+        assert schedule.total_loads == n_partitions
+
+
+class TestEngineConservation:
+    """Simulated accounting invariants of the SpMM engine."""
+
+    @st.composite
+    def small_graphs(draw):
+        n = draw(st.integers(4, 40))
+        m = draw(st.integers(1, 120))
+        rng = np.random.default_rng(draw(st.integers(0, 1000)))
+        rows = rng.integers(0, n, size=m)
+        cols = rng.integers(0, n, size=m)
+        return CSDBMatrix.from_coo(rows, cols, np.ones(m), (n, n))
+
+    @given(small_graphs(), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_partition_nnz_conserved_and_times_finite(self, matrix, threads):
+        engine = SpMMEngine(OMeGaConfig(n_threads=threads, dim=4))
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((matrix.n_cols, 4))
+        result = engine.multiply(matrix, dense, compute=False)
+        assert sum(p.nnz_count for p in result.partitions) == matrix.nnz
+        assert np.all(np.isfinite(result.thread_times))
+        assert result.sim_seconds >= result.thread_times.max() - 1e-15
+
+    @given(small_graphs())
+    @settings(max_examples=25, deadline=None)
+    def test_trace_total_at_least_makespan(self, matrix):
+        engine = SpMMEngine(OMeGaConfig(n_threads=4, dim=4))
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((matrix.n_cols, 4))
+        result = engine.multiply(matrix, dense, compute=False)
+        # Sum of per-category charges covers the parallel work, so it is
+        # at least the makespan minus the serial add-ons.
+        assert result.trace.total_seconds >= result.thread_times.max() * 0.99
+
+    @given(small_graphs(), st.floats(0.01, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_hit_fraction_bounds(self, matrix, sigma):
+        engine = SpMMEngine(OMeGaConfig(n_threads=4, dim=4, sigma=sigma))
+        rng = np.random.default_rng(0)
+        dense = rng.standard_normal((matrix.n_cols, 4))
+        result = engine.multiply(matrix, dense, compute=False)
+        assert 0.0 <= result.mean_hit_fraction <= 1.0
+        for plan in result.prefetch_plans:
+            assert 0.0 <= plan.hit_fraction <= 1.0

@@ -1,0 +1,58 @@
+"""Unit tests for matrix serialization."""
+
+import numpy as np
+import pytest
+
+from repro.formats.serialize import load_csdb, load_csr, save_csdb, save_csr
+
+
+class TestCSDBRoundtrip:
+    def test_roundtrip(self, tmp_path, skewed_csdb):
+        path = tmp_path / "graph.npz"
+        save_csdb(path, skewed_csdb)
+        loaded = load_csdb(path)
+        assert loaded.shape == skewed_csdb.shape
+        assert np.array_equal(loaded.deg_list, skewed_csdb.deg_list)
+        assert np.array_equal(loaded.col_list, skewed_csdb.col_list)
+        assert np.array_equal(loaded.perm, skewed_csdb.perm)
+        assert np.allclose(loaded.to_dense(), skewed_csdb.to_dense())
+
+    def test_loaded_matrix_is_functional(self, tmp_path, skewed_csdb, rng):
+        path = tmp_path / "graph.npz"
+        save_csdb(path, skewed_csdb)
+        loaded = load_csdb(path)
+        dense = rng.standard_normal((skewed_csdb.n_cols, 4))
+        assert np.allclose(loaded.spmm(dense), skewed_csdb.spmm(dense))
+
+
+class TestCSRRoundtrip:
+    def test_roundtrip(self, tmp_path, skewed_csr):
+        path = tmp_path / "graph.npz"
+        save_csr(path, skewed_csr)
+        loaded = load_csr(path)
+        assert np.allclose(loaded.to_dense(), skewed_csr.to_dense())
+
+
+class TestValidation:
+    def test_kind_mismatch(self, tmp_path, skewed_csdb):
+        path = tmp_path / "graph.npz"
+        save_csdb(path, skewed_csdb)
+        with pytest.raises(ValueError, match="expected 'csr'"):
+            load_csr(path)
+
+    def test_not_a_container(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro matrix"):
+            load_csdb(path)
+
+    def test_future_version_rejected(self, tmp_path, paper_csdb):
+        path = tmp_path / "graph.npz"
+        np.savez(
+            path,
+            kind=np.array(["csdb"]),
+            version=np.array([999]),
+            shape=np.array([1, 1]),
+        )
+        with pytest.raises(ValueError, match="newer"):
+            load_csdb(path)

@@ -1,0 +1,90 @@
+"""Unit tests for the Laplacian-eigenmaps embedding variant."""
+
+import numpy as np
+import pytest
+
+from repro.eval import node_classification_accuracy
+from repro.formats import edges_to_csdb
+from repro.graphs import planted_partition_edges
+from repro.prone.spectral import spectral_embed, sym_normalize
+
+
+class TestSymNormalize:
+    def test_matches_dense_formula(self, paper_csdb):
+        dense = paper_csdb.to_dense()
+        d = dense.sum(axis=1)
+        inv = np.where(d > 0, 1.0 / np.sqrt(d), 0.0)
+        expected = np.diag(inv) @ dense @ np.diag(inv)
+        assert np.allclose(sym_normalize(paper_csdb).to_dense(), expected)
+
+    def test_structure_preserved(self, skewed_csdb):
+        normalized = sym_normalize(skewed_csdb)
+        assert np.array_equal(normalized.col_list, skewed_csdb.col_list)
+        assert np.array_equal(normalized.perm, skewed_csdb.perm)
+
+    def test_spectrum_bounded_by_one(self, skewed_csdb):
+        s = sym_normalize(skewed_csdb).to_dense()
+        eigenvalues = np.linalg.eigvalsh((s + s.T) / 2)
+        assert np.abs(eigenvalues).max() <= 1.0 + 1e-9
+
+    def test_zero_degree_rows_stay_zero(self):
+        m = edges_to_csdb(np.array([[0, 1]]), 4)
+        s = sym_normalize(m).to_dense()
+        assert np.allclose(s[2], 0.0)
+        assert np.allclose(s[3], 0.0)
+
+
+class TestSpectralEmbed:
+    def test_shape_and_norms(self, skewed_csdb):
+        emb = spectral_embed(skewed_csdb, dim=8)
+        assert emb.shape == (skewed_csdb.n_rows, 8)
+        norms = np.linalg.norm(emb, axis=1)
+        connected = skewed_csdb.row_degrees()[skewed_csdb.inv_perm] > 0
+        assert np.allclose(norms[connected], 1.0)
+
+    def test_deterministic(self, skewed_csdb):
+        a = spectral_embed(skewed_csdb, dim=8, seed=2)
+        b = spectral_embed(skewed_csdb, dim=8, seed=2)
+        assert np.array_equal(a, b)
+
+    def test_top_singular_values_match_dense(self, paper_csdb):
+        from repro.prone.tsvd import randomized_tsvd
+
+        s = sym_normalize(paper_csdb)
+        _, values, _ = randomized_tsvd(
+            s.spmm,
+            s.transpose().spmm,
+            s.shape,
+            rank=3,
+            n_power_iterations=8,
+            seed=0,
+        )
+        exact = np.linalg.svd(s.to_dense(), compute_uv=False)[:3]
+        assert np.allclose(values, exact, rtol=0.02)
+
+    def test_recovers_communities(self):
+        edges, labels = planted_partition_edges(
+            400, 6000, n_communities=4, p_in=0.9, seed=8
+        )
+        emb = spectral_embed(edges_to_csdb(edges, 400), dim=8)
+        accuracy = node_classification_accuracy(emb, labels, seed=0)
+        assert accuracy > 0.6  # chance is 0.25
+
+    def test_runs_through_engine_factory(self, skewed_csdb):
+        """All products route through the instrumented engine."""
+        from repro.core import OMeGaConfig
+        from repro.core.embedding import OMeGaEmbedder, _InstrumentedMatMul
+
+        embedder = OMeGaEmbedder(OMeGaConfig(n_threads=4, dim=8))
+        emb = spectral_embed(
+            skewed_csdb,
+            dim=8,
+            matmul_factory=lambda m: _InstrumentedMatMul(embedder, m),
+        )
+        assert emb.shape == (skewed_csdb.n_rows, 8)
+        assert len(embedder._spmm_results) > 5  # range finder + power its
+        assert embedder._spmm_seconds > 0
+
+    def test_invalid_dim(self, paper_csdb):
+        with pytest.raises(ValueError, match="dim"):
+            spectral_embed(paper_csdb, dim=0)

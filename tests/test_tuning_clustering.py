@@ -1,0 +1,138 @@
+"""Unit tests for the prefetcher autotuner and clustering evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.core import OMeGaConfig
+from repro.core.tuning import tune_prefetcher
+from repro.eval.clustering import (
+    clustering_nmi,
+    kmeans,
+    normalized_mutual_information,
+)
+from repro.formats import edges_to_csdb
+from repro.graphs import planted_partition_edges
+from repro.prone import prone_embed
+from repro.prone.model import ProNEParams
+
+
+class TestTuner:
+    @pytest.fixture(scope="class")
+    def result(self, skewed_csdb=None):
+        from repro.graphs import chung_lu_edges
+
+        matrix = edges_to_csdb(chung_lu_edges(500, 4000, seed=3), 500)
+        config = OMeGaConfig(n_threads=8, dim=8, sigma=0.01)
+        return (
+            tune_prefetcher(
+                matrix,
+                config,
+                eta_grid=(0.005, 0.05),
+                sigma_grid=(0.05, 0.2, 0.4),
+            ),
+            config,
+        )
+
+    def test_best_is_grid_minimum(self, result):
+        tuned, _ = result
+        assert tuned.sim_seconds == min(tuned.sweep.values())
+        assert (tuned.eta, tuned.sigma) in tuned.sweep
+
+    def test_improves_on_bad_baseline(self, result):
+        tuned, _ = result
+        # The baseline used sigma=0.01, far below the sweet spot.
+        assert tuned.improvement > 0.0
+        assert tuned.sim_seconds < tuned.baseline_seconds
+
+    def test_sweep_covers_grid(self, result):
+        tuned, _ = result
+        assert len(tuned.sweep) == 2 * 3
+
+    def test_config_applies_winner(self, result):
+        tuned, config = result
+        tuned_config = tuned.config(config)
+        assert tuned_config.eta == tuned.eta
+        assert tuned_config.sigma == tuned.sigma
+        assert tuned_config.n_threads == config.n_threads
+
+    def test_empty_grid_rejected(self):
+        matrix = edges_to_csdb(np.array([[0, 1]]), 4)
+        with pytest.raises(ValueError, match="non-empty"):
+            tune_prefetcher(matrix, eta_grid=())
+
+
+class TestKMeans:
+    def test_separable_blobs(self, rng):
+        blobs = np.vstack(
+            [
+                rng.normal((0, 0), 0.2, size=(40, 2)),
+                rng.normal((5, 5), 0.2, size=(40, 2)),
+                rng.normal((0, 5), 0.2, size=(40, 2)),
+            ]
+        )
+        labels, centers = kmeans(blobs, 3, seed=0)
+        truth = np.repeat([0, 1, 2], 40)
+        assert normalized_mutual_information(labels, truth) > 0.95
+        assert centers.shape == (3, 2)
+
+    def test_k_one(self, rng):
+        points = rng.standard_normal((20, 3))
+        labels, centers = kmeans(points, 1, seed=0)
+        assert np.all(labels == 0)
+        assert np.allclose(centers[0], points.mean(axis=0))
+
+    def test_deterministic(self, rng):
+        points = rng.standard_normal((50, 4))
+        a, _ = kmeans(points, 4, seed=7)
+        b, _ = kmeans(points, 4, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_invalid_k(self, rng):
+        with pytest.raises(ValueError, match="k must"):
+            kmeans(rng.standard_normal((5, 2)), 6)
+
+    def test_invalid_points(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            kmeans(np.empty((0, 2)), 1)
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(
+            1.0
+        )
+
+    def test_permuted_label_ids_still_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 3, 3])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self, rng):
+        a = rng.integers(0, 4, size=3000)
+        b = rng.integers(0, 4, size=3000)
+        assert normalized_mutual_information(a, b) < 0.02
+
+    def test_symmetry(self, rng):
+        a = rng.integers(0, 3, size=200)
+        b = rng.integers(0, 5, size=200)
+        assert normalized_mutual_information(
+            a, b
+        ) == pytest.approx(normalized_mutual_information(b, a))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            normalized_mutual_information([0, 1], [0])
+
+    def test_single_cluster_each(self):
+        assert normalized_mutual_information([0, 0], [1, 1]) == 1.0
+
+
+class TestClusteringProbe:
+    def test_embeddings_cluster_planted_communities(self):
+        edges, labels = planted_partition_edges(
+            400, 6000, n_communities=4, p_in=0.9, seed=6
+        )
+        emb = prone_embed(edges_to_csdb(edges, 400), ProNEParams(dim=16, order=8))
+        nmi = clustering_nmi(emb, labels, seed=0)
+        assert nmi > 0.5  # random clustering would give ~0
