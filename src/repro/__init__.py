@@ -20,6 +20,7 @@ Subpackages:
 - :mod:`repro.graphs` — generators and Table I dataset analogues;
 - :mod:`repro.baselines` — the paper's comparison systems;
 - :mod:`repro.eval` — link-prediction / node-classification probes;
+- :mod:`repro.obs` — span tracing, metrics and telemetry export;
 - :mod:`repro.parallel`, :mod:`repro.bench` — execution and reporting
   helpers.
 """
@@ -35,6 +36,7 @@ from repro.core import (
 from repro.core.embedding import EmbeddingResult, embedder_for_dataset
 from repro.formats import CSDBMatrix, CSRMatrix, edges_to_csdb, edges_to_csr
 from repro.graphs import Dataset, load_dataset, rmat_edges
+from repro.obs import MetricsRegistry, SpanTracer, TelemetrySession
 
 __version__ = "1.0.0"
 
@@ -45,10 +47,13 @@ __all__ = [
     "Dataset",
     "EmbeddingResult",
     "MemoryMode",
+    "MetricsRegistry",
     "OMeGaConfig",
     "OMeGaEmbedder",
     "PlacementScheme",
     "SpMMEngine",
+    "SpanTracer",
+    "TelemetrySession",
     "__version__",
     "edges_to_csdb",
     "edges_to_csr",

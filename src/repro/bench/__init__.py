@@ -11,6 +11,8 @@ from repro.bench.harness import (
     format_table,
     geometric_mean,
     project_full_scale,
+    run_experiment,
+    telemetry_session,
 )
 
 __all__ = [
@@ -22,4 +24,6 @@ __all__ = [
     "format_table",
     "geometric_mean",
     "project_full_scale",
+    "run_experiment",
+    "telemetry_session",
 ]

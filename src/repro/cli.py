@@ -7,7 +7,12 @@ Commands:
 - ``embed``             — embed a Table I analogue or an edge-list file;
 - ``spmm``              — run one instrumented SpMM and print the cost
   anatomy;
-- ``compare``           — run the Fig. 12 system arms on one graph.
+- ``compare``           — run the Fig. 12 system arms on one graph;
+- ``report``            — render a ``--telemetry-out`` JSONL file back
+  into the Fig. 7(a)-style breakdown tables.
+
+``embed`` and ``spmm`` accept ``--telemetry-out PATH`` to export spans,
+metrics and cost ledgers as structured JSONL (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
@@ -32,6 +37,8 @@ from repro.graphs.datasets import DATASET_NAMES, dataset_table, load_dataset
 from repro.graphs.io import load_edge_list
 from repro.memsim.devices import pm_spec
 from repro.memsim.probe import peak_bandwidth_summary, probe_bandwidth
+from repro.obs.export import TelemetrySession
+from repro.obs.report import render_report_file
 
 
 def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
@@ -53,6 +60,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         default=PlacementScheme.NADP.value,
     )
     parser.add_argument("--no-prefetch", action="store_true")
+    parser.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="export spans/metrics/cost ledgers as JSONL (see 'repro report')",
+    )
 
 
 def _config_from_args(args: argparse.Namespace, capacity_scale: int) -> OMeGaConfig:
@@ -116,10 +128,40 @@ def cmd_probe(_: argparse.Namespace) -> int:
     return 0
 
 
+def _telemetry_session(
+    args: argparse.Namespace, command: str, graph: str
+) -> TelemetrySession | None:
+    if not args.telemetry_out:
+        return None
+    return TelemetrySession(
+        meta={
+            "command": command,
+            "graph": graph,
+            "mode": args.mode,
+            "allocation": args.allocation,
+            "placement": args.placement,
+            "threads": args.threads,
+            "dim": args.dim,
+        }
+    )
+
+
+def _save_telemetry(session: TelemetrySession | None, path: str | None) -> None:
+    if session is not None and path:
+        session.save(path)
+        print(f"telemetry written to {path}")
+
+
 def cmd_embed(args: argparse.Namespace) -> int:
     edges, n_nodes, scale, name = _load_graph(args)
     config = _config_from_args(args, scale)
-    result = OMeGaEmbedder(config).embed_edges(edges, n_nodes)
+    session = _telemetry_session(args, "embed", name)
+    embedder = OMeGaEmbedder(
+        config,
+        tracer=session.tracer if session else None,
+        metrics=session.metrics if session else None,
+    )
+    result = embedder.embed_edges(edges, n_nodes)
     print(
         f"{name}: embedded {n_nodes:,} nodes in"
         f" {format_seconds(result.sim_seconds)} simulated"
@@ -130,6 +172,9 @@ def cmd_embed(args: argparse.Namespace) -> int:
     if args.output:
         np.save(args.output, result.embedding)
         print(f"embedding saved to {args.output}")
+    if session is not None:
+        session.add_cost_trace("embed", result.trace)
+    _save_telemetry(session, args.telemetry_out)
     return 0
 
 
@@ -138,7 +183,13 @@ def cmd_spmm(args: argparse.Namespace) -> int:
     config = _config_from_args(args, scale)
     matrix = edges_to_csdb(edges, n_nodes)
     dense = np.random.default_rng(0).standard_normal((n_nodes, args.dim))
-    result = SpMMEngine(config).multiply(matrix, dense, compute=False)
+    session = _telemetry_session(args, "spmm", name)
+    engine = SpMMEngine(
+        config,
+        tracer=session.tracer if session else None,
+        metrics=session.metrics if session else None,
+    )
+    result = engine.multiply(matrix, dense, compute=False)
     print(
         f"{name}: SpMM over {matrix.nnz:,} nnz in"
         f" {format_seconds(result.sim_seconds)} simulated"
@@ -152,6 +203,14 @@ def cmd_spmm(args: argparse.Namespace) -> int:
         )
     ]
     print(format_table(["step", "time (sum over threads)", "share"], rows))
+    if session is not None:
+        session.add_cost_trace("spmm", result.trace)
+    _save_telemetry(session, args.telemetry_out)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    print(render_report_file(args.trace))
     return 0
 
 
@@ -207,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threads", type=int, default=16)
     compare.add_argument("--dim", type=int, default=32)
 
+    report = sub.add_parser(
+        "report", help="render a telemetry JSONL file as breakdown tables"
+    )
+    report.add_argument("trace", help="path to a --telemetry-out JSONL file")
+
     return parser
 
 
@@ -225,6 +289,7 @@ COMMANDS = {
     "embed": cmd_embed,
     "spmm": cmd_spmm,
     "compare": cmd_compare,
+    "report": cmd_report,
 }
 
 

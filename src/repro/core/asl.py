@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
+
 
 def optimal_partitions(
     n_nodes: int,
@@ -117,3 +119,27 @@ class StreamingLoader:
             batch_bytes=dense_bytes / n,
             total_load_seconds=dense_bytes / self.pm_seq_read_bandwidth,
         )
+
+    def observe(
+        self,
+        plan: StreamPlan,
+        compute_seconds: float,
+        metrics: MetricsRegistry | None = None,
+    ) -> float:
+        """Exposed streaming seconds, with overlap telemetry.
+
+        ``asl.exposed_seconds`` is the streaming time left on the critical
+        path; ``asl.hidden_seconds`` is what the compute overlap absorbed
+        (pass ``compute_seconds=0`` for the no-overlap/disabled arm).
+        """
+        exposed = plan.exposed_seconds(compute_seconds)
+        if metrics is not None:
+            hidden = plan.total_load_seconds - exposed
+            metrics.counter("asl.loads").inc()
+            metrics.counter("asl.exposed_seconds").inc(exposed)
+            metrics.counter("asl.hidden_seconds").inc(hidden)
+            metrics.counter("asl.streamed_bytes").inc(
+                plan.batch_bytes * plan.n_partitions
+            )
+            metrics.gauge("asl.n_partitions").set(plan.n_partitions)
+        return exposed

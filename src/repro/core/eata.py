@@ -25,6 +25,39 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.formats.csdb import CSDBMatrix
+from repro.obs.metrics import MetricsRegistry
+
+#: Histogram buckets for normalized entropy Z(H) in [0, 1].
+Z_ENTROPY_BUCKETS = tuple(i / 10.0 for i in range(1, 11))
+
+
+def record_allocation_metrics(
+    partitions: "list[WorkloadPartition]",
+    metrics: MetricsRegistry,
+    allocator_name: str = "",
+) -> None:
+    """Per-partition entropy/workload telemetry for one allocation.
+
+    Gauges carry the latest allocation's per-thread view (what EaTA's
+    Eq. 7 rescaling balanced); the nnz-imbalance gauge (max/mean) is the
+    straggler indicator behind the Fig. 13 tail latencies.
+    """
+    nnz_counts = [p.nnz_count for p in partitions]
+    for p in partitions:
+        metrics.gauge("eata.partition.z_entropy", thread=p.thread_id).set(
+            p.z_entropy
+        )
+        metrics.gauge("eata.partition.nnz", thread=p.thread_id).set(
+            p.nnz_count
+        )
+        metrics.histogram(
+            "eata.z_entropy_dist", buckets=Z_ENTROPY_BUCKETS
+        ).observe(p.z_entropy)
+    metrics.counter("eata.allocations", allocator=allocator_name or "?").inc()
+    metrics.gauge("eata.partitions").set(len(partitions))
+    mean_nnz = sum(nnz_counts) / max(len(nnz_counts), 1)
+    if mean_nnz > 0:
+        metrics.gauge("eata.nnz_imbalance").set(max(nnz_counts) / mean_nnz)
 
 
 @dataclass(frozen=True)

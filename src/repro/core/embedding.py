@@ -32,7 +32,9 @@ from repro.memsim.devices import (
     MemoryKind,
     Operation,
 )
-from repro.memsim.trace import CostTrace
+from repro.memsim.trace import SPMM_CATEGORIES, CostTrace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.prone.model import (
     ProNEParams,
     prone_propagate,
@@ -103,6 +105,8 @@ class OMeGaEmbedder:
         self,
         config: OMeGaConfig | None = None,
         params: ProNEParams | None = None,
+        tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or OMeGaConfig()
         self.params = params or ProNEParams(
@@ -113,7 +117,11 @@ class OMeGaEmbedder:
                 f"config.dim ({self.config.dim}) and params.dim"
                 f" ({self.params.dim}) disagree"
             )
-        self.engine = SpMMEngine(self.config)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.engine = SpMMEngine(
+            self.config, tracer=self.tracer, metrics=self.metrics
+        )
         self._spmm_results: list[SpMMResult] = []
         self._spmm_seconds = 0.0
         self._serial_seconds = 0.0
@@ -140,6 +148,7 @@ class OMeGaEmbedder:
         )
         self._serial_seconds += seconds
         self._trace.charge(category, seconds)
+        self.tracer.advance_sim(seconds)
 
     def _matmul_factory(self, matrix: CSDBMatrix):
         return _InstrumentedMatMul(self, matrix)
@@ -243,34 +252,64 @@ class OMeGaEmbedder:
             self.pipeline_working_set_bytes(n_nodes, n_edges)
         )
 
-        if self.config.graph_format == "csr":
-            read_seconds = self.simulate_graph_read_csr(n_nodes, n_edges)
-        else:
-            read_seconds = self.simulate_graph_read(n_nodes, n_edges)
-        self._trace.charge("graph_read", read_seconds)
+        with self.tracer.span(
+            "embed",
+            n_nodes=n_nodes,
+            n_edges=n_edges,
+            mode=self.config.memory_mode.value,
+        ) as root:
+            with self.tracer.span("graph_read", format=self.config.graph_format):
+                if self.config.graph_format == "csr":
+                    read_seconds = self.simulate_graph_read_csr(n_nodes, n_edges)
+                else:
+                    read_seconds = self.simulate_graph_read(n_nodes, n_edges)
+                self.tracer.advance_sim(read_seconds)
+            self._trace.charge("graph_read", read_seconds)
 
-        # Stage 1: sparse matrix factorization.
-        stage_mark = self._stage_seconds()
-        initial = prone_smf(adjacency, self.params, self._matmul_factory)
-        k = self.params.dim + self.params.n_oversamples
-        # QR factorizations inside the tSVD + the small SVD.
-        self._charge_serial(
-            (2 * self.params.n_power_iterations + 2) * 2.0 * n_nodes * k * k,
-            "dense_algebra",
-        )
-        factorization_seconds = self._stage_seconds() - stage_mark
+            # Stage 1: sparse matrix factorization.
+            stage_mark = self._stage_seconds()
+            with self.tracer.span("factorization"):
+                initial = prone_smf(
+                    adjacency, self.params, self._matmul_factory,
+                    tracer=self.tracer,
+                )
+                k = self.params.dim + self.params.n_oversamples
+                # QR factorizations inside the tSVD + the small SVD.
+                self._charge_serial(
+                    (2 * self.params.n_power_iterations + 2)
+                    * 2.0 * n_nodes * k * k,
+                    "dense_algebra",
+                )
+            factorization_seconds = self._stage_seconds() - stage_mark
 
-        # Stage 2: spectral propagation.
-        stage_mark = self._stage_seconds()
-        embedding = prone_propagate(
-            adjacency, initial, self.params, self._matmul_factory
-        )
-        self._charge_serial(
-            2.0 * n_nodes * self.params.dim * self.params.dim, "dense_algebra"
-        )
-        propagation_seconds = self._stage_seconds() - stage_mark
+            # Stage 2: spectral propagation.
+            stage_mark = self._stage_seconds()
+            with self.tracer.span("propagation"):
+                embedding = prone_propagate(
+                    adjacency, initial, self.params, self._matmul_factory,
+                    tracer=self.tracer,
+                )
+                self._charge_serial(
+                    2.0 * n_nodes * self.params.dim * self.params.dim,
+                    "dense_algebra",
+                )
+            propagation_seconds = self._stage_seconds() - stage_mark
 
-        sim_seconds = read_seconds + self._stage_seconds()
+            sim_seconds = read_seconds + self._stage_seconds()
+            # Summary spans: the Fig. 7(a) per-step SpMM totals, exact
+            # copies of the merged CostTrace (annotations, so the sim
+            # cursor — already advanced by the engine — is untouched).
+            with self.tracer.span("spmm_steps"):
+                for category in SPMM_CATEGORIES:
+                    self.tracer.record(
+                        category,
+                        sim_seconds=self._trace.seconds(category),
+                        nbytes=self._trace.bytes_moved(category),
+                    )
+            root.set("sim_seconds", sim_seconds)
+            root.set("n_spmm", len(self._spmm_results))
+        self.metrics.counter("embed.runs").inc()
+        self.metrics.counter("embed.sim_seconds").inc(sim_seconds)
         return EmbeddingResult(
             embedding=embedding,
             sim_seconds=sim_seconds,

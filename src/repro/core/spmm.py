@@ -32,9 +32,19 @@ import numpy as np
 
 from repro.core.asl import StreamingLoader, StreamPlan
 from repro.core.config import MemoryMode, OMeGaConfig
-from repro.core.eata import ThreadAllocator, WorkloadPartition, make_allocator
+from repro.core.eata import (
+    ThreadAllocator,
+    WorkloadPartition,
+    make_allocator,
+    record_allocation_metrics,
+)
 from repro.core.nadp import AccessPlan, DataPlacement, make_placement
-from repro.core.wofp import DisabledPrefetchPlan, PrefetchPlan, WorkloadPrefetcher
+from repro.core.wofp import (
+    DisabledPrefetchPlan,
+    PrefetchPlan,
+    WorkloadPrefetcher,
+    record_prefetch_metrics,
+)
 from repro.formats.csdb import CSDBMatrix
 from repro.memsim.allocator import CapacityError
 from repro.memsim.clock import SimClock
@@ -47,6 +57,8 @@ from repro.memsim.devices import (
     Operation,
 )
 from repro.memsim.trace import CostTrace
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.parallel.stats import ThreadStats, summarize_thread_times
 
 #: Bytes of CSDB per-row metadata touched by ``read_index`` (degree-block
@@ -123,10 +135,14 @@ class SpMMEngine:
         self,
         config: OMeGaConfig | None = None,
         cost_model: CostModel | None = None,
+        tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.config = config or OMeGaConfig()
         self.topology = self.config.topology
         self.cost_model = cost_model or CostModel()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._dense_device = self._device_for_dense()
         beta = self.cost_model.beta(self._dense_device, Locality.LOCAL)
         self.allocator: ThreadAllocator = make_allocator(
@@ -226,8 +242,30 @@ class SpMMEngine:
             sparse_bytes + 2.0 * dense_bytes + 2.0 * result_bytes
         )
 
+        with self.tracer.span(
+            "spmm", nnz=matrix.nnz, n_rows=matrix.n_rows, dim=d
+        ) as span:
+            result = self._multiply_instrumented(
+                matrix, dense, d, sparse_bytes, dense_bytes, result_bytes,
+                compute,
+            )
+            self.tracer.advance_sim(result.sim_seconds)
+            span.set("sim_seconds", result.sim_seconds)
+        return result
+
+    def _multiply_instrumented(
+        self,
+        matrix: CSDBMatrix,
+        dense: np.ndarray,
+        d: int,
+        sparse_bytes: float,
+        dense_bytes: float,
+        result_bytes: float,
+        compute: bool,
+    ) -> SpMMResult:
         n_threads = self.config.n_threads
         partitions = self.allocator.allocate(matrix, n_threads)
+        record_allocation_metrics(partitions, self.metrics, self.allocator.name)
         trace = CostTrace()
         clock = SimClock(n_threads)
 
@@ -252,6 +290,7 @@ class SpMMEngine:
             else:
                 plan = DisabledPrefetchPlan()
             prefetch_plans.append(plan)
+            record_prefetch_metrics(plan, partition, d, self.metrics)
             seconds = self._partition_cost(
                 matrix, partition, plan, d, n_threads, trace
             )
@@ -299,13 +338,16 @@ class SpMMEngine:
                 stream_plan = self.loader.plan(
                     matrix.n_cols, d, dram_budget, sparse_bytes
                 )
-                exposed = stream_plan.exposed_seconds(makespan)
+                exposed = self.loader.observe(stream_plan, makespan, self.metrics)
             else:
                 stream_plan = self.loader.plan(matrix.n_cols, d, 0.0, sparse_bytes)
-                exposed = stream_plan.total_load_seconds
+                exposed = self.loader.observe(stream_plan, 0.0, self.metrics)
             trace.charge("stream_load", exposed, dense_bytes)
             clock.advance_all(exposed)
 
+        self.metrics.counter("spmm.calls").inc()
+        self.metrics.counter("spmm.nnz").inc(matrix.nnz)
+        self.metrics.counter("spmm.sim_seconds").inc(clock.makespan)
         return SpMMResult(
             output=output,
             sim_seconds=clock.makespan,

@@ -26,6 +26,35 @@ import numpy as np
 
 from repro.core.eata import WorkloadPartition
 from repro.formats.csdb import CSDBMatrix
+from repro.obs.metrics import MetricsRegistry
+
+#: Histogram buckets for per-workload hit fractions (0..1 in 0.1 steps).
+HIT_FRACTION_BUCKETS = tuple(i / 10.0 for i in range(1, 11))
+
+
+def record_prefetch_metrics(
+    plan: "PrefetchPlan | DisabledPrefetchPlan",
+    partition: WorkloadPartition,
+    dense_cols: int,
+    metrics: MetricsRegistry,
+) -> None:
+    """Flow one workload's WoFP decisions into a metrics registry.
+
+    Hits are the dense accesses served from the DRAM-pinned top-M set;
+    misses pay the PM gather.  ``wofp.pinned_bytes`` is the DRAM the
+    top-M structures reserve — what an over-large σ inflates (Fig. 19c).
+    """
+    w = partition.nnz_count
+    hit_nnz = plan.hit_fraction * w
+    metrics.counter("wofp.plans", kind=plan.kind).inc()
+    metrics.counter("wofp.hit_nnz").inc(hit_nnz)
+    metrics.counter("wofp.miss_nnz").inc(w - hit_nnz)
+    metrics.counter("wofp.pinned_bytes").inc(plan.pinned_bytes(dense_cols))
+    metrics.counter("wofp.maintenance_ops").inc(plan.maintenance_ops)
+    if w > 0:
+        metrics.histogram(
+            "wofp.hit_fraction", buckets=HIT_FRACTION_BUCKETS
+        ).observe(plan.hit_fraction)
 
 
 @dataclass(frozen=True)

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.memsim.devices import MemoryKind
 from repro.memsim.numa import NumaTopology
+from repro.obs.metrics import MetricsRegistry
 
 
 class CapacityError(MemoryError):
@@ -123,6 +124,8 @@ class HeterogeneousAllocator:
             capacity (used to emulate small-DRAM configurations in tests
             and in the ASL granularity computation).
         pm_capacity_bytes: optional override of the per-socket PM capacity.
+        metrics: optional registry receiving per-tier allocation bytes,
+            placement-decision counters and occupancy gauges.
     """
 
     def __init__(
@@ -130,8 +133,10 @@ class HeterogeneousAllocator:
         topology: NumaTopology,
         dram_capacity_bytes: int | None = None,
         pm_capacity_bytes: int | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.topology = topology
+        self.metrics = metrics
         self._capacity: dict[MemoryKind, int] = {}
         for kind in (MemoryKind.DRAM, MemoryKind.PM, MemoryKind.SSD):
             self._capacity[kind] = topology.devices[kind].capacity_bytes
@@ -192,6 +197,12 @@ class HeterogeneousAllocator:
             name=name,
         )
         self._live.append(matrix)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "mem.alloc.count", tier=kind.value, policy=policy.value
+            ).inc()
+            self.metrics.counter("mem.alloc.bytes", tier=kind.value).inc(nbytes)
+            self._update_occupancy(kind)
         return matrix
 
     def free(self, matrix: TieredMatrix) -> None:
@@ -203,6 +214,16 @@ class HeterogeneousAllocator:
         nbytes = matrix.placement.nbytes
         for s, fraction in enumerate(matrix.placement.socket_fractions):
             self._used[(matrix.kind, s)] -= int(round(fraction * nbytes))
+        if self.metrics is not None:
+            self.metrics.counter("mem.free.count", tier=matrix.kind.value).inc()
+            self._update_occupancy(matrix.kind)
+
+    def _update_occupancy(self, kind: MemoryKind) -> None:
+        """Refresh the per-socket occupancy gauges of one tier."""
+        for s in range(self.topology.n_sockets):
+            self.metrics.gauge(
+                "mem.used_bytes", tier=kind.value, socket=s
+            ).set(self._used[(kind, s)])
 
     def live_matrices(self) -> tuple[TieredMatrix, ...]:
         """All currently allocated matrices (for introspection/tests)."""

@@ -63,11 +63,32 @@ class CostTrace:
         return self.seconds(category) / total
 
     def merge(self, other: "CostTrace") -> None:
-        """Fold another trace's charges into this one."""
+        """Fold another trace's charges into this one.
+
+        Per-thread ledgers are accumulated independently and merged at
+        barriers; the exporter merges per-SpMM ledgers the same way.
+        """
         for category, seconds in other._seconds.items():
             self._seconds[category] += seconds
         for category, nbytes in other._bytes.items():
             self._bytes[category] += nbytes
+
+    def to_dict(self) -> dict[str, dict[str, float]]:
+        """Round-trippable plain-dict form (JSON-serializable)."""
+        return {
+            "seconds": dict(self._seconds),
+            "bytes": dict(self._bytes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, dict[str, float]]) -> "CostTrace":
+        """Rebuild a trace from :meth:`to_dict` output."""
+        trace = cls()
+        for category, seconds in payload.get("seconds", {}).items():
+            trace._seconds[category] += float(seconds)
+        for category, nbytes in payload.get("bytes", {}).items():
+            trace._bytes[category] += float(nbytes)
+        return trace
 
     def reset(self) -> None:
         """Clear all accumulated charges."""

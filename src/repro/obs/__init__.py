@@ -1,0 +1,59 @@
+"""Observability: span tracing, metrics and structured telemetry export.
+
+The simulator's cost ledgers (:mod:`repro.memsim.trace`) answer *how
+much* simulated time each operation category consumed; this subpackage
+adds the *where* and *when*:
+
+- :mod:`repro.obs.tracer` — nested spans carrying both simulated and
+  wall-clock durations, with context-manager and decorator APIs;
+- :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms for non-timing telemetry (WoFP hits, allocated bytes,
+  partition entropy, streaming exposure);
+- :mod:`repro.obs.export` — the JSONL event sink, snapshot exporter and
+  :class:`TelemetrySession` bundle shared by the CLI and benches;
+- :mod:`repro.obs.report` — renders a telemetry file back into the
+  Fig. 7(a)-style breakdown tables (``repro report``).
+"""
+
+from repro.obs.export import (
+    JsonlSink,
+    TELEMETRY_VERSION,
+    TelemetrySession,
+    read_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import (
+    merged_cost_trace,
+    render_report,
+    render_report_file,
+    spmm_step_breakdown,
+    split_records,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "SpanTracer",
+    "TELEMETRY_VERSION",
+    "TelemetrySession",
+    "merged_cost_trace",
+    "read_jsonl",
+    "render_report",
+    "render_report_file",
+    "spmm_step_breakdown",
+    "split_records",
+]

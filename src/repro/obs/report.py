@@ -1,0 +1,207 @@
+"""Render a telemetry file back into the paper's breakdown tables.
+
+``repro report <trace.jsonl>`` prints, from the records alone:
+
+1. the span tree (sim + wall seconds per pipeline stage);
+2. the Fig. 7(a) SpMM step decomposition — the five Algorithm 1 steps
+   with their share of SpMM time, reproduced from the exported
+   :class:`~repro.memsim.trace.CostTrace` at full float precision;
+3. auxiliary simulated costs (allocation, prefetch maintenance,
+   streaming, NaDP merges) with their share of total simulated time —
+   the §IV-C/§IV-D overhead accounting;
+4. counters/gauges and histogram summaries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.memsim.trace import SPMM_CATEGORIES, CostTrace
+from repro.obs.export import read_jsonl
+
+
+def _formatters() -> tuple[Callable, Callable]:
+    # Imported lazily: repro.bench's package __init__ pulls in the core
+    # engine, which itself imports repro.obs for instrumentation.
+    from repro.bench.harness import format_seconds, format_table
+
+    return format_seconds, format_table
+
+
+def split_records(
+    records: list[dict[str, Any]],
+) -> dict[str, list[dict[str, Any]]]:
+    """Group records by their ``type`` field."""
+    groups: dict[str, list[dict[str, Any]]] = {
+        "meta": [],
+        "span": [],
+        "metric": [],
+        "cost_trace": [],
+        "event": [],
+    }
+    for record in records:
+        groups.setdefault(record.get("type", "unknown"), []).append(record)
+    return groups
+
+
+def merged_cost_trace(records: list[dict[str, Any]]) -> CostTrace:
+    """Fold every exported cost ledger into one trace.
+
+    Falls back to leaf spans named after the Algorithm 1 steps when no
+    ``cost_trace`` record is present (e.g. a tracer-only producer).
+    """
+    groups = split_records(records)
+    merged = CostTrace()
+    if groups["cost_trace"]:
+        for record in groups["cost_trace"]:
+            merged.merge(CostTrace.from_dict(record))
+        return merged
+    for span in groups["span"]:
+        if span["name"] in SPMM_CATEGORIES:
+            merged.charge(
+                span["name"],
+                span["sim_seconds"],
+                span.get("attributes", {}).get("nbytes", 0.0),
+            )
+    return merged
+
+
+def spmm_step_breakdown(records: list[dict[str, Any]]) -> dict[str, float]:
+    """Per-step simulated seconds of the five Algorithm 1 categories."""
+    trace = merged_cost_trace(records)
+    return {category: trace.seconds(category) for category in SPMM_CATEGORIES}
+
+
+def _span_tree_table(spans: list[dict[str, Any]]) -> str:
+    format_seconds, format_table = _formatters()
+    rows = []
+    for span in spans:
+        indent = "  " * span.get("depth", 0)
+        marker = " !" if span.get("status") == "error" else ""
+        rows.append(
+            [
+                f"{indent}{span['name']}{marker}",
+                format_seconds(span["sim_seconds"]),
+                format_seconds(span["wall_seconds"]),
+            ]
+        )
+    return format_table(["span", "sim", "wall"], rows, title="Pipeline spans")
+
+
+def _breakdown_tables(trace: CostTrace) -> list[str]:
+    format_seconds, format_table = _formatters()
+    tables = []
+    spmm_total = sum(trace.seconds(c) for c in SPMM_CATEGORIES)
+    if spmm_total > 0.0:
+        rows = [
+            [
+                category,
+                f"{trace.seconds(category):.9e}",
+                format_seconds(trace.seconds(category)),
+                f"{trace.seconds(category) / spmm_total * 100:.1f}%",
+            ]
+            for category in SPMM_CATEGORIES
+        ]
+        rows.append(["total", f"{spmm_total:.9e}", format_seconds(spmm_total), "100.0%"])
+        tables.append(
+            format_table(
+                ["step", "sim seconds", "sim", "share of SpMM"],
+                rows,
+                title="SpMM step breakdown (Fig. 7a)",
+            )
+        )
+    others = {
+        category: seconds
+        for category, seconds in trace.breakdown().items()
+        if category not in SPMM_CATEGORIES
+    }
+    total = trace.total_seconds
+    if others and total > 0.0:
+        rows = [
+            [
+                category,
+                f"{seconds:.9e}",
+                format_seconds(seconds),
+                f"{seconds / total * 100:.2f}%",
+            ]
+            for category, seconds in sorted(others.items(), key=lambda kv: -kv[1])
+        ]
+        tables.append(
+            format_table(
+                ["category", "sim seconds", "sim", "share of total"],
+                rows,
+                title="Auxiliary simulated costs (§IV-C/§IV-D)",
+            )
+        )
+    return tables
+
+
+def _metric_tables(metrics: list[dict[str, Any]]) -> list[str]:
+    _, format_table = _formatters()
+
+    def label_suffix(record: dict[str, Any]) -> str:
+        labels = record.get("labels") or {}
+        if not labels:
+            return ""
+        inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        return f"{{{inner}}}"
+
+    tables = []
+    scalars = [m for m in metrics if m["kind"] in ("counter", "gauge")]
+    if scalars:
+        rows = [
+            [
+                f"{m['name']}{label_suffix(m)}",
+                m["kind"],
+                f"{m['value']:.6g}",
+            ]
+            for m in scalars
+        ]
+        tables.append(format_table(["metric", "kind", "value"], rows, "Metrics"))
+    histograms = [m for m in metrics if m["kind"] == "histogram"]
+    if histograms:
+        rows = []
+        for m in histograms:
+            count = m["count"]
+            mean = m["sum"] / count if count else 0.0
+            rows.append(
+                [
+                    f"{m['name']}{label_suffix(m)}",
+                    count,
+                    f"{mean:.6g}",
+                    f"{m['min']:.6g}" if m["min"] is not None else "-",
+                    f"{m['max']:.6g}" if m["max"] is not None else "-",
+                ]
+            )
+        tables.append(
+            format_table(
+                ["histogram", "count", "mean", "min", "max"], rows, "Histograms"
+            )
+        )
+    return tables
+
+
+def render_report(records: list[dict[str, Any]]) -> str:
+    """Render the full plain-text report from telemetry records."""
+    groups = split_records(records)
+    sections: list[str] = []
+    for meta in groups["meta"]:
+        fields = ", ".join(
+            f"{k}={v}" for k, v in sorted(meta.items()) if k != "type"
+        )
+        sections.append(f"telemetry: {fields}")
+    if groups["span"]:
+        sections.append(_span_tree_table(groups["span"]))
+    sections.extend(_breakdown_tables(merged_cost_trace(records)))
+    sections.extend(_metric_tables(groups["metric"]))
+    if groups["event"]:
+        sections.append(f"{len(groups['event'])} event(s) recorded")
+    if len(sections) <= (1 if groups["meta"] else 0):
+        sections.append("telemetry file contains no spans, metrics or ledgers")
+    return "\n\n".join(sections)
+
+
+def render_report_file(path: str | Path) -> str:
+    """Load a telemetry JSONL file and render its report."""
+    return render_report(read_jsonl(path))

@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.formats.csdb import CSDBMatrix
+from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.prone.chebyshev import chebyshev_gaussian_filter
 from repro.prone.laplacian import add_identity, chebyshev_operator, row_l1_normalize
 from repro.prone.tsvd import embedding_from_factors, randomized_tsvd
@@ -92,20 +93,24 @@ def prone_smf(
     adjacency: CSDBMatrix,
     params: ProNEParams,
     matmul_factory: MatMulFactory = _plain_matmul_factory,
+    tracer: SpanTracer | None = None,
 ) -> np.ndarray:
     """Stage 1: initial embedding by randomized tSVD of the SMF matrix."""
-    f = smf_matrix(adjacency, params.negative_exponent)
-    ft = f.transpose()
-    u, s, _ = randomized_tsvd(
-        matmul_factory(f),
-        matmul_factory(ft),
-        f.shape,
-        params.dim,
-        n_oversamples=params.n_oversamples,
-        n_power_iterations=params.n_power_iterations,
-        seed=params.seed,
-    )
-    return embedding_from_factors(u, s)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("smf_matrix"):
+        f = smf_matrix(adjacency, params.negative_exponent)
+        ft = f.transpose()
+    with tracer.span("tsvd", dim=params.dim):
+        u, s, _ = randomized_tsvd(
+            matmul_factory(f),
+            matmul_factory(ft),
+            f.shape,
+            params.dim,
+            n_oversamples=params.n_oversamples,
+            n_power_iterations=params.n_power_iterations,
+            seed=params.seed,
+        )
+        return embedding_from_factors(u, s)
 
 
 def densify_embedding(matrix: np.ndarray, dim: int) -> np.ndarray:
@@ -119,50 +124,60 @@ def prone_propagate(
     embedding: np.ndarray,
     params: ProNEParams,
     matmul_factory: MatMulFactory = _plain_matmul_factory,
+    tracer: SpanTracer | None = None,
 ) -> np.ndarray:
     """Stage 2: spectral propagation through the configured filter."""
-    operator = chebyshev_operator(adjacency, mu=params.mu)
-    aggregate = add_identity(adjacency)
+    tracer = tracer if tracer is not None else NULL_TRACER
+    with tracer.span("laplacian"):
+        operator = chebyshev_operator(adjacency, mu=params.mu)
+        aggregate = add_identity(adjacency)
     operator_matmul = matmul_factory(operator)
     aggregate_matmul = matmul_factory(aggregate)
-    if params.spectral_filter == "gaussian":
-        filtered = chebyshev_gaussian_filter(
-            operator_matmul,
-            aggregate_matmul,
-            embedding,
-            order=params.order,
-            theta=params.theta,
-        )
-    elif params.spectral_filter == "heat":
-        from repro.prone.filters import heat_kernel_filter
+    with tracer.span(
+        "chebyshev_filter", filter=params.spectral_filter, order=params.order
+    ):
+        if params.spectral_filter == "gaussian":
+            filtered = chebyshev_gaussian_filter(
+                operator_matmul,
+                aggregate_matmul,
+                embedding,
+                order=params.order,
+                theta=params.theta,
+            )
+        elif params.spectral_filter == "heat":
+            from repro.prone.filters import heat_kernel_filter
 
-        filtered = heat_kernel_filter(
-            operator_matmul,
-            aggregate_matmul,
-            embedding,
-            order=params.order,
-            s=params.theta,
-        )
-    elif params.spectral_filter == "ppr":
-        from repro.prone.filters import ppr_filter
+            filtered = heat_kernel_filter(
+                operator_matmul,
+                aggregate_matmul,
+                embedding,
+                order=params.order,
+                s=params.theta,
+            )
+        elif params.spectral_filter == "ppr":
+            from repro.prone.filters import ppr_filter
 
-        filtered = ppr_filter(
-            operator_matmul, aggregate_matmul, embedding, order=params.order
-        )
-    else:
-        raise ValueError(
-            f"unknown spectral_filter {params.spectral_filter!r};"
-            " expected 'gaussian', 'heat' or 'ppr'"
-        )
-    return densify_embedding(filtered, params.dim)
+            filtered = ppr_filter(
+                operator_matmul, aggregate_matmul, embedding, order=params.order
+            )
+        else:
+            raise ValueError(
+                f"unknown spectral_filter {params.spectral_filter!r};"
+                " expected 'gaussian', 'heat' or 'ppr'"
+            )
+    with tracer.span("densify"):
+        return densify_embedding(filtered, params.dim)
 
 
 def prone_embed(
     adjacency: CSDBMatrix,
     params: ProNEParams | None = None,
     matmul_factory: MatMulFactory = _plain_matmul_factory,
+    tracer: SpanTracer | None = None,
 ) -> np.ndarray:
     """Full ProNE: SMF bootstrap followed by spectral propagation."""
     params = params or ProNEParams()
-    initial = prone_smf(adjacency, params, matmul_factory)
-    return prone_propagate(adjacency, initial, params, matmul_factory)
+    initial = prone_smf(adjacency, params, matmul_factory, tracer=tracer)
+    return prone_propagate(
+        adjacency, initial, params, matmul_factory, tracer=tracer
+    )
