@@ -1,0 +1,115 @@
+"""Chaos sweep: crash/recovery economics of stage checkpoints.
+
+For every pipeline stage boundary (and both crash phases relative to
+the WAL commit), inject a crash, resume from the last durable
+checkpoint, and compare the *recovered* simulated seconds (work the
+checkpoint saved) against the *recomputed* seconds (work that had to be
+redone).  Every resumed run must produce an embedding bit-identical to
+the uninterrupted one — robustness never costs quality.
+"""
+
+import numpy as np
+from common import (  # noqa: F401
+    dataset,
+    run_once,
+    save_telemetry,
+    telemetry_session,
+    write_report,
+)
+
+from repro.bench import format_seconds, format_table
+from repro.core import OMeGaConfig, OMeGaEmbedder, PIPELINE_STAGES
+from repro.faults import FaultEvent, FaultInjector, FaultPlan, InjectedCrash
+from repro.memsim.persistence import CheckpointedEmbedder
+from repro.obs import MetricsRegistry
+
+DIM = 32
+N_THREADS = 16
+
+
+def _config(graph):
+    return OMeGaConfig(
+        n_threads=N_THREADS, dim=DIM, capacity_scale=graph.scale
+    )
+
+
+def _sweep(graph):
+    fresh = OMeGaEmbedder(_config(graph)).embed_edges(
+        graph.edges, graph.n_nodes
+    )
+    session = telemetry_session("chaos_recovery", graph=graph.name)
+    rows = []
+    for stage in PIPELINE_STAGES:
+        for phase in ("after_commit", "before_commit"):
+            plan = FaultPlan(
+                events=(FaultEvent("crash", stage, phase=phase),)
+            )
+            metrics = MetricsRegistry()
+            embedder = OMeGaEmbedder(_config(graph), metrics=metrics)
+            checkpointed = CheckpointedEmbedder(embedder)
+            injector = FaultInjector(plan, metrics)
+            try:
+                checkpointed.embed_with_checkpoints(
+                    graph.edges, graph.n_nodes, faults=injector
+                )
+                raise AssertionError(f"crash at {stage}/{phase} never fired")
+            except InjectedCrash:
+                pass
+            result = checkpointed.resume(faults=injector)
+            assert np.array_equal(result.embedding, fresh.embedding), (
+                f"resume after crash at {stage}/{phase} is not bit-identical"
+            )
+            recovered = metrics.counter(
+                "checkpoint.recovered_sim_seconds"
+            ).value
+            recomputed = result.sim_seconds - recovered
+            session.event(
+                "crash_recovery", stage=stage, phase=phase,
+                recovered_stages=metrics.counter(
+                    "checkpoint.recovered_stages"
+                ).value,
+                recovered_sim_seconds=recovered,
+                recomputed_sim_seconds=recomputed,
+            )
+            rows.append(
+                (stage, phase, result.sim_seconds, recovered, recomputed)
+            )
+    save_telemetry(session, "chaos_recovery")
+    return fresh, rows
+
+
+def test_chaos_recovery(run_once):
+    graph = dataset("PK")
+    fresh, rows = run_once(lambda: _sweep(graph))
+    table = format_table(
+        ["crash stage", "phase", "total", "recovered", "recomputed"],
+        [
+            [
+                stage,
+                phase,
+                format_seconds(total),
+                format_seconds(recovered),
+                format_seconds(recomputed),
+            ]
+            for stage, phase, total, recovered, recomputed in rows
+        ],
+        title=(
+            "Chaos sweep — simulated seconds recovered from stage"
+            f" checkpoints vs recomputed (PK, fresh run"
+            f" {format_seconds(fresh.sim_seconds)})"
+        ),
+    )
+    write_report("chaos_recovery", table)
+    for stage, phase, total, recovered, recomputed in rows:
+        # Every resumed run reports the uninterrupted run's total.
+        assert total == fresh.sim_seconds
+        # A before_commit crash loses that stage's record: strictly
+        # less work recovered than the matching after_commit crash.
+        if phase == "after_commit" and stage != PIPELINE_STAGES[0]:
+            assert recovered > 0.0
+    by_key = {(s, p): rec for s, p, _, rec, _ in rows}
+    for stage in PIPELINE_STAGES[1:]:
+        assert (
+            by_key[(stage, "after_commit")]
+            >= by_key[(stage, "before_commit")]
+        )

@@ -6,7 +6,14 @@ on the billion-scale graphs, exactly as the paper omits those bars.
 """
 
 import numpy as np
-from common import ALL_GRAPHS, N_THREADS, run_once, write_report
+from common import (
+    ALL_GRAPHS,
+    N_THREADS,
+    run_once,
+    save_telemetry,
+    telemetry_session,
+    write_report,
+)
 
 from repro.baselines import (
     GinexSimulator,
@@ -30,6 +37,9 @@ EXTRA_SCALE = 4
 def _collect():
     arms = standard_arms(n_threads=N_THREADS, dim=DIM)
     competitors = (GinexSimulator(), MariusGNNSimulator())
+    session = telemetry_session(
+        "fig12_overall", n_threads=N_THREADS, dim=DIM
+    )
     rows = {}
     results = []
     for name in ALL_GRAPHS:
@@ -38,13 +48,21 @@ def _collect():
         )
         row = {}
         for arm in arms:
-            result = run_arm(arm, graph)
+            result = run_arm(
+                arm, graph,
+                tracer=session.tracer, metrics=session.metrics,
+            )
+            session.event(
+                "arm", system=arm.name, graph=name,
+                status=result.status, sim_seconds=result.sim_seconds,
+            )
             results.append(result)
             row[arm.name] = result.sim_seconds
         for sim in competitors:
             result = sim.run(graph, dim=DIM)
             row[sim.name] = result.sim_seconds
         rows[name] = (row, graph.scale)
+    save_telemetry(session, "fig12_overall")
     return rows, results
 
 

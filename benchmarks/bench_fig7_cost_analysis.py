@@ -13,6 +13,8 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
@@ -22,9 +24,12 @@ from repro.memsim.trace import SPMM_CATEGORIES
 
 
 def _breakdown(graph):
-    result = engine_for(graph).multiply(
+    session = telemetry_session("fig7a_breakdown", graph=graph.name)
+    result = engine_for(graph, session=session).multiply(
         graph.adjacency_csdb(), dense_operand(graph), compute=False
     )
+    session.add_cost_trace("spmm", result.trace)
+    save_telemetry(session, "fig7a_breakdown")
     total = sum(result.trace.seconds(c) for c in SPMM_CATEGORIES)
     return {c: result.trace.seconds(c) / total for c in SPMM_CATEGORIES}
 

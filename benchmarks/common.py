@@ -19,6 +19,7 @@ import pytest
 
 from repro.core import OMeGaConfig, SpMMEngine
 from repro.graphs import Dataset, load_dataset
+from repro.obs import TelemetrySession
 
 #: Graphs used by most SpMM-level experiments (Figs. 14-16, Table II).
 SPMM_GRAPHS = ("PK", "LJ", "OR", "TW", "TW-2010")
@@ -45,11 +46,34 @@ def dense_operand(graph: Dataset, dim: int = DIM) -> np.ndarray:
     return np.random.default_rng(0).standard_normal((graph.n_nodes, dim))
 
 
-def engine_for(graph: Dataset, **overrides) -> SpMMEngine:
-    """Engine with the paper's default configuration for a dataset."""
+def engine_for(
+    graph: Dataset, session: TelemetrySession | None = None, **overrides
+) -> SpMMEngine:
+    """Engine with the paper's default configuration for a dataset.
+
+    Pass a :func:`telemetry_session` to capture the engine's spans and
+    metrics; :func:`save_telemetry` writes them next to the report.
+    """
     base = dict(n_threads=N_THREADS, dim=DIM, capacity_scale=graph.scale)
     base.update(overrides)
-    return SpMMEngine(OMeGaConfig(**base))
+    return SpMMEngine(
+        OMeGaConfig(**base),
+        tracer=session.tracer if session else None,
+        metrics=session.metrics if session else None,
+    )
+
+
+def telemetry_session(name: str, **meta) -> TelemetrySession:
+    """Telemetry session for one bench module's experiment."""
+    return TelemetrySession(meta={"benchmark": name, **meta})
+
+
+def save_telemetry(session: TelemetrySession, name: str) -> Path:
+    """Persist a session as ``benchmarks/results/<name>.telemetry.jsonl``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.telemetry.jsonl"
+    session.save(path)
+    return path
 
 
 def write_report(name: str, text: str) -> None:

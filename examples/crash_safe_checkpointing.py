@@ -1,28 +1,42 @@
-"""Crash-safe embedding checkpoints on App-direct PM.
+"""Crash-safe embedding checkpoints and stage-granular recovery.
 
 The paper (§II-B) uses PM in App-directed mode, where applications get
 byte-addressable persistence through flush/fence ordering.  This example
-persists embeddings with the shadow-commit protocol and shows that an
-injected crash mid-checkpoint never loses the previous version — the
-practical payoff of App-direct mode that Memory Mode cannot offer.
+shows both recovery granularities built on that discipline:
+
+1. *whole-run shadow commits* — an injected crash mid-checkpoint never
+   loses the previous version, and the computed result survives in
+   memory so only the commit needs retrying;
+2. *stage-granular WAL checkpoints* — a seeded fault plan crashes the
+   pipeline right after factorization; ``resume()`` recovers the durable
+   stages, redoes only the propagation, and the final embedding is
+   bit-identical to an uninterrupted run.
 
 Run:  python examples/crash_safe_checkpointing.py
 """
 
 import numpy as np
 
-from repro import OMeGaConfig, OMeGaEmbedder, load_dataset
+from repro import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    OMeGaConfig,
+    OMeGaEmbedder,
+    load_dataset,
+)
 from repro.memsim import CheckpointedEmbedder, CrashInjected
+from repro.obs import MetricsRegistry
 
 
 def main() -> None:
     dataset = load_dataset("PK", scale=2048)
-    embedder = OMeGaEmbedder(
-        OMeGaConfig(n_threads=8, dim=16, capacity_scale=dataset.scale)
-    )
-    checkpointed = CheckpointedEmbedder(embedder)
+    config = OMeGaConfig(n_threads=8, dim=16, capacity_scale=dataset.scale)
+    checkpointed = CheckpointedEmbedder(OMeGaEmbedder(config))
 
-    # First run commits durably.
+    # -- whole-run shadow commits ------------------------------------------
+
     result, checkpoint_seconds = checkpointed.embed_and_checkpoint(
         dataset.edges, dataset.n_nodes
     )
@@ -34,8 +48,8 @@ def main() -> None:
         f" {checkpointed.domain.durable_bytes / 1024:.0f} KiB flushed)"
     )
 
-    # Second run crashes mid-checkpoint (power failure injected between
-    # the shadow flush and the commit-record flip).
+    # A crash between the shadow flush and the commit-record flip loses
+    # neither the previous durable version nor the computed result.
     try:
         checkpointed.embed_and_checkpoint(
             dataset.edges, dataset.n_nodes, crash=True
@@ -51,6 +65,47 @@ def main() -> None:
         f" {'intact' if intact else 'LOST'}"
     )
     assert intact
+
+    # The second run's result survived the crash in memory, so only the
+    # commit is retried — no re-embedding.
+    retried, retry_seconds = checkpointed.retry_checkpoint()
+    print(
+        f"4. Retried the failed commit alone in"
+        f" {retry_seconds * 1e6:.1f} us — no recompute"
+        f" (now at checkpoint #{checkpointed.store.committed_sequence})"
+    )
+
+    # -- stage-granular WAL checkpoints ------------------------------------
+
+    plan = FaultPlan(
+        events=(FaultEvent("crash", "factorization"),), seed=11
+    )
+    metrics = MetricsRegistry()
+    embedder = OMeGaEmbedder(config, metrics=metrics)
+    staged = CheckpointedEmbedder(embedder)
+    injector = FaultInjector(plan, metrics)
+    try:
+        staged.embed_with_checkpoints(
+            dataset.edges, dataset.n_nodes, faults=injector
+        )
+    except InjectedCrash as crash:
+        print(
+            f"5. Fault plan crashed the pipeline after {crash.site!r};"
+            f" durable stages: {staged.wal.stages}"
+        )
+
+    resumed = staged.resume(faults=injector)
+    saved = metrics.counter("checkpoint.recovered_sim_seconds").value
+    identical = np.array_equal(resumed.embedding, result.embedding)
+    print(
+        f"6. Resume skipped"
+        f" {metrics.counter('checkpoint.recovered_stages').value:.0f}"
+        f" stages ({saved * 1e3:.2f} ms of simulated work not redone);"
+        f" final embedding"
+        f" {'bit-identical' if identical else 'DIFFERS'} to the"
+        " uninterrupted run"
+    )
+    assert identical
 
 
 if __name__ == "__main__":

@@ -21,6 +21,8 @@ Subpackages:
 - :mod:`repro.baselines` — the paper's comparison systems;
 - :mod:`repro.eval` — link-prediction / node-classification probes;
 - :mod:`repro.obs` — span tracing, metrics and telemetry export;
+- :mod:`repro.faults` — deterministic fault injection (crash points,
+  transient load errors, PM degradation, tier loss);
 - :mod:`repro.parallel`, :mod:`repro.bench` — execution and reporting
   helpers.
 """
@@ -34,8 +36,17 @@ from repro.core import (
     SpMMEngine,
 )
 from repro.core.embedding import EmbeddingResult, embedder_for_dataset
+from repro.faults import (
+    FaultError,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    RetryExhaustedError,
+)
 from repro.formats import CSDBMatrix, CSRMatrix, edges_to_csdb, edges_to_csr
 from repro.graphs import Dataset, load_dataset, rmat_edges
+from repro.memsim import CheckpointedEmbedder
 from repro.obs import MetricsRegistry, SpanTracer, TelemetrySession
 
 __version__ = "1.0.0"
@@ -44,13 +55,20 @@ __all__ = [
     "AllocationScheme",
     "CSDBMatrix",
     "CSRMatrix",
+    "CheckpointedEmbedder",
     "Dataset",
     "EmbeddingResult",
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedCrash",
     "MemoryMode",
     "MetricsRegistry",
     "OMeGaConfig",
     "OMeGaEmbedder",
     "PlacementScheme",
+    "RetryExhaustedError",
     "SpMMEngine",
     "SpanTracer",
     "TelemetrySession",

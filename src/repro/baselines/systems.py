@@ -22,6 +22,8 @@ from repro.core.config import (
 from repro.core.embedding import EmbeddingResult, OMeGaEmbedder
 from repro.graphs.datasets import Dataset
 from repro.memsim.allocator import CapacityError
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import SpanTracer
 from repro.prone.model import ProNEParams
 
 
@@ -32,12 +34,18 @@ class SystemArm:
     name: str
     config: OMeGaConfig
 
-    def embedder(self, dataset: Dataset, **overrides: object) -> OMeGaEmbedder:
+    def embedder(
+        self,
+        dataset: Dataset,
+        tracer: SpanTracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        **overrides: object,
+    ) -> OMeGaEmbedder:
         """Instantiate the arm's embedder for a dataset."""
         config = self.config.with_overrides(
             capacity_scale=dataset.scale, **overrides
         )
-        return OMeGaEmbedder(config)
+        return OMeGaEmbedder(config, tracer=tracer, metrics=metrics)
 
 
 @dataclass
@@ -130,9 +138,16 @@ def run_arm(
     arm: SystemArm,
     dataset: Dataset,
     params: ProNEParams | None = None,
+    tracer: SpanTracer | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> SystemResult:
-    """Run one arm on one dataset, catching the expected OOMs."""
-    embedder = arm.embedder(dataset)
+    """Run one arm on one dataset, catching the expected OOMs.
+
+    Pass a ``tracer``/``metrics`` pair (e.g. a
+    :class:`~repro.obs.export.TelemetrySession`'s) to capture the arm's
+    spans and counters alongside its result.
+    """
+    embedder = arm.embedder(dataset, tracer=tracer, metrics=metrics)
     if params is not None:
         if params.dim != embedder.config.dim:
             raise ValueError(

@@ -21,6 +21,8 @@ from repro.core.config import (
 )
 from repro.core.spmm import SpMMEngine
 from repro.graphs.datasets import Dataset, load_dataset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, SpanTracer
 
 
 @dataclass(frozen=True)
@@ -39,41 +41,58 @@ class CalibrationPoint:
         return self.low <= self.measured <= self.high
 
 
-def _spmm_seconds(dataset: Dataset, dense: np.ndarray, **overrides) -> float:
+def _spmm_seconds(
+    dataset: Dataset,
+    dense: np.ndarray,
+    arm: str = "omega",
+    tracer: SpanTracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    **overrides,
+) -> float:
     base = dict(n_threads=30, dim=32, capacity_scale=dataset.scale)
     base.update(overrides)
-    engine = SpMMEngine(OMeGaConfig(**base))
-    return engine.multiply(
-        dataset.adjacency_csdb(), dense, compute=False
-    ).sim_seconds
+    tracer = tracer if tracer is not None else NULL_TRACER
+    engine = SpMMEngine(OMeGaConfig(**base), tracer=tracer, metrics=metrics)
+    with tracer.span("calibrate_arm", arm=arm) as span:
+        seconds = engine.multiply(
+            dataset.adjacency_csdb(), dense, compute=False
+        ).sim_seconds
+        span.set("sim_seconds", seconds)
+    return seconds
 
 
-def calibration_report(dataset_name: str = "LJ") -> list[CalibrationPoint]:
-    """Measure every headline SpMM-level ratio on one graph."""
+def calibration_report(
+    dataset_name: str = "LJ",
+    tracer: SpanTracer | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> list[CalibrationPoint]:
+    """Measure every headline SpMM-level ratio on one graph.
+
+    A ``tracer``/``metrics`` pair (e.g. a telemetry session's) captures
+    one ``calibrate_arm`` span per measured configuration.
+    """
     dataset = load_dataset(dataset_name)
     dense = np.random.default_rng(0).standard_normal((dataset.n_nodes, 32))
 
-    omega = _spmm_seconds(dataset, dense)
-    dram = _spmm_seconds(dataset, dense, memory_mode=MemoryMode.DRAM_ONLY)
-    pm = _spmm_seconds(
-        dataset,
-        dense,
+    def measure(arm: str, **overrides) -> float:
+        return _spmm_seconds(
+            dataset, dense, arm=arm, tracer=tracer, metrics=metrics,
+            **overrides,
+        )
+
+    omega = measure("omega")
+    dram = measure("omega-dram", memory_mode=MemoryMode.DRAM_ONLY)
+    pm = measure(
+        "omega-pm",
         memory_mode=MemoryMode.PM_ONLY,
         prefetcher_enabled=False,
     )
-    rr = _spmm_seconds(
-        dataset, dense, allocation=AllocationScheme.ROUND_ROBIN
-    )
-    wata = _spmm_seconds(
-        dataset, dense, allocation=AllocationScheme.WORKLOAD_BALANCED
-    )
-    no_wofp = _spmm_seconds(dataset, dense, prefetcher_enabled=False)
-    interleave = _spmm_seconds(
-        dataset, dense, placement=PlacementScheme.INTERLEAVE
-    )
-    prone_dram = _spmm_seconds(
-        dataset,
-        dense,
+    rr = measure("rr", allocation=AllocationScheme.ROUND_ROBIN)
+    wata = measure("wata", allocation=AllocationScheme.WORKLOAD_BALANCED)
+    no_wofp = measure("no-wofp", prefetcher_enabled=False)
+    interleave = measure("no-nadp", placement=PlacementScheme.INTERLEAVE)
+    prone_dram = measure(
+        "prone-dram",
         memory_mode=MemoryMode.DRAM_ONLY,
         allocation=AllocationScheme.NATURAL_ROUND_ROBIN,
         placement=PlacementScheme.INTERLEAVE,

@@ -11,8 +11,12 @@ Commands:
 - ``report``            — render a ``--telemetry-out`` JSONL file back
   into the Fig. 7(a)-style breakdown tables.
 
-``embed`` and ``spmm`` accept ``--telemetry-out PATH`` to export spans,
-metrics and cost ledgers as structured JSONL (see :mod:`repro.obs`).
+``embed``, ``spmm``, ``compare`` and ``calibrate`` accept
+``--telemetry-out PATH`` to export spans, metrics and cost ledgers as
+structured JSONL (see :mod:`repro.obs`).  ``embed`` additionally takes
+``--faults PLAN.json`` (a :class:`repro.faults.FaultPlan`) to run under
+injected faults with stage-granular checkpoints, and ``--resume`` to
+recover from injected crashes and finish the run.
 """
 
 from __future__ import annotations
@@ -32,10 +36,12 @@ from repro.core.config import (
 )
 from repro.core.embedding import OMeGaEmbedder
 from repro.core.spmm import SpMMEngine
+from repro.faults import FaultInjector, FaultPlan, InjectedCrash
 from repro.formats.convert import edges_to_csdb
 from repro.graphs.datasets import DATASET_NAMES, dataset_table, load_dataset
 from repro.graphs.io import load_edge_list
 from repro.memsim.devices import pm_spec
+from repro.memsim.persistence import CheckpointedEmbedder
 from repro.memsim.probe import peak_bandwidth_summary, probe_bandwidth
 from repro.obs.export import TelemetrySession
 from repro.obs.report import render_report_file
@@ -152,6 +158,68 @@ def _save_telemetry(session: TelemetrySession | None, path: str | None) -> None:
         print(f"telemetry written to {path}")
 
 
+def _embed_under_faults(
+    args: argparse.Namespace,
+    embedder: OMeGaEmbedder,
+    edges: np.ndarray,
+    n_nodes: int,
+    session: TelemetrySession | None,
+):
+    """Run ``embed`` under a fault plan; returns the result or None.
+
+    Crashes propagate as printed diagnostics; with ``--resume`` the run
+    recovers from the last durable stage checkpoint (repeatedly, if the
+    plan arms several crashes) and still completes.
+    """
+    plan = FaultPlan.load(args.faults)
+    injector = FaultInjector(plan, embedder.metrics)
+    checkpointed = CheckpointedEmbedder(embedder)
+    if session is not None:
+        session.event(
+            "fault_plan", path=args.faults, seed=plan.seed,
+            events=[event.to_dict() for event in plan.events],
+        )
+    try:
+        return checkpointed.embed_with_checkpoints(
+            edges, n_nodes, faults=injector
+        )
+    except InjectedCrash as crash:
+        print(
+            f"injected crash at stage {crash.site!r} ({crash.phase});"
+            f" durable stages: {checkpointed.wal.stages or 'none'}"
+        )
+        if session is not None:
+            session.event("crash", site=crash.site, phase=crash.phase)
+        if not args.resume:
+            print("re-run with --resume to recover from the checkpoint log")
+            return None
+    while True:
+        try:
+            result = checkpointed.resume(faults=injector)
+            break
+        except InjectedCrash as crash:
+            print(
+                f"injected crash at stage {crash.site!r} ({crash.phase});"
+                " resuming again"
+            )
+            if session is not None:
+                session.event("crash", site=crash.site, phase=crash.phase)
+    recovered = embedder.metrics.counter("checkpoint.recovered_stages").value
+    recovered_sim = embedder.metrics.counter(
+        "checkpoint.recovered_sim_seconds"
+    ).value
+    print(
+        f"resumed: {recovered:.0f} stage checkpoints recovered,"
+        f" {format_seconds(recovered_sim)} of simulated work not redone"
+    )
+    if session is not None:
+        session.event(
+            "resumed", recovered_stages=recovered,
+            recovered_sim_seconds=recovered_sim,
+        )
+    return result
+
+
 def cmd_embed(args: argparse.Namespace) -> int:
     edges, n_nodes, scale, name = _load_graph(args)
     config = _config_from_args(args, scale)
@@ -161,7 +229,13 @@ def cmd_embed(args: argparse.Namespace) -> int:
         tracer=session.tracer if session else None,
         metrics=session.metrics if session else None,
     )
-    result = embedder.embed_edges(edges, n_nodes)
+    if args.faults:
+        result = _embed_under_faults(args, embedder, edges, n_nodes, session)
+        if result is None:
+            _save_telemetry(session, args.telemetry_out)
+            return 1
+    else:
+        result = embedder.embed_edges(edges, n_nodes)
     print(
         f"{name}: embedded {n_nodes:,} nodes in"
         f" {format_seconds(result.sim_seconds)} simulated"
@@ -216,9 +290,31 @@ def cmd_report(args: argparse.Namespace) -> int:
 
 def cmd_compare(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.graph)
+    session = None
+    if args.telemetry_out:
+        session = TelemetrySession(
+            meta={
+                "command": "compare",
+                "graph": dataset.name,
+                "threads": args.threads,
+                "dim": args.dim,
+            }
+        )
     rows = []
     for arm in standard_arms(n_threads=args.threads, dim=args.dim):
-        result = run_arm(arm, dataset)
+        result = run_arm(
+            arm,
+            dataset,
+            tracer=session.tracer if session else None,
+            metrics=session.metrics if session else None,
+        )
+        if session is not None:
+            session.event(
+                "arm", system=arm.name, status=result.status,
+                sim_seconds=result.sim_seconds,
+            )
+            if result.result is not None:
+                session.add_cost_trace(arm.name, result.result.trace)
         rows.append(
             [
                 arm.name,
@@ -235,6 +331,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             title=f"Fig. 12 arms on {dataset.name}",
         )
     )
+    _save_telemetry(session, args.telemetry_out)
     return 0
 
 
@@ -251,10 +348,25 @@ def build_parser() -> argparse.ArgumentParser:
         "calibrate", help="measured headline ratios vs the paper"
     )
     calibrate.add_argument("--graph", default="LJ")
+    calibrate.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="export per-arm spans and calibration points as JSONL",
+    )
 
     embed = sub.add_parser("embed", help="embed a graph")
     embed.add_argument("graph", help="Table I name (PK..FR) or edge-list path")
     embed.add_argument("--output", help="save the embedding as .npy")
+    embed.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="run under a JSON fault plan with stage checkpoints",
+    )
+    embed.add_argument(
+        "--resume",
+        action="store_true",
+        help="recover from injected crashes via the checkpoint log",
+    )
     _add_engine_arguments(embed)
 
     spmm = sub.add_parser("spmm", help="run one instrumented SpMM")
@@ -265,6 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("graph", choices=list(DATASET_NAMES))
     compare.add_argument("--threads", type=int, default=16)
     compare.add_argument("--dim", type=int, default=32)
+    compare.add_argument(
+        "--telemetry-out",
+        metavar="PATH",
+        help="export per-arm spans, metrics and cost ledgers as JSONL",
+    )
 
     report = sub.add_parser(
         "report", help="render a telemetry JSONL file as breakdown tables"
@@ -277,8 +394,25 @@ def build_parser() -> argparse.ArgumentParser:
 def cmd_calibrate(args: argparse.Namespace) -> int:
     from repro.bench.calibration import calibration_report, format_report
 
-    points = calibration_report(args.graph)
+    session = None
+    if args.telemetry_out:
+        session = TelemetrySession(
+            meta={"command": "calibrate", "graph": args.graph}
+        )
+    points = calibration_report(
+        args.graph,
+        tracer=session.tracer if session else None,
+        metrics=session.metrics if session else None,
+    )
     print(format_report(points))
+    if session is not None:
+        for point in points:
+            session.event(
+                "calibration_point", ratio=point.name,
+                paper_value=point.paper_value, measured=point.measured,
+                in_band=point.in_band,
+            )
+    _save_telemetry(session, args.telemetry_out)
     return 0 if all(p.in_band for p in points) else 1
 
 

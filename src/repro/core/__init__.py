@@ -10,7 +10,14 @@
   memory embedding pipeline.
 """
 
-from repro.core.asl import StreamingLoader, StreamPlan, optimal_partitions
+from repro.core.asl import (
+    DEFAULT_RETRY_POLICY,
+    LoadOutcome,
+    RetryPolicy,
+    StreamingLoader,
+    StreamPlan,
+    optimal_partitions,
+)
 from repro.core.config import (
     AllocationScheme,
     MemoryMode,
@@ -30,16 +37,25 @@ from repro.core.eata import (
     WorkloadPartition,
     make_allocator,
 )
-from repro.core.embedding import EmbeddingResult, OMeGaEmbedder
+from repro.core.embedding import (
+    PIPELINE_STAGES,
+    EmbeddingResult,
+    OMeGaEmbedder,
+    PipelineRun,
+    PipelineState,
+)
 from repro.core.operators import OperatorResult, OperatorSuite
 from repro.core.tuning import TuningResult, tune_prefetcher
 from repro.core.nadp import (
+    FALLBACK_ORDER,
     AccessPlan,
     DataPlacement,
     InterleavePlacement,
     LocalPlacement,
     NaDPPlacement,
+    TierFallback,
     make_placement,
+    plan_tier_fallback,
 )
 from repro.core.spmm import SpMMEngine, SpMMResult
 from repro.core.wofp import PrefetchPlan, WorkloadPrefetcher
@@ -48,10 +64,13 @@ __all__ = [
     "AccessPlan",
     "AllocationScheme",
     "AllocatorContext",
+    "DEFAULT_RETRY_POLICY",
     "DataPlacement",
     "EmbeddingResult",
     "EntropyAwareAllocator",
+    "FALLBACK_ORDER",
     "InterleavePlacement",
+    "LoadOutcome",
     "LocalPlacement",
     "MemoryMode",
     "NaDPPlacement",
@@ -60,20 +79,26 @@ __all__ = [
     "OMeGaEmbedder",
     "OperatorResult",
     "OperatorSuite",
+    "PIPELINE_STAGES",
+    "PipelineRun",
+    "PipelineState",
     "PlacementScheme",
     "PrefetchPlan",
+    "RetryPolicy",
     "RoundRobinAllocator",
     "SpMMEngine",
     "SpMMResult",
     "StreamPlan",
     "StreamingLoader",
     "ThreadAllocator",
+    "TierFallback",
     "TuningResult",
     "WorkloadBalancedAllocator",
     "WorkloadPartition",
     "WorkloadPrefetcher",
     "make_allocator",
     "make_placement",
+    "plan_tier_fallback",
     "omega_config",
     "omega_dram_config",
     "omega_pm_config",

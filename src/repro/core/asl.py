@@ -19,6 +19,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.faults import (
+    ASL_LOAD_SITE,
+    FaultInjector,
+    RetryExhaustedError,
+)
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -53,6 +58,67 @@ def optimal_partitions(
         return dim
     n = math.ceil(3.0 * dense_bytes / denominator)
     return min(max(n, 1), dim)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff for transient streaming-load failures.
+
+    Attributes:
+        max_retries: failed attempts tolerated before
+            :class:`~repro.faults.RetryExhaustedError`.
+        base_delay_seconds: backoff before the first retry.
+        multiplier: per-retry backoff growth factor.
+    """
+
+    max_retries: int = 3
+    base_delay_seconds: float = 1e-3
+    multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay_seconds < 0:
+            raise ValueError(
+                "base_delay_seconds must be >= 0,"
+                f" got {self.base_delay_seconds}"
+            )
+        if self.multiplier < 1.0:
+            raise ValueError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay(self, attempt: int) -> float:
+        """Backoff charged after the ``attempt``-th failure (0-based)."""
+        return self.base_delay_seconds * self.multiplier**attempt
+
+
+#: Default backoff used by the engine when none is configured.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class LoadOutcome:
+    """Result of one (possibly retried) streaming load.
+
+    Attributes:
+        exposed_seconds: non-overlapped streaming time of the attempt
+            that succeeded.
+        retry_seconds: simulated time lost to failed attempts — the
+            wasted partial transfers plus the backoff delays.
+        attempts: total attempts, including the successful one.
+    """
+
+    exposed_seconds: float
+    retry_seconds: float
+    attempts: int
+
+    @property
+    def total_seconds(self) -> float:
+        """Everything the load put on the critical path."""
+        return self.exposed_seconds + self.retry_seconds
 
 
 @dataclass(frozen=True)
@@ -143,3 +209,43 @@ class StreamingLoader:
             )
             metrics.gauge("asl.n_partitions").set(plan.n_partitions)
         return exposed
+
+    def load(
+        self,
+        plan: StreamPlan,
+        compute_seconds: float,
+        metrics: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
+        site: str = ASL_LOAD_SITE,
+        retry: RetryPolicy = DEFAULT_RETRY_POLICY,
+    ) -> LoadOutcome:
+        """One streaming load with retry-on-transient-failure semantics.
+
+        Each injected transient failure wastes one in-flight batch and
+        pays the policy's exponential backoff, both charged to the
+        simulated clock (``asl.retries`` / ``asl.retry_seconds``
+        metrics).  When the failures outlast ``retry.max_retries``
+        attempts beyond the first, the typed
+        :class:`~repro.faults.RetryExhaustedError` propagates — the
+        caller decides whether that degrades the tier or aborts.
+        """
+        retry_seconds = 0.0
+        attempts = 0
+        while True:
+            attempts += 1
+            if faults is None or not faults.take_transient_failure(site):
+                exposed = self.observe(plan, compute_seconds, metrics)
+                return LoadOutcome(
+                    exposed_seconds=exposed,
+                    retry_seconds=retry_seconds,
+                    attempts=attempts,
+                )
+            # One in-flight batch is lost, then the backoff elapses.
+            wasted = plan.total_load_seconds / plan.n_partitions
+            delay = retry.delay(attempts - 1)
+            retry_seconds += wasted + delay
+            if metrics is not None:
+                metrics.counter("asl.retries").inc()
+                metrics.counter("asl.retry_seconds").inc(wasted + delay)
+            if attempts > retry.max_retries:
+                raise RetryExhaustedError(site, attempts)

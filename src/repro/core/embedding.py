@@ -21,8 +21,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.config import MemoryMode, OMeGaConfig
+from repro.core.config import OMeGaConfig
+from repro.core.nadp import TierFallback, plan_tier_fallback
 from repro.core.spmm import SpMMEngine, SpMMResult
+from repro.faults import FaultError, FaultInjector
 from repro.formats.convert import edges_to_csdb
 from repro.formats.csdb import CSDBMatrix
 from repro.graphs.datasets import Dataset
@@ -44,6 +46,16 @@ from repro.prone.model import (
 #: Approximate bytes per edge of a SNAP-style text edge list (two ids,
 #: separator, newline), used to cost the read of the on-disk graph.
 TEXT_BYTES_PER_EDGE = 14.0
+
+#: The pipeline's checkpointable stages, in execution order.
+STAGE_GRAPH_READ = "graph_read"
+STAGE_FACTORIZATION = "factorization"
+STAGE_PROPAGATION = "propagation"
+PIPELINE_STAGES = (
+    STAGE_GRAPH_READ,
+    STAGE_FACTORIZATION,
+    STAGE_PROPAGATION,
+)
 
 
 @dataclass
@@ -85,6 +97,78 @@ class EmbeddingResult:
         return self.spmm_seconds / self.sim_seconds
 
 
+@dataclass
+class PipelineState:
+    """Checkpointable state carried between pipeline stages.
+
+    A stage-granular checkpoint is exactly one of these: the last
+    completed stage, the numeric intermediates needed to continue
+    (``initial`` after factorization, ``embedding`` after propagation)
+    and the accumulated cost accounting, so a resumed run reports the
+    same totals — and the same bits — as an uninterrupted one.
+    """
+
+    stage: str | None = None
+    read_seconds: float = 0.0
+    factorization_seconds: float = 0.0
+    propagation_seconds: float = 0.0
+    spmm_seconds: float = 0.0
+    serial_seconds: float = 0.0
+    n_spmm: int = 0
+    trace_payload: dict = field(default_factory=dict)
+    initial: np.ndarray | None = None
+    embedding: np.ndarray | None = None
+
+    @property
+    def completed_stages(self) -> tuple[str, ...]:
+        """Stages already durable, in execution order."""
+        if self.stage is None:
+            return ()
+        return PIPELINE_STAGES[: PIPELINE_STAGES.index(self.stage) + 1]
+
+    @property
+    def sim_seconds(self) -> float:
+        """Simulated seconds accumulated so far."""
+        return self.read_seconds + self.spmm_seconds + self.serial_seconds
+
+    def to_payload(self) -> tuple[dict[str, np.ndarray], dict]:
+        """Split into (arrays, JSON-able metadata) for a WAL record."""
+        arrays = {}
+        if self.initial is not None:
+            arrays["initial"] = self.initial
+        if self.embedding is not None:
+            arrays["embedding"] = self.embedding
+        meta = {
+            "stage": self.stage,
+            "read_seconds": self.read_seconds,
+            "factorization_seconds": self.factorization_seconds,
+            "propagation_seconds": self.propagation_seconds,
+            "spmm_seconds": self.spmm_seconds,
+            "serial_seconds": self.serial_seconds,
+            "n_spmm": self.n_spmm,
+            "trace_payload": self.trace_payload,
+        }
+        return arrays, meta
+
+    @classmethod
+    def from_payload(
+        cls, arrays: dict[str, np.ndarray], meta: dict
+    ) -> "PipelineState":
+        """Rebuild the state a WAL record captured."""
+        return cls(
+            stage=meta["stage"],
+            read_seconds=meta["read_seconds"],
+            factorization_seconds=meta["factorization_seconds"],
+            propagation_seconds=meta["propagation_seconds"],
+            spmm_seconds=meta["spmm_seconds"],
+            serial_seconds=meta["serial_seconds"],
+            n_spmm=meta["n_spmm"],
+            trace_payload=meta["trace_payload"],
+            initial=arrays.get("initial"),
+            embedding=arrays.get("embedding"),
+        )
+
+
 class _InstrumentedMatMul:
     """Adapter routing ProNE's products through the engine."""
 
@@ -107,6 +191,7 @@ class OMeGaEmbedder:
         params: ProNEParams | None = None,
         tracer: SpanTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
     ) -> None:
         self.config = config or OMeGaConfig()
         self.params = params or ProNEParams(
@@ -119,8 +204,10 @@ class OMeGaEmbedder:
             )
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.faults = faults
         self.engine = SpMMEngine(
-            self.config, tracer=self.tracer, metrics=self.metrics
+            self.config, tracer=self.tracer, metrics=self.metrics,
+            faults=self.faults,
         )
         self._spmm_results: list[SpMMResult] = []
         self._spmm_seconds = 0.0
@@ -238,94 +325,271 @@ class OMeGaEmbedder:
                 the pipeline working set exceeds the scaled DRAM capacity
                 (the OOMs of Fig. 12 on TW-2010/FR).
         """
-        self._reset()
-        wall_start = time.perf_counter()
+        run = self.start_run(adjacency, n_edges)
+        try:
+            while run.next_stage is not None:
+                run.run_next()
+        except BaseException:
+            run.abort()
+            raise
+        return run.finish()
+
+    def start_run(
+        self,
+        adjacency: CSDBMatrix,
+        n_edges: int | None = None,
+        state: PipelineState | None = None,
+    ) -> "PipelineRun":
+        """Begin a stage-by-stage pipeline run (see :class:`PipelineRun`).
+
+        Pass a recovered :class:`PipelineState` to resume after a crash:
+        completed stages are skipped, their cost restored, and the final
+        embedding is bit-identical to an uninterrupted run.
+        """
+        return PipelineRun(self, adjacency, n_edges=n_edges, state=state)
+
+    def degrade_tier(self, working_set_bytes: float) -> TierFallback:
+        """Re-place hot structures after a PM-tier fault.
+
+        Walks NaDP's fallback order (local DRAM → remote DRAM → re-plan
+        ASL with more partitions) and rebuilds the engine under the
+        chosen overrides instead of aborting the pipeline.  Numerics are
+        unaffected — placement is cost-only — so quality preservation
+        holds even degraded.
+        """
+        fallback = plan_tier_fallback(
+            working_set_bytes,
+            self.engine.scaled_capacity(MemoryKind.DRAM),
+            self.config.topology.n_sockets,
+            self.config.dram_headroom,
+        )
+        self.config = self.config.with_overrides(**fallback.config_overrides)
+        self.engine = SpMMEngine(
+            self.config, tracer=self.tracer, metrics=self.metrics,
+            faults=self.faults,
+        )
+        self.metrics.counter(
+            "nadp.degraded_placements", action=fallback.action
+        ).inc()
+        self.tracer.record("tier_degraded", action=fallback.action)
+        return fallback
+
+    def _stage_seconds(self) -> float:
+        return self._spmm_seconds + self._serial_seconds
+
+
+class PipelineRun:
+    """Stage-by-stage execution of the embedding pipeline.
+
+    ``embed()`` drives a run to completion in one call; the
+    checkpointing layer (:class:`repro.memsim.persistence.
+    CheckpointedEmbedder`) takes control between stages instead — to
+    append WAL records, honour injected crash points, or degrade
+    placement.  A run created with a recovered :class:`PipelineState`
+    skips the completed stages, restores their cost accounting and
+    replays their simulated time onto the tracer as one
+    ``recovered_stages`` span.
+    """
+
+    def __init__(
+        self,
+        embedder: OMeGaEmbedder,
+        adjacency: CSDBMatrix,
+        n_edges: int | None = None,
+        state: PipelineState | None = None,
+    ) -> None:
+        self.embedder = embedder
+        self.adjacency = adjacency
         n_nodes = adjacency.n_rows
-        rank = self.params.dim + self.params.n_oversamples
+        rank = embedder.params.dim + embedder.params.n_oversamples
         if rank > n_nodes:
             raise ValueError(
                 f"dim + oversamples ({rank}) exceeds the node count"
                 f" ({n_nodes}); reduce dim or use a larger graph"
             )
-        n_edges = n_edges if n_edges is not None else adjacency.nnz // 2
-        self.engine.check_dram_residency(
-            self.pipeline_working_set_bytes(n_nodes, n_edges)
+        self.n_edges = n_edges if n_edges is not None else adjacency.nnz // 2
+        embedder._reset()
+        embedder.engine.check_dram_residency(
+            embedder.pipeline_working_set_bytes(n_nodes, self.n_edges)
         )
-
-        with self.tracer.span(
+        self.state = state if state is not None else PipelineState()
+        self.recovered_sim_seconds = 0.0
+        self._recovered_n_spmm = 0
+        self._wall_start = time.perf_counter()
+        self._closed = False
+        self._root_cm = embedder.tracer.span(
             "embed",
             n_nodes=n_nodes,
-            n_edges=n_edges,
-            mode=self.config.memory_mode.value,
-        ) as root:
-            with self.tracer.span("graph_read", format=self.config.graph_format):
-                if self.config.graph_format == "csr":
-                    read_seconds = self.simulate_graph_read_csr(n_nodes, n_edges)
-                else:
-                    read_seconds = self.simulate_graph_read(n_nodes, n_edges)
-                self.tracer.advance_sim(read_seconds)
-            self._trace.charge("graph_read", read_seconds)
+            n_edges=self.n_edges,
+            mode=embedder.config.memory_mode.value,
+        )
+        self._root = self._root_cm.__enter__()
+        if self.state.stage is not None:
+            # Restore the accumulators the completed stages earned, and
+            # replay their simulated time onto the tracer so the root
+            # span still covers the full pipeline.
+            embedder._spmm_seconds = self.state.spmm_seconds
+            embedder._serial_seconds = self.state.serial_seconds
+            embedder._trace = CostTrace.from_dict(self.state.trace_payload)
+            self._recovered_n_spmm = self.state.n_spmm
+            self.recovered_sim_seconds = self.state.sim_seconds
+            embedder.tracer.record(
+                "recovered_stages",
+                sim_seconds=self.recovered_sim_seconds,
+                advance=True,
+                stages=list(self.state.completed_stages),
+            )
+            self._root.set("resumed_from", self.state.stage)
 
-            # Stage 1: sparse matrix factorization.
-            stage_mark = self._stage_seconds()
-            with self.tracer.span("factorization"):
-                initial = prone_smf(
-                    adjacency, self.params, self._matmul_factory,
-                    tracer=self.tracer,
-                )
-                k = self.params.dim + self.params.n_oversamples
-                # QR factorizations inside the tSVD + the small SVD.
-                self._charge_serial(
-                    (2 * self.params.n_power_iterations + 2)
-                    * 2.0 * n_nodes * k * k,
-                    "dense_algebra",
-                )
-            factorization_seconds = self._stage_seconds() - stage_mark
+    @property
+    def next_stage(self) -> str | None:
+        """The stage ``run_next`` would execute, or None when done."""
+        if self.state.stage is None:
+            return PIPELINE_STAGES[0]
+        index = PIPELINE_STAGES.index(self.state.stage) + 1
+        return PIPELINE_STAGES[index] if index < len(PIPELINE_STAGES) else None
 
-            # Stage 2: spectral propagation.
-            stage_mark = self._stage_seconds()
-            with self.tracer.span("propagation"):
-                embedding = prone_propagate(
-                    adjacency, initial, self.params, self._matmul_factory,
-                    tracer=self.tracer,
-                )
-                self._charge_serial(
-                    2.0 * n_nodes * self.params.dim * self.params.dim,
-                    "dense_algebra",
-                )
-            propagation_seconds = self._stage_seconds() - stage_mark
-
-            sim_seconds = read_seconds + self._stage_seconds()
-            # Summary spans: the Fig. 7(a) per-step SpMM totals, exact
-            # copies of the merged CostTrace (annotations, so the sim
-            # cursor — already advanced by the engine — is untouched).
-            with self.tracer.span("spmm_steps"):
-                for category in SPMM_CATEGORIES:
-                    self.tracer.record(
-                        category,
-                        sim_seconds=self._trace.seconds(category),
-                        nbytes=self._trace.bytes_moved(category),
+    def run_next(self) -> str:
+        """Execute the next pipeline stage; returns its name."""
+        stage = self.next_stage
+        if stage is None:
+            raise RuntimeError("pipeline already complete")
+        embedder = self.embedder
+        if embedder.faults is not None:
+            if embedder.faults.tier_loss(stage) is not None:
+                embedder.degrade_tier(
+                    embedder.pipeline_working_set_bytes(
+                        self.adjacency.n_rows, self.n_edges
                     )
-            root.set("sim_seconds", sim_seconds)
-            root.set("n_spmm", len(self._spmm_results))
-        self.metrics.counter("embed.runs").inc()
-        self.metrics.counter("embed.sim_seconds").inc(sim_seconds)
-        return EmbeddingResult(
-            embedding=embedding,
-            sim_seconds=sim_seconds,
-            read_seconds=read_seconds,
-            factorization_seconds=factorization_seconds,
-            propagation_seconds=propagation_seconds,
-            spmm_seconds=self._spmm_seconds,
-            serial_seconds=self._serial_seconds,
-            n_spmm=len(self._spmm_results),
-            wall_seconds=time.perf_counter() - wall_start,
-            trace=self._trace,
-            spmm_results=self._spmm_results,
+                )
+        if stage == STAGE_GRAPH_READ:
+            self._run_graph_read()
+        elif stage == STAGE_FACTORIZATION:
+            self._run_factorization()
+        else:
+            self._run_propagation()
+        state = self.state
+        state.stage = stage
+        state.spmm_seconds = embedder._spmm_seconds
+        state.serial_seconds = embedder._serial_seconds
+        state.n_spmm = self._recovered_n_spmm + len(embedder._spmm_results)
+        state.trace_payload = embedder._trace.to_dict()
+        return stage
+
+    def _run_graph_read(self) -> None:
+        embedder = self.embedder
+        n_nodes = self.adjacency.n_rows
+        with embedder.tracer.span(
+            "graph_read", format=embedder.config.graph_format
+        ):
+            if embedder.config.graph_format == "csr":
+                read_seconds = embedder.simulate_graph_read_csr(
+                    n_nodes, self.n_edges
+                )
+            else:
+                read_seconds = embedder.simulate_graph_read(
+                    n_nodes, self.n_edges
+                )
+            embedder.tracer.advance_sim(read_seconds)
+        embedder._trace.charge("graph_read", read_seconds)
+        self.state.read_seconds = read_seconds
+
+    def _run_factorization(self) -> None:
+        embedder = self.embedder
+        n_nodes = self.adjacency.n_rows
+        stage_mark = embedder._stage_seconds()
+        with embedder.tracer.span("factorization"):
+            initial = prone_smf(
+                self.adjacency, embedder.params, embedder._matmul_factory,
+                tracer=embedder.tracer,
+            )
+            k = embedder.params.dim + embedder.params.n_oversamples
+            # QR factorizations inside the tSVD + the small SVD.
+            embedder._charge_serial(
+                (2 * embedder.params.n_power_iterations + 2)
+                * 2.0 * n_nodes * k * k,
+                "dense_algebra",
+            )
+        self.state.initial = initial
+        self.state.factorization_seconds = (
+            embedder._stage_seconds() - stage_mark
         )
 
-    def _stage_seconds(self) -> float:
-        return self._spmm_seconds + self._serial_seconds
+    def _run_propagation(self) -> None:
+        embedder = self.embedder
+        n_nodes = self.adjacency.n_rows
+        if self.state.initial is None:
+            raise RuntimeError(
+                "propagation needs the factorization stage's output;"
+                " the recovered state is missing 'initial'"
+            )
+        stage_mark = embedder._stage_seconds()
+        with embedder.tracer.span("propagation"):
+            embedding = prone_propagate(
+                self.adjacency, self.state.initial, embedder.params,
+                embedder._matmul_factory, tracer=embedder.tracer,
+            )
+            embedder._charge_serial(
+                2.0 * n_nodes * embedder.params.dim * embedder.params.dim,
+                "dense_algebra",
+            )
+        self.state.embedding = embedding
+        self.state.propagation_seconds = (
+            embedder._stage_seconds() - stage_mark
+        )
+
+    def finish(self) -> EmbeddingResult:
+        """Close the run and assemble the :class:`EmbeddingResult`."""
+        if self.next_stage is not None:
+            raise RuntimeError(
+                f"pipeline incomplete: stage {self.next_stage!r} not run"
+            )
+        if self._closed:
+            raise RuntimeError("run already closed")
+        embedder = self.embedder
+        state = self.state
+        sim_seconds = state.read_seconds + embedder._stage_seconds()
+        # Summary spans: the Fig. 7(a) per-step SpMM totals, exact
+        # copies of the merged CostTrace (annotations, so the sim
+        # cursor — already advanced by the engine — is untouched).
+        with embedder.tracer.span("spmm_steps"):
+            for category in SPMM_CATEGORIES:
+                embedder.tracer.record(
+                    category,
+                    sim_seconds=embedder._trace.seconds(category),
+                    nbytes=embedder._trace.bytes_moved(category),
+                )
+        self._root.set("sim_seconds", sim_seconds)
+        self._root.set("n_spmm", state.n_spmm)
+        self._closed = True
+        self._root_cm.__exit__(None, None, None)
+        embedder.metrics.counter("embed.runs").inc()
+        embedder.metrics.counter("embed.sim_seconds").inc(sim_seconds)
+        return EmbeddingResult(
+            embedding=state.embedding,
+            sim_seconds=sim_seconds,
+            read_seconds=state.read_seconds,
+            factorization_seconds=state.factorization_seconds,
+            propagation_seconds=state.propagation_seconds,
+            spmm_seconds=embedder._spmm_seconds,
+            serial_seconds=embedder._serial_seconds,
+            n_spmm=state.n_spmm,
+            wall_seconds=time.perf_counter() - self._wall_start,
+            trace=embedder._trace,
+            spmm_results=embedder._spmm_results,
+        )
+
+    def abort(self) -> None:
+        """Close the root span after an interruption (e.g. a crash)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._root_cm.__exit__(
+                FaultError, FaultError("pipeline run aborted"), None
+            )
+        except FaultError:
+            pass
 
 
 def embedder_for_dataset(

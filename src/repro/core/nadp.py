@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.config import PlacementScheme
+from repro.core.config import MemoryMode, PlacementScheme
 from repro.memsim.allocator import PlacementPolicy
 from repro.memsim.numa import NumaTopology
 
@@ -145,3 +145,72 @@ def make_placement(scheme: object, topology: NumaTopology) -> DataPlacement:
     if scheme is PlacementScheme.INTERLEAVE:
         return InterleavePlacement(topology)
     return LocalPlacement(topology)
+
+
+#: NaDP's fallback order on a PM-tier fault, most to least preferred.
+FALLBACK_ORDER = ("local_dram", "remote_dram", "asl_replan")
+
+
+@dataclass(frozen=True)
+class TierFallback:
+    """One step of NaDP's graceful-degradation ladder.
+
+    Attributes:
+        action: the :data:`FALLBACK_ORDER` entry chosen.
+        config_overrides: :class:`~repro.core.config.OMeGaConfig`
+            overrides realising the re-placement.
+    """
+
+    action: str
+    config_overrides: dict
+
+
+def plan_tier_fallback(
+    working_set_bytes: float,
+    dram_capacity_bytes: float,
+    n_sockets: int,
+    dram_headroom: float,
+) -> TierFallback:
+    """Choose where hot structures go when the PM tier drops out.
+
+    Fallback order (the degradation ladder a production deployment
+    walks instead of aborting):
+
+    1. **local DRAM** — the working set fits one socket's share of
+       DRAM: run DRAM-only with first-touch local placement;
+    2. **remote DRAM** — it fits aggregate DRAM only: run DRAM-only
+       with interleaved placement, paying cross-socket traffic;
+    3. **re-plan ASL** — DRAM cannot hold it at all: stay on the
+       surviving PM capacity but halve the streaming budget, which
+       raises Eq. 9's partition count and shrinks every batch.
+    """
+    if working_set_bytes < 0:
+        raise ValueError(
+            f"working_set_bytes must be >= 0, got {working_set_bytes}"
+        )
+    if n_sockets < 1:
+        raise ValueError(f"n_sockets must be >= 1, got {n_sockets}")
+    if working_set_bytes <= dram_capacity_bytes / n_sockets:
+        return TierFallback(
+            action="local_dram",
+            config_overrides={
+                "memory_mode": MemoryMode.DRAM_ONLY,
+                "placement": PlacementScheme.LOCAL,
+                "streaming_enabled": False,
+                "prefetcher_enabled": False,
+            },
+        )
+    if working_set_bytes <= dram_capacity_bytes:
+        return TierFallback(
+            action="remote_dram",
+            config_overrides={
+                "memory_mode": MemoryMode.DRAM_ONLY,
+                "placement": PlacementScheme.INTERLEAVE,
+                "streaming_enabled": False,
+                "prefetcher_enabled": False,
+            },
+        )
+    return TierFallback(
+        action="asl_replan",
+        config_overrides={"dram_headroom": dram_headroom / 2.0},
+    )

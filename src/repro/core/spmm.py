@@ -26,11 +26,16 @@ steps of Algorithm 1 separately (the categories of Fig. 7a):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.asl import StreamingLoader, StreamPlan
+from repro.core.asl import (
+    DEFAULT_RETRY_POLICY,
+    RetryPolicy,
+    StreamingLoader,
+    StreamPlan,
+)
 from repro.core.config import MemoryMode, OMeGaConfig
 from repro.core.eata import (
     ThreadAllocator,
@@ -45,6 +50,7 @@ from repro.core.wofp import (
     WorkloadPrefetcher,
     record_prefetch_metrics,
 )
+from repro.faults import FaultInjector
 from repro.formats.csdb import CSDBMatrix
 from repro.memsim.allocator import CapacityError
 from repro.memsim.clock import SimClock
@@ -137,12 +143,16 @@ class SpMMEngine:
         cost_model: CostModel | None = None,
         tracer: SpanTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
+        retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY,
     ) -> None:
         self.config = config or OMeGaConfig()
         self.topology = self.config.topology
         self.cost_model = cost_model or CostModel()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.faults = faults
+        self.retry_policy = retry_policy
         self._dense_device = self._device_for_dense()
         beta = self.cost_model.beta(self._dense_device, Locality.LOCAL)
         self.allocator: ThreadAllocator = make_allocator(
@@ -338,12 +348,29 @@ class SpMMEngine:
                 stream_plan = self.loader.plan(
                     matrix.n_cols, d, dram_budget, sparse_bytes
                 )
-                exposed = self.loader.observe(stream_plan, makespan, self.metrics)
+                compute_overlap = makespan
             else:
                 stream_plan = self.loader.plan(matrix.n_cols, d, 0.0, sparse_bytes)
-                exposed = self.loader.observe(stream_plan, 0.0, self.metrics)
-            trace.charge("stream_load", exposed, dense_bytes)
-            clock.advance_all(exposed)
+                compute_overlap = 0.0
+            derate = self.faults.pm_derate() if self.faults is not None else 1.0
+            if derate < 1.0:
+                # A degraded PM tier stretches the transfer; the plan's
+                # batch structure is unchanged.
+                stream_plan = replace(
+                    stream_plan,
+                    total_load_seconds=stream_plan.total_load_seconds / derate,
+                )
+            outcome = self.loader.load(
+                stream_plan,
+                compute_overlap,
+                metrics=self.metrics,
+                faults=self.faults,
+                retry=self.retry_policy,
+            )
+            trace.charge("stream_load", outcome.exposed_seconds, dense_bytes)
+            if outcome.retry_seconds > 0.0:
+                trace.charge("stream_retry", outcome.retry_seconds)
+            clock.advance_all(outcome.total_seconds)
 
         self.metrics.counter("spmm.calls").inc()
         self.metrics.counter("spmm.nnz").inc(matrix.nnz)

@@ -1,0 +1,309 @@
+"""Deterministic fault injection for the simulated pipeline.
+
+The paper's App-direct mode (§II-B) exists to survive power loss, and
+tiered-storage embedding systems treat device stalls and transient
+transfer failures as first-class events.  This module supplies the
+injection side of that story: a :class:`FaultPlan` is a declarative,
+JSON-serializable list of fault events — crash points at pipeline stage
+boundaries, transient streaming-load errors, PM bandwidth degradation
+and PM tier-capacity loss — and a :class:`FaultInjector` is the runtime
+the instrumented components consult.
+
+Everything is deterministic: a plan is either written out event by
+event or generated from a seed (:meth:`FaultPlan.random`), so any
+chaos run can be replayed exactly.  Components react as follows:
+
+- ``crash`` — :class:`~repro.memsim.persistence.CheckpointedEmbedder`
+  raises :class:`InjectedCrash` at the named stage boundary (after or,
+  with ``phase="before_commit"``, during that stage's WAL commit);
+- ``transient_load`` — :class:`repro.core.asl.StreamingLoader` retries
+  with exponential backoff, charging every retry to the simulated
+  clock, and raises :class:`RetryExhaustedError` once the policy's
+  budget is spent;
+- ``pm_degrade`` — the SpMM engine derates the PM streaming bandwidth
+  by the event's factor for the rest of the run;
+- ``tier_loss`` — the embedder re-places hot structures per the NaDP
+  fallback order (local DRAM → remote DRAM → re-plan ASL with more
+  partitions) instead of aborting.
+
+Every injected event is counted in the ``faults.injected`` metric
+family, labelled by kind.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # import deferred: obs -> memsim -> persistence -> faults
+    from repro.obs.metrics import MetricsRegistry
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("crash", "transient_load", "pm_degrade", "tier_loss")
+#: Crash phases relative to a stage's WAL commit.
+CRASH_PHASES = ("after_commit", "before_commit")
+#: Default injection site of transient streaming-load failures.
+ASL_LOAD_SITE = "asl.load"
+
+
+class FaultError(RuntimeError):
+    """Base class of every injected-fault exception."""
+
+
+class InjectedCrash(FaultError):
+    """Simulated power loss at a pipeline stage boundary."""
+
+    def __init__(self, site: str, phase: str = "after_commit") -> None:
+        super().__init__(f"crash injected at {site!r} ({phase})")
+        self.site = site
+        self.phase = phase
+
+
+class TransientLoadError(FaultError):
+    """One retryable streaming-load failure (a device stall)."""
+
+
+class RetryExhaustedError(FaultError):
+    """A transient fault outlived the retry policy's budget."""
+
+    def __init__(self, site: str, attempts: int) -> None:
+        super().__init__(
+            f"transient faults at {site!r} exhausted {attempts} attempts"
+        )
+        self.site = site
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One declarative fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        site: where the event fires — a pipeline stage name for
+            ``crash``/``tier_loss``, :data:`ASL_LOAD_SITE` for
+            ``transient_load``, ``"pm"`` for ``pm_degrade``.
+        count: how many failures a ``transient_load`` event injects
+            (consecutive attempts that fail).
+        factor: bandwidth multiplier of a ``pm_degrade`` event
+            (0 < factor <= 1; 0.5 halves the PM streaming bandwidth).
+        phase: when a ``crash`` fires relative to the stage's WAL
+            commit (:data:`CRASH_PHASES`).
+    """
+
+    kind: str
+    site: str
+    count: int = 1
+    factor: float = 1.0
+    phase: str = "after_commit"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+        if self.phase not in CRASH_PHASES:
+            raise ValueError(
+                f"phase must be one of {CRASH_PHASES}, got {self.phase!r}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "kind": self.kind,
+            "site": self.site,
+            "count": self.count,
+            "factor": self.factor,
+            "phase": self.phase,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            kind=payload["kind"],
+            site=payload["site"],
+            count=int(payload.get("count", 1)),
+            factor=float(payload.get("factor", 1.0)),
+            phase=payload.get("phase", "after_commit"),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, replayable set of fault events.
+
+    Plans compare equal when their events match, so a seeded plan can be
+    asserted deterministic; ``seed`` records provenance only.
+    """
+
+    events: tuple[FaultEvent, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        stages: Iterable[str] = ("graph_read", "factorization", "propagation"),
+        n_events: int = 3,
+        max_transient: int = 2,
+    ) -> "FaultPlan":
+        """Seeded plan generator for chaos sweeps.
+
+        Draws ``n_events`` events uniformly over the four kinds; crash
+        and tier-loss sites come from ``stages``, transient counts from
+        ``[1, max_transient]``, degradation factors from [0.25, 0.95].
+        The same seed always yields the same plan.
+        """
+        import numpy as np
+
+        stages = tuple(stages)
+        rng = np.random.default_rng(seed)
+        events = []
+        for _ in range(n_events):
+            kind = FAULT_KINDS[int(rng.integers(len(FAULT_KINDS)))]
+            if kind == "crash":
+                events.append(
+                    FaultEvent(
+                        kind,
+                        stages[int(rng.integers(len(stages)))],
+                        phase=CRASH_PHASES[int(rng.integers(2))],
+                    )
+                )
+            elif kind == "transient_load":
+                events.append(
+                    FaultEvent(
+                        kind,
+                        ASL_LOAD_SITE,
+                        count=int(rng.integers(1, max_transient + 1)),
+                    )
+                )
+            elif kind == "pm_degrade":
+                events.append(
+                    FaultEvent(
+                        kind, "pm", factor=float(rng.uniform(0.25, 0.95))
+                    )
+                )
+            else:
+                events.append(
+                    FaultEvent(kind, stages[int(rng.integers(len(stages)))])
+                )
+        return cls(events=tuple(events), seed=seed)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        return {
+            "seed": self.seed,
+            "events": [event.to_dict() for event in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_dict` output."""
+        return cls(
+            events=tuple(
+                FaultEvent.from_dict(e) for e in payload.get("events", [])
+            ),
+            seed=payload.get("seed"),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        """Write the plan as JSON (the CLI's ``--faults`` format)."""
+        path = Path(path)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Read a plan written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class FaultInjector:
+    """Stateful runtime consuming a :class:`FaultPlan`.
+
+    Each event fires at most ``count`` times (once for crashes and tier
+    losses); consumed events never re-fire, so a resumed run does not
+    replay the crash that interrupted it.  All injections are counted
+    in ``faults.injected`` (labelled by kind) on the supplied registry.
+    """
+
+    def __init__(
+        self, plan: FaultPlan, metrics: "MetricsRegistry | None" = None
+    ) -> None:
+        from repro.obs.metrics import MetricsRegistry
+
+        self.plan = plan
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._remaining: list[list] = [
+            [event, event.count] for event in plan.events
+        ]
+
+    def _consume(self, kind: str, site: str, n: int = 1) -> FaultEvent | None:
+        for entry in self._remaining:
+            event, remaining = entry
+            if event.kind == kind and event.site == site and remaining >= n:
+                entry[1] = remaining - n
+                self.metrics.counter("faults.injected", kind=kind).inc(n)
+                return event
+        return None
+
+    # -- per-kind queries the instrumented components call -----------------
+
+    def should_crash(self, site: str, phase: str = "after_commit") -> bool:
+        """Consume a crash event at a stage boundary, if one is armed."""
+        for entry in self._remaining:
+            event, remaining = entry
+            if (
+                event.kind == "crash"
+                and event.site == site
+                and event.phase == phase
+                and remaining > 0
+            ):
+                entry[1] = remaining - 1
+                self.metrics.counter("faults.injected", kind="crash").inc()
+                return True
+        return False
+
+    def take_transient_failure(self, site: str = ASL_LOAD_SITE) -> bool:
+        """Consume one transient failure at a load site, if armed."""
+        return self._consume("transient_load", site) is not None
+
+    def pm_derate(self) -> float:
+        """Product of every armed PM-degradation factor (1.0 = healthy).
+
+        Degradation events stay active once triggered — a slow DIMM does
+        not recover — so this does not consume them, but the first call
+        counts each event's injection.
+        """
+        factor = 1.0
+        for entry in self._remaining:
+            event, remaining = entry
+            if event.kind == "pm_degrade":
+                if remaining > 0:
+                    entry[1] = 0
+                    self.metrics.counter(
+                        "faults.injected", kind="pm_degrade"
+                    ).inc()
+                factor *= event.factor
+        return factor
+
+    def tier_loss(self, site: str) -> FaultEvent | None:
+        """Consume a PM tier-capacity-loss event at a stage start."""
+        return self._consume("tier_loss", site)
+
+    @property
+    def pending(self) -> int:
+        """Total injections still armed."""
+        return sum(remaining for _, remaining in self._remaining)

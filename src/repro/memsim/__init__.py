@@ -54,6 +54,8 @@ from repro.memsim.persistence import (
     CrashInjected,
     PersistenceDomain,
     ShadowCommit,
+    StageCheckpointStore,
+    StageRecord,
 )
 from repro.memsim.numa import NumaTopology, cxl_testbed, paper_testbed
 from repro.memsim.probe import BandwidthprobeResult, probe_bandwidth, probe_latency
@@ -71,6 +73,8 @@ __all__ = [
     "MemoryModeModel",
     "PersistenceDomain",
     "ShadowCommit",
+    "StageCheckpointStore",
+    "StageRecord",
     "DeviceSpec",
     "HeterogeneousAllocator",
     "Locality",

@@ -9,20 +9,28 @@ simulation substrate:
   write-backs and ``SFENCE`` ordering points, and tracks which bytes are
   durable vs merely stored;
 - :class:`ShadowCommit` — the classic crash-consistent double-buffer
-  protocol (write shadow → flush → fence → flip a flushed commit record),
-  used by :class:`CheckpointedEmbedder` to persist embeddings so a crash
-  mid-checkpoint always recovers the previous complete version.
+  protocol (write shadow → flush → fence → flip a flushed commit record);
+- :class:`StageCheckpointStore` — a WAL-style append-only log of
+  per-stage pipeline checkpoints (graph read, factorization,
+  propagation), each committed with the same flush/fence discipline;
+- :class:`CheckpointedEmbedder` — runs the pipeline stage by stage,
+  checkpointing after every stage, honouring injected crash points
+  (:mod:`repro.faults`) and resuming from the last durable stage with a
+  bit-identical final embedding.
 
-Crashes are *injected* (``crash=True`` aborts before the commit flip), so
-tests can verify recovery semantics exactly.
+Crashes are *injected* (``crash=True`` or a
+:class:`~repro.faults.FaultInjector`), so tests can verify recovery
+semantics exactly.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults import FaultInjector, InjectedCrash
 from repro.memsim.costmodel import CostModel
 from repro.memsim.devices import (
     AccessPattern,
@@ -90,8 +98,13 @@ class PersistenceDomain:
         return self.stored_bytes == 0.0
 
 
-class CrashInjected(RuntimeError):
+class CrashInjected(InjectedCrash):
     """Raised when a commit is aborted by an injected crash."""
+
+    def __init__(self, message: str, site: str = "commit") -> None:
+        RuntimeError.__init__(self, message)
+        self.site = site
+        self.phase = "before_commit"
 
 
 @dataclass
@@ -164,13 +177,103 @@ class ShadowCommit:
         return version.sequence
 
 
+@dataclass
+class StageRecord:
+    """One durable WAL entry: a completed pipeline stage's checkpoint."""
+
+    stage: str
+    arrays: dict[str, np.ndarray]
+    meta: dict
+    sequence: int
+
+
+class StageCheckpointStore:
+    """WAL-style append-only stage-checkpoint log on a PM domain.
+
+    Each append follows the App-direct discipline: store the record's
+    payload, flush, fence, then flip a flushed commit record.  A crash
+    injected before the flip (``crash=True``) loses only that record —
+    every earlier stage stays durable, which is exactly what
+    :meth:`CheckpointedEmbedder.resume` recovers.
+    """
+
+    def __init__(self, domain: PersistenceDomain) -> None:
+        self.domain = domain
+        self._records: list[StageRecord] = []
+        self._sequence = 0
+
+    def append(
+        self,
+        stage: str,
+        arrays: dict[str, np.ndarray],
+        meta: dict,
+        crash: bool = False,
+    ) -> int:
+        """Durably append one stage checkpoint; returns its sequence.
+
+        Raises:
+            CrashInjected: when ``crash`` is set — the record is lost,
+                the log up to the previous stage survives.
+        """
+        payload_bytes = 0.0
+        stored = {}
+        for name, array in arrays.items():
+            array = np.array(array, copy=True)
+            stored[name] = array
+            payload_bytes += float(array.nbytes)
+        payload_bytes += float(len(json.dumps(meta, sort_keys=True)))
+        self.domain.store(payload_bytes)
+        self.domain.flush()
+        self.domain.fence()
+        if crash:
+            raise CrashInjected(
+                f"crash injected during the {stage!r} checkpoint commit",
+                site=stage,
+            )
+        self.domain.store(8.0)
+        self.domain.flush()
+        self.domain.fence()
+        self._sequence += 1
+        self._records.append(
+            StageRecord(
+                stage=stage,
+                arrays=stored,
+                meta=json.loads(json.dumps(meta)),
+                sequence=self._sequence,
+            )
+        )
+        return self._sequence
+
+    def last(self) -> StageRecord | None:
+        """The most recent durable record (what a restart recovers)."""
+        return self._records[-1] if self._records else None
+
+    @property
+    def stages(self) -> list[str]:
+        """Names of every durable stage, in commit order."""
+        return [record.stage for record in self._records]
+
+    def clear(self) -> None:
+        """Truncate the log (the start of a fresh run)."""
+        self._records = []
+
+
 class CheckpointedEmbedder:
     """Embedding pipeline wrapper with crash-safe PM checkpoints.
 
-    Wraps an :class:`repro.core.embedding.OMeGaEmbedder`, committing the
-    embedding to a :class:`ShadowCommit` after each run; the persistence
-    overhead is reported alongside the pipeline's simulated time, and a
-    crash during checkpointing never loses the previous embedding.
+    Wraps an :class:`repro.core.embedding.OMeGaEmbedder` two ways:
+
+    - :meth:`embed_and_checkpoint` — the original whole-run protocol:
+      run the pipeline, then shadow-commit the embedding.  The computed
+      result is kept in memory even when the commit crashes, so
+      :meth:`retry_checkpoint` can redo the commit alone instead of
+      forcing a full re-embed;
+    - :meth:`embed_with_checkpoints` / :meth:`resume` — stage-granular
+      WAL checkpoints (after graph read, factorization and propagation).
+      An injected crash loses at most one stage; ``resume()`` recovers
+      the last durable stage, skips the completed work, and produces an
+      embedding bit-identical to an uninterrupted run.  Recovered
+      simulated seconds are reported via the ``checkpoint.*`` metrics.
     """
 
     def __init__(self, embedder, domain: PersistenceDomain | None = None) -> None:
@@ -179,19 +282,137 @@ class CheckpointedEmbedder:
         self.embedder = embedder
         self.domain = domain or PersistenceDomain(device=pm_spec())
         self.store = ShadowCommit(self.domain)
+        self.wal = StageCheckpointStore(self.domain)
+        self._last_result = None
+        self._pending_graph: tuple[np.ndarray, int] | None = None
+
+    # -- whole-run protocol -------------------------------------------------
 
     def embed_and_checkpoint(
         self, edges: np.ndarray, n_nodes: int, crash: bool = False
     ):
         """Run the pipeline and durably commit its embedding.
 
-        Returns (EmbeddingResult, checkpoint_seconds).
+        Returns (EmbeddingResult, checkpoint_seconds).  The in-memory
+        result survives a commit crash — recover it via
+        :attr:`last_result` or redo the commit with
+        :meth:`retry_checkpoint` instead of re-embedding.
         """
         result = self.embedder.embed_edges(edges, n_nodes)
+        self._last_result = result
         before = self.domain.sim_seconds
         self.store.commit(result.embedding, crash=crash)
         return result, self.domain.sim_seconds - before
 
+    def retry_checkpoint(self):
+        """Re-commit the last computed embedding without re-embedding.
+
+        Returns (EmbeddingResult, checkpoint_seconds).
+        """
+        if self._last_result is None:
+            raise RuntimeError(
+                "no embedding computed yet; run embed_and_checkpoint first"
+            )
+        before = self.domain.sim_seconds
+        self.store.commit(self._last_result.embedding)
+        return self._last_result, self.domain.sim_seconds - before
+
+    @property
+    def last_result(self):
+        """The most recently computed result (kept across commit crashes)."""
+        return self._last_result
+
     def recover_embedding(self) -> np.ndarray | None:
         """The last durably committed embedding (survives crashes)."""
         return self.store.recover()
+
+    # -- stage-granular protocol --------------------------------------------
+
+    def embed_with_checkpoints(
+        self,
+        edges: np.ndarray,
+        n_nodes: int,
+        faults: FaultInjector | None = None,
+    ):
+        """Run stage by stage, WAL-checkpointing after every stage.
+
+        An injected crash (``faults``) aborts the run mid-pipeline and
+        propagates :class:`~repro.faults.InjectedCrash`; call
+        :meth:`resume` to recover.  Returns the
+        :class:`~repro.core.embedding.EmbeddingResult`.
+        """
+        self.wal.clear()
+        self._pending_graph = (np.asarray(edges), n_nodes)
+        from repro.formats.convert import edges_to_csdb
+
+        adjacency = edges_to_csdb(edges, n_nodes)
+        run = self.embedder.start_run(adjacency, n_edges=len(edges))
+        return self._drive(run, faults)
+
+    def resume(self, faults: FaultInjector | None = None):
+        """Recover the last durable stage and finish the pipeline.
+
+        Completed stages are skipped — their numeric outputs and cost
+        accounting come from the WAL — so the final embedding is
+        bit-identical to an uninterrupted run.  Metrics:
+        ``checkpoint.resumed_runs``, ``checkpoint.recovered_stages``
+        and ``checkpoint.recovered_sim_seconds``.
+        """
+        if self._pending_graph is None:
+            raise RuntimeError(
+                "nothing to resume; run embed_with_checkpoints first"
+            )
+        from repro.core.embedding import PipelineState
+        from repro.formats.convert import edges_to_csdb
+
+        edges, n_nodes = self._pending_graph
+        adjacency = edges_to_csdb(edges, n_nodes)
+        record = self.wal.last()
+        state = (
+            PipelineState.from_payload(record.arrays, record.meta)
+            if record is not None
+            else None
+        )
+        run = self.embedder.start_run(
+            adjacency, n_edges=len(edges), state=state
+        )
+        metrics = self.embedder.metrics
+        metrics.counter("checkpoint.resumed_runs").inc()
+        if state is not None:
+            metrics.counter("checkpoint.recovered_stages").inc(
+                len(state.completed_stages)
+            )
+            metrics.counter("checkpoint.recovered_sim_seconds").inc(
+                state.sim_seconds
+            )
+        return self._drive(run, faults)
+
+    def _drive(self, run, faults: FaultInjector | None):
+        """Advance a run to completion, checkpointing at each boundary."""
+        while run.next_stage is not None:
+            try:
+                stage = run.run_next()
+            except BaseException:
+                run.abort()
+                raise
+            crash_during = faults is not None and faults.should_crash(
+                stage, phase="before_commit"
+            )
+            arrays, meta = run.state.to_payload()
+            try:
+                self.wal.append(stage, arrays, meta, crash=crash_during)
+            except CrashInjected:
+                run.abort()
+                raise
+            if faults is not None and faults.should_crash(stage):
+                run.abort()
+                raise InjectedCrash(stage)
+        result = run.finish()
+        self._last_result = result
+        self.store.commit(result.embedding)
+        return result
+
+    @property
+    def checkpoint_sim_seconds(self) -> float:
+        """Total persistence overhead charged to the PM domain."""
+        return self.domain.sim_seconds

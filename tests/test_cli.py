@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -80,6 +82,29 @@ class TestCompare:
         with pytest.raises(SystemExit):
             main(["compare", "nope"])
 
+    def test_compare_telemetry_export(self, tmp_path, capsys):
+        out_path = tmp_path / "compare.jsonl"
+        code = main(
+            [
+                "compare", "PK", "--threads", "4", "--dim", "8",
+                "--telemetry-out", str(out_path),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        arm_events = [
+            r for r in records
+            if r.get("type") == "event" and r.get("name") == "arm"
+        ]
+        assert len(arm_events) == 5
+        assert any(
+            r.get("type") == "span" and r.get("name") == "embed"
+            for r in records
+        )
+
 
 class TestCalibrate:
     def test_calibrate_exits_zero_when_in_band(self, capsys):
@@ -87,6 +112,91 @@ class TestCalibrate:
         out = capsys.readouterr().out
         assert "Calibration" in out
         assert "NO" not in out.split("measured")[1]
+
+    def test_calibrate_telemetry_export(self, tmp_path, capsys):
+        out_path = tmp_path / "calibrate.jsonl"
+        assert (
+            main(
+                ["calibrate", "--graph", "PK", "--telemetry-out", str(out_path)]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        arms = [
+            r for r in records
+            if r.get("type") == "span" and r.get("name") == "calibrate_arm"
+        ]
+        points = [
+            r for r in records
+            if r.get("type") == "event"
+            and r.get("name") == "calibration_point"
+        ]
+        assert len(arms) == 8
+        assert len(points) == 7
+
+
+class TestEmbedFaults:
+    def _plan_path(self, tmp_path, *events):
+        from repro.faults import FaultPlan
+
+        return str(FaultPlan(events=events).save(tmp_path / "plan.json"))
+
+    def test_crash_without_resume_fails(self, tmp_path, capsys):
+        from repro.faults import FaultEvent
+
+        plan = self._plan_path(
+            tmp_path, FaultEvent("crash", "factorization")
+        )
+        code = main(
+            [
+                "embed", "PK", "--threads", "4", "--dim", "8",
+                "--faults", plan,
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "injected crash at stage 'factorization'" in out
+        assert "--resume" in out
+
+    def test_crash_with_resume_recovers(self, tmp_path, capsys):
+        from repro.faults import FaultEvent
+
+        plan = self._plan_path(
+            tmp_path, FaultEvent("crash", "factorization")
+        )
+        telemetry = tmp_path / "chaos.jsonl"
+        code = main(
+            [
+                "embed", "PK", "--threads", "4", "--dim", "8",
+                "--faults", plan, "--resume",
+                "--telemetry-out", str(telemetry),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stage checkpoints recovered" in out
+        assert "SpMM ops" in out
+        metrics = {
+            r["name"]: r.get("value")
+            for r in map(json.loads, telemetry.read_text().splitlines())
+            if r.get("type") == "metric"
+        }
+        assert metrics["checkpoint.recovered_stages"] > 0
+        assert metrics["checkpoint.recovered_sim_seconds"] > 0
+
+    def test_faultless_plan_runs_clean(self, tmp_path, capsys):
+        plan = self._plan_path(tmp_path)
+        code = main(
+            [
+                "embed", "PK", "--threads", "4", "--dim", "8",
+                "--faults", plan,
+            ]
+        )
+        assert code == 0
+        assert "SpMM ops" in capsys.readouterr().out
 
 
 class TestParser:

@@ -11,6 +11,7 @@ from repro.memsim.persistence import (
     CrashInjected,
     PersistenceDomain,
     ShadowCommit,
+    StageCheckpointStore,
 )
 
 
@@ -125,3 +126,81 @@ class TestCheckpointedEmbedder:
         assert np.array_equal(
             checkpointed.recover_embedding(), result.embedding
         )
+
+    def test_crash_keeps_computed_result_in_memory(self, setup):
+        edges, checkpointed = setup
+        with pytest.raises(CrashInjected):
+            checkpointed.embed_and_checkpoint(edges, 300, crash=True)
+        # The pipeline's output survived the commit crash in memory.
+        assert checkpointed.last_result is not None
+        assert checkpointed.last_result.embedding.shape == (300, 8)
+
+    def test_retry_checkpoint_commits_without_recompute(self, setup):
+        edges, checkpointed = setup
+        with pytest.raises(CrashInjected):
+            checkpointed.embed_and_checkpoint(edges, 300, crash=True)
+        crashed = checkpointed.last_result
+        result, retry_seconds = checkpointed.retry_checkpoint()
+        assert result is crashed  # same object: nothing recomputed
+        assert retry_seconds > 0
+        assert np.array_equal(
+            checkpointed.recover_embedding(), result.embedding
+        )
+
+    def test_retry_checkpoint_before_any_run_rejected(self):
+        from repro.core import OMeGaConfig, OMeGaEmbedder
+
+        fresh = CheckpointedEmbedder(
+            OMeGaEmbedder(OMeGaConfig(n_threads=2, dim=8))
+        )
+        with pytest.raises(RuntimeError, match="no embedding computed"):
+            fresh.retry_checkpoint()
+
+
+class TestStageCheckpointStore:
+    def test_append_and_last(self, domain, rng):
+        store = StageCheckpointStore(domain)
+        first = rng.standard_normal((6, 4))
+        store.append("graph_read", {}, {"read_seconds": 1.0})
+        seq = store.append("factorization", {"initial": first}, {"x": 2})
+        assert seq == 2
+        record = store.last()
+        assert record.stage == "factorization"
+        assert np.array_equal(record.arrays["initial"], first)
+        assert store.stages == ["graph_read", "factorization"]
+
+    def test_append_copies_arrays(self, domain):
+        store = StageCheckpointStore(domain)
+        data = np.ones((3, 2))
+        store.append("factorization", {"initial": data}, {})
+        data[:] = 0.0
+        assert np.all(store.last().arrays["initial"] == 1.0)
+
+    def test_crash_loses_only_pending_record(self, domain, rng):
+        store = StageCheckpointStore(domain)
+        store.append("graph_read", {}, {})
+        with pytest.raises(CrashInjected) as err:
+            store.append(
+                "factorization",
+                {"initial": rng.standard_normal((4, 2))},
+                {},
+                crash=True,
+            )
+        assert err.value.site == "factorization"
+        assert err.value.phase == "before_commit"
+        assert store.stages == ["graph_read"]
+
+    def test_append_charges_flush_and_fences(self, domain, rng):
+        store = StageCheckpointStore(domain)
+        store.append(
+            "factorization", {"initial": rng.standard_normal((50, 8))}, {}
+        )
+        assert domain.fences == 2  # payload fence + commit-record fence
+        assert domain.sim_seconds > 0
+
+    def test_clear_truncates(self, domain):
+        store = StageCheckpointStore(domain)
+        store.append("graph_read", {}, {})
+        store.clear()
+        assert store.last() is None
+        assert store.stages == []
