@@ -5,7 +5,13 @@ adaptive plan against no overlap (n=1 exposure) and against a range of
 fixed partition counts.
 """
 
-from common import dataset, run_once, write_report  # noqa: F401
+from common import (  # noqa: F401
+    dataset,
+    run_once,
+    save_telemetry,
+    telemetry_session,
+    write_report,
+)
 
 from repro.bench import format_table
 from repro.core import StreamPlan
@@ -46,6 +52,13 @@ def test_ablation_asl_partitioning(run_once):
         return n_star, rows
 
     n_star, rows = run_once(experiment)
+    session = telemetry_session("ablation_asl", graph="LJ", dim=dim)
+    for n, exposed, fits, star in rows:
+        session.event(
+            "asl_partition", n_partitions=n, exposed_s=exposed,
+            fits_dram=fits, eq9_choice=star,
+        )
+    save_telemetry(session, "ablation_asl")
     table = format_table(
         ["n partitions", "exposed stream time", "fits DRAM", "Eq. 9 choice"],
         [

@@ -7,7 +7,12 @@ classification).
 """
 
 import numpy as np
-from common import run_once, write_report  # noqa: F401
+from common import (  # noqa: F401
+    run_once,
+    save_telemetry,
+    telemetry_session,
+    write_report,
+)
 
 from repro.bench import format_table
 from repro.core import OMeGaConfig, OMeGaEmbedder
@@ -37,6 +42,13 @@ def test_ablation_spectral_filters(run_once):
         return rows
 
     rows = run_once(experiment)
+    session = telemetry_session("ablation_filters", filters=list(FILTERS))
+    for name, seconds, n_spmm, accuracy in rows:
+        session.event(
+            "filter_row", filter=name, sim_seconds=seconds,
+            n_spmm=n_spmm, accuracy=accuracy,
+        )
+    save_telemetry(session, "ablation_filters")
     table = format_table(
         ["filter", "sim time", "SpMM ops", "classification accuracy"],
         [
@@ -86,6 +98,13 @@ def test_ablation_partitioners(run_once):
         ]
 
     rows = run_once(experiment)
+    session = telemetry_session("ablation_partitioners", n_parts=4)
+    for name, cut, balance in rows:
+        session.event(
+            "partitioner_row", partitioner=name, edge_cut=cut,
+            load_balance=balance,
+        )
+    save_telemetry(session, "ablation_partitioners")
     table = format_table(
         ["partitioner", "edge cut", "load balance"],
         [

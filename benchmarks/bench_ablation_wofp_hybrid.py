@@ -12,6 +12,8 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
@@ -24,12 +26,12 @@ ARMS = {
 }
 
 
-def _measure(name):
+def _measure(name, session):
     graph = dataset(name)
     dense = dense_operand(graph)
     rows = {}
     for arm, overrides in ARMS.items():
-        result = engine_for(graph, **overrides).multiply(
+        result = engine_for(graph, session=session, **overrides).multiply(
             graph.adjacency_csdb(), dense, compute=False
         )
         maintenance = sum(p.maintenance_ops for p in result.prefetch_plans)
@@ -38,11 +40,21 @@ def _measure(name):
             result.mean_hit_fraction,
             maintenance,
         )
+        session.event(
+            "wofp_arm", graph=name, arm=arm, sim_seconds=result.sim_seconds,
+            hit_fraction=result.mean_hit_fraction, maintenance_ops=maintenance,
+        )
     return graph, rows
 
 
 def test_ablation_wofp_hybrid(run_once):
-    results = run_once(lambda: [_measure(n) for n in ("PK", "LJ", "OR")])
+    session = telemetry_session(
+        "ablation_wofp_hybrid", graphs=["PK", "LJ", "OR"], arms=list(ARMS)
+    )
+    results = run_once(
+        lambda: [_measure(n, session) for n in ("PK", "LJ", "OR")]
+    )
+    save_telemetry(session, "ablation_wofp_hybrid")
     table_rows = []
     for graph, rows in results:
         for arm, (seconds, hit, maintenance) in rows.items():

@@ -6,15 +6,17 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
 from repro.core import AllocationScheme
 
 
-def _distribution(scheme):
+def _distribution(scheme, session):
     graph = dataset("LJ")
-    engine = engine_for(graph, allocation=scheme)
+    engine = engine_for(graph, session=session, allocation=scheme)
     result = engine.multiply(
         graph.adjacency_csdb(), dense_operand(graph), compute=False
     )
@@ -22,12 +24,21 @@ def _distribution(scheme):
 
 
 def test_fig13_thread_time_distribution(run_once):
+    session = telemetry_session("fig13_tail_latency", graph="LJ")
     stats = run_once(
         lambda: {
-            "WaTA": _distribution(AllocationScheme.WORKLOAD_BALANCED),
-            "EaTA": _distribution(AllocationScheme.ENTROPY_AWARE),
+            "WaTA": _distribution(
+                AllocationScheme.WORKLOAD_BALANCED, session
+            ),
+            "EaTA": _distribution(AllocationScheme.ENTROPY_AWARE, session),
         }
     )
+    for name, (summary, _) in stats.items():
+        session.event(
+            "thread_distribution", scheme=name, std=summary.std,
+            p95=summary.p95, p99=summary.p99, makespan=summary.makespan,
+        )
+    save_telemetry(session, "fig13_tail_latency")
     lines = ["Fig. 13 — thread running-time distribution on LJ (30 threads)"]
     for name, (summary, times) in stats.items():
         lines.append(

@@ -6,31 +6,41 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
 from repro.bench import format_seconds, format_table, project_full_scale
 
 
-def _pair(name):
+def _pair(name, session):
     graph = dataset(name)
     dense = dense_operand(graph)
-    with_wofp = engine_for(graph).multiply(
+    with_wofp = engine_for(graph, session=session).multiply(
         graph.adjacency_csdb(), dense, compute=False
     )
-    without = engine_for(graph, prefetcher_enabled=False).multiply(
-        graph.adjacency_csdb(), dense, compute=False
-    )
+    without = engine_for(
+        graph, session=session, prefetcher_enabled=False
+    ).multiply(graph.adjacency_csdb(), dense, compute=False)
     return graph, with_wofp, without
 
 
 def test_fig14_wofp_effect(run_once):
-    rows = run_once(lambda: [_pair(name) for name in SPMM_GRAPHS])
+    session = telemetry_session("fig14_prefetcher", graphs=list(SPMM_GRAPHS))
+    rows = run_once(lambda: [_pair(name, session) for name in SPMM_GRAPHS])
     table_rows = []
     improvements = []
     for graph, with_wofp, without in rows:
         improvement = 1.0 - with_wofp.sim_seconds / without.sim_seconds
         improvements.append(improvement)
+        session.event(
+            "wofp_pair", graph=graph.name,
+            with_wofp_s=with_wofp.sim_seconds,
+            without_s=without.sim_seconds,
+            improvement=improvement,
+            hit_fraction=with_wofp.mean_hit_fraction,
+        )
         overhead = (
             with_wofp.trace.seconds("prefetch")
             + with_wofp.trace.seconds("allocation")
@@ -58,6 +68,7 @@ def test_fig14_wofp_effect(run_once):
             f" (mean gain {mean_improvement * 100:.1f}%; paper: 37.28%)"
         ),
     )
+    save_telemetry(session, "fig14_prefetcher")
     write_report("fig14_prefetcher", table)
     assert all(i > 0.1 for i in improvements)
     assert 0.2 < mean_improvement < 0.7

@@ -10,6 +10,8 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
@@ -59,9 +61,16 @@ def _overall_row(name):
 
 
 def test_fig15a_overall(run_once):
+    session = telemetry_session(
+        "fig15a_nadp_overall", graphs=list(OVERALL_GRAPHS)
+    )
     rows = run_once(lambda: [_overall_row(name) for name in OVERALL_GRAPHS])
     table_rows = []
     for graph, nadp, interleave, dram in rows:
+        session.event(
+            "nadp_overall", graph=graph.name, nadp_s=nadp,
+            interleave_s=interleave, dram_s=dram,
+        )
         table_rows.append(
             [
                 graph.name,
@@ -87,15 +96,21 @@ def test_fig15a_overall(run_once):
             " (paper: 1.95x gain; w/o-NaDP 2.98x slower than DRAM)"
         ),
     )
+    save_telemetry(session, "fig15a_nadp_overall")
     write_report("fig15a_nadp_overall", table)
     for graph, nadp, interleave, dram in rows:
         assert interleave > nadp > dram
 
 
 def test_fig15b_spmm(run_once):
+    session = telemetry_session("fig15b_nadp_spmm", graphs=list(SPMM_GRAPHS))
     rows = run_once(lambda: [_spmm_row(name) for name in SPMM_GRAPHS])
     table_rows = []
     for graph, nadp, interleave, local, dram in rows:
+        session.event(
+            "nadp_spmm", graph=graph.name, nadp_s=nadp,
+            interleave_s=interleave, local_s=local, dram_s=dram,
+        )
         table_rows.append(
             [
                 graph.name,
@@ -113,6 +128,7 @@ def test_fig15b_spmm(run_once):
         table_rows,
         title="Fig. 15(b) — NaDP effect on SpMM (paper: 2.42x-3.59x gain)",
     )
+    save_telemetry(session, "fig15b_nadp_spmm")
     write_report("fig15b_nadp_spmm", table)
     gains = [interleave / nadp for _, nadp, interleave, _, _ in rows]
     for (graph, nadp, interleave, local, dram), gain in zip(rows, gains):

@@ -6,6 +6,8 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
@@ -13,15 +15,15 @@ from repro.bench import format_table
 from repro.core import PlacementScheme
 
 
-def _throughputs(name):
+def _throughputs(name, session):
     graph = dataset(name)
     dense = dense_operand(graph)
-    nadp = engine_for(graph).multiply(
+    nadp = engine_for(graph, session=session).multiply(
         graph.adjacency_csdb(), dense, compute=False
     )
-    interleave = engine_for(graph, placement=PlacementScheme.INTERLEAVE).multiply(
-        graph.adjacency_csdb(), dense, compute=False
-    )
+    interleave = engine_for(
+        graph, session=session, placement=PlacementScheme.INTERLEAVE
+    ).multiply(graph.adjacency_csdb(), dense, compute=False)
     return (
         name,
         nadp.throughput_nnz_per_s / 1e6,
@@ -30,7 +32,18 @@ def _throughputs(name):
 
 
 def test_fig16a_throughput_across_graphs(run_once):
-    rows = run_once(lambda: [_throughputs(name) for name in SPMM_GRAPHS])
+    session = telemetry_session(
+        "fig16a_throughput_graphs", graphs=list(SPMM_GRAPHS)
+    )
+    rows = run_once(
+        lambda: [_throughputs(name, session) for name in SPMM_GRAPHS]
+    )
+    for name, nadp, interleave in rows:
+        session.event(
+            "throughput", graph=name, nadp_mnnz_s=nadp,
+            interleave_mnnz_s=interleave,
+        )
+    save_telemetry(session, "fig16a_throughput_graphs")
     table = format_table(
         ["Graph", "OMeGa (Mnnz/s)", "OMeGa-w/o-NaDP (Mnnz/s)"],
         [[n, f"{a:.1f}", f"{b:.1f}"] for n, a, b in rows],
@@ -45,17 +58,23 @@ def test_fig16b_throughput_vs_threads(run_once):
     graph = dataset("LJ")
     dense = dense_operand(graph)
     threads = (1, 2, 5, 10, 15, 20, 25, 30)
+    session = telemetry_session(
+        "fig16b_throughput_threads", graph="LJ", threads=list(threads)
+    )
 
     def experiment():
         rows = []
         for t in threads:
-            result = engine_for(graph, n_threads=t).multiply(
+            result = engine_for(graph, session=session, n_threads=t).multiply(
                 graph.adjacency_csdb(), dense, compute=False
             )
             rows.append((t, result.throughput_nnz_per_s / 1e6))
         return rows
 
     rows = run_once(experiment)
+    for t, tp in rows:
+        session.event("throughput_point", threads=t, mnnz_s=tp)
+    save_telemetry(session, "fig16b_throughput_threads")
     table = format_table(
         ["#threads", "throughput (Mnnz/s)"],
         [[t, f"{tp:.1f}"] for t, tp in rows],

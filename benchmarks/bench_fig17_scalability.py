@@ -1,7 +1,13 @@
 """Fig. 17: scalability — thread sweep (a) and R-MAT size sweep (b)."""
 
 import numpy as np
-from common import dataset, run_once, write_report  # noqa: F401
+from common import (  # noqa: F401
+    dataset,
+    run_once,
+    save_telemetry,
+    telemetry_session,
+    write_report,
+)
 
 from repro.bench import format_seconds, format_table
 from repro.core import OMeGaConfig, OMeGaEmbedder, SpMMEngine
@@ -25,6 +31,12 @@ def test_fig17a_thread_scaling(run_once):
         return rows
 
     rows = run_once(experiment)
+    session = telemetry_session("fig17a_thread_scaling", graph="LJ")
+    for t, total, spmm in rows:
+        session.event(
+            "scaling_point", threads=t, overall_s=total, spmm_s=spmm
+        )
+    save_telemetry(session, "fig17a_thread_scaling")
     table = format_table(
         ["#threads", "overall", "SpMM"],
         [
@@ -55,6 +67,10 @@ def test_fig17b_size_scaling(run_once):
         return rows
 
     rows = run_once(experiment)
+    session = telemetry_session("fig17b_size_scaling", scales=list(scales))
+    for n, nnz, t in rows:
+        session.event("size_point", n_nodes=n, nnz=nnz, spmm_s=t)
+    save_telemetry(session, "fig17b_size_scaling")
     table = format_table(
         ["#nodes", "nnz", "SpMM time", "ns/nnz"],
         [

@@ -10,6 +10,8 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
@@ -37,6 +39,13 @@ def test_fig18a_distributed_systems(run_once):
         return rows
 
     rows = run_once(experiment)
+    session = telemetry_session("fig18a_distributed", graphs=list(ALL_GRAPHS))
+    for graph, omega, distger, distdgl in rows:
+        session.event(
+            "distributed_row", graph=graph.name, omega_s=omega,
+            distger_s=distger, distdgl_s=distdgl,
+        )
+    save_telemetry(session, "fig18a_distributed")
     table_rows = [
         [
             graph.name,
@@ -78,6 +87,15 @@ def test_fig18b_spmm_systems(run_once):
         return rows
 
     rows = run_once(experiment)
+    session = telemetry_session(
+        "fig18b_spmm_systems", graphs=list(SPMM_GRAPHS) + ["FR"]
+    )
+    for graph, omega, sem, fused in rows:
+        session.event(
+            "spmm_system_row", graph=graph.name, omega_s=omega,
+            sem_s=sem, fused_s=fused,
+        )
+    save_telemetry(session, "fig18b_spmm_systems")
     table_rows = [
         [
             graph.name,

@@ -6,6 +6,8 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
@@ -32,6 +34,16 @@ def test_fig19a_graph_reading(run_once):
         return rows
 
     rows = run_once(experiment)
+    session = telemetry_session(
+        "fig19a_graph_reading", graphs=list(SPMM_GRAPHS)
+    )
+    for graph, csdb, csr, csdb_index, csr_index in rows:
+        session.event(
+            "format_row", graph=graph.name, csdb_read_s=csdb,
+            csr_read_s=csr, csdb_index_bytes=csdb_index,
+            csr_index_bytes=csr_index,
+        )
+    save_telemetry(session, "fig19a_graph_reading")
     speedups = [csr / csdb for _, csdb, csr, _, _ in rows]
     table = format_table(
         ["Graph", "CSDB read", "CSR read", "speedup", "CSDB idx B", "CSR idx B"],
@@ -78,6 +90,10 @@ def _normalized_sweep(parameter, values):
 def test_fig19b_eta_sensitivity(run_once):
     values = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5)
     rows = run_once(lambda: _normalized_sweep("eta", values))
+    session = telemetry_session("fig19b_eta_sweep", graph="PK")
+    for value, normalized in rows:
+        session.event("sweep_point", eta=value, normalized_time=normalized)
+    save_telemetry(session, "fig19b_eta_sweep")
     table = format_table(
         ["eta", "normalized time"],
         [[f"{v:g}", f"{t:.3f}"] for v, t in rows],
@@ -90,6 +106,10 @@ def test_fig19b_eta_sensitivity(run_once):
 def test_fig19c_sigma_sensitivity(run_once):
     values = (0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.8)
     rows = run_once(lambda: _normalized_sweep("sigma", values))
+    session = telemetry_session("fig19c_sigma_sweep", graph="PK")
+    for value, normalized in rows:
+        session.event("sweep_point", sigma=value, normalized_time=normalized)
+    save_telemetry(session, "fig19c_sigma_sweep")
     table = format_table(
         ["sigma", "normalized time"],
         [[f"{v:g}", f"{t:.3f}"] for v, t in rows],

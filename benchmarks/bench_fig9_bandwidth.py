@@ -1,6 +1,11 @@
 """Fig. 9: PM bandwidth characterization (the simulated FIO/MLC sweep)."""
 
-from common import run_once, write_report  # noqa: F401
+from common import (  # noqa: F401
+    run_once,
+    save_telemetry,
+    telemetry_session,
+    write_report,
+)
 
 from repro.memsim import pm_spec, probe_bandwidth, probe_latency
 from repro.memsim.probe import peak_bandwidth_summary
@@ -8,11 +13,16 @@ from repro.memsim.probe import peak_bandwidth_summary
 
 def test_fig9_pm_bandwidth_sweep(run_once):
     thread_counts = (1, 2, 4, 8, 12, 16, 20, 24, 28)
+    session = telemetry_session("fig9_bandwidth", threads=list(thread_counts))
     results = run_once(lambda: probe_bandwidth(pm_spec(), thread_counts))
     by_curve: dict = {}
     for r in results:
         key = f"{r.op.value}-{r.pattern.value}-{r.locality.value}"
         by_curve.setdefault(key, []).append(r.bandwidth_gib_s)
+        session.event(
+            "probe_point", curve=key, threads=r.threads,
+            bandwidth_gib_s=r.bandwidth_gib_s,
+        )
     lines = ["Fig. 9 — PM bandwidth (GiB/s) vs #threads"]
     header = "curve".ljust(18) + "".join(f"{t:>8d}" for t in thread_counts)
     lines.append(header)
@@ -27,6 +37,9 @@ def test_fig9_pm_bandwidth_sweep(run_once):
     lines.append("MLC latencies (ns): " + ", ".join(
         f"{op.value}/{loc.value}={ns:.0f}" for (op, loc), ns in latency.items()
     ))
+    for name, value in summary.items():
+        session.event("headline_ratio", ratio=name, value=value)
+    save_telemetry(session, "fig9_bandwidth")
     write_report("fig9_bandwidth", "\n".join(lines))
     assert len(by_curve) == 8
     # Every curve saturates: the last increment is below 10%.

@@ -1,6 +1,12 @@
 """Table I: dataset statistics (paper originals vs scaled analogues)."""
 
-from common import ALL_GRAPHS, run_once, write_report  # noqa: F401
+from common import (  # noqa: F401
+    ALL_GRAPHS,
+    run_once,
+    save_telemetry,
+    telemetry_session,
+    write_report,
+)
 
 from repro.bench import format_table
 from repro.graphs import dataset_table
@@ -8,6 +14,10 @@ from repro.graphs import dataset_table
 
 def test_table1_dataset_statistics(run_once):
     rows = run_once(lambda: dataset_table(ALL_GRAPHS))
+    session = telemetry_session("table1_datasets", graphs=list(ALL_GRAPHS))
+    for r in rows:
+        session.event("dataset_row", **r)
+    save_telemetry(session, "table1_datasets")
     table = format_table(
         [
             "Graph",

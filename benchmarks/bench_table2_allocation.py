@@ -6,6 +6,8 @@ from common import (  # noqa: F401
     dense_operand,
     engine_for,
     run_once,
+    save_telemetry,
+    telemetry_session,
     write_report,
 )
 
@@ -13,14 +15,18 @@ from repro.bench import format_seconds, format_table, project_full_scale
 from repro.core import AllocationScheme
 
 
-def _row(name):
+def _row(name, session):
     graph = dataset(name)
     dense = dense_operand(graph)
     times = {}
     for scheme in AllocationScheme:
-        engine = engine_for(graph, allocation=scheme)
+        engine = engine_for(graph, session=session, allocation=scheme)
         result = engine.multiply(graph.adjacency_csdb(), dense, compute=False)
         times[scheme] = result.sim_seconds
+    session.event(
+        "allocation_row", graph=name,
+        **{scheme.value: t for scheme, t in times.items()},
+    )
     projected = {
         s: project_full_scale(t, graph.scale) for s, t in times.items()
     }
@@ -35,7 +41,9 @@ def _row(name):
 
 
 def test_table2_thread_allocation(run_once):
-    rows = run_once(lambda: [_row(name) for name in ALL_GRAPHS])
+    session = telemetry_session("table2_allocation", graphs=list(ALL_GRAPHS))
+    rows = run_once(lambda: [_row(name, session) for name in ALL_GRAPHS])
+    save_telemetry(session, "table2_allocation")
     table = format_table(
         ["Graph", "RR", "WaTA", "EaTA", "RR/EaTA", "WaTA/EaTA"],
         rows,

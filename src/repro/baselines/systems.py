@@ -20,8 +20,10 @@ from repro.core.config import (
     PlacementScheme,
 )
 from repro.core.embedding import EmbeddingResult, OMeGaEmbedder
+from repro.faults import FaultInjector, FaultPlan, InjectedCrash
 from repro.graphs.datasets import Dataset
 from repro.memsim.allocator import CapacityError
+from repro.memsim.persistence import CheckpointedEmbedder
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import SpanTracer
 from repro.prone.model import ProNEParams
@@ -39,21 +41,26 @@ class SystemArm:
         dataset: Dataset,
         tracer: SpanTracer | None = None,
         metrics: MetricsRegistry | None = None,
+        faults: FaultInjector | None = None,
         **overrides: object,
     ) -> OMeGaEmbedder:
         """Instantiate the arm's embedder for a dataset."""
         config = self.config.with_overrides(
             capacity_scale=dataset.scale, **overrides
         )
-        return OMeGaEmbedder(config, tracer=tracer, metrics=metrics)
+        return OMeGaEmbedder(
+            config, tracer=tracer, metrics=metrics, faults=faults
+        )
 
 
 @dataclass
 class SystemResult:
     """Outcome of one (arm, dataset) run.
 
-    ``status`` is ``"ok"`` or ``"oom"`` (DRAM-only systems on graphs
-    whose working set exceeds capacity — the bars the paper omits).
+    ``status`` is ``"ok"``, ``"recovered"`` (completed under a fault
+    plan after resuming one or more injected crashes), or ``"oom"``
+    (DRAM-only systems on graphs whose working set exceeds capacity —
+    the bars the paper omits).
     """
 
     system: str
@@ -140,14 +147,29 @@ def run_arm(
     params: ProNEParams | None = None,
     tracer: SpanTracer | None = None,
     metrics: MetricsRegistry | None = None,
+    faults: "FaultPlan | None" = None,
 ) -> SystemResult:
     """Run one arm on one dataset, catching the expected OOMs.
 
     Pass a ``tracer``/``metrics`` pair (e.g. a
     :class:`~repro.obs.export.TelemetrySession`'s) to capture the arm's
     spans and counters alongside its result.
+
+    With a ``faults`` plan the arm runs under injection through the
+    stage-checkpointing layer, each arm consuming a *fresh* injector so
+    every system faces the identical chaos.  Injected crashes are
+    resumed from the last durable checkpoint (repeatedly, if the plan
+    arms several) and reported as ``status="recovered"`` — a valid
+    completion for speedup purposes, since the resumed run reports the
+    uninterrupted run's simulated total.
     """
-    embedder = arm.embedder(dataset, tracer=tracer, metrics=metrics)
+    injector = None
+    metrics_registry = metrics if metrics is not None else MetricsRegistry()
+    if faults is not None:
+        injector = FaultInjector(faults, metrics_registry)
+    embedder = arm.embedder(
+        dataset, tracer=tracer, metrics=metrics_registry, faults=injector
+    )
     if params is not None:
         if params.dim != embedder.config.dim:
             raise ValueError(
@@ -155,8 +177,24 @@ def run_arm(
                 f" ({embedder.config.dim})"
             )
         embedder.params = params
+    status = "ok"
     try:
-        result = embedder.embed_dataset(dataset)
+        if faults is None:
+            result = embedder.embed_dataset(dataset)
+        else:
+            checkpointed = CheckpointedEmbedder(embedder)
+            try:
+                result = checkpointed.embed_with_checkpoints(
+                    dataset.edges, dataset.n_nodes, faults=injector
+                )
+            except InjectedCrash:
+                status = "recovered"
+                while True:
+                    try:
+                        result = checkpointed.resume(faults=injector)
+                        break
+                    except InjectedCrash:
+                        continue
     except CapacityError:
         return SystemResult(
             system=arm.name,
@@ -167,7 +205,7 @@ def run_arm(
     return SystemResult(
         system=arm.name,
         dataset=dataset.name,
-        status="ok",
+        status=status,
         sim_seconds=result.sim_seconds,
         result=result,
     )
@@ -176,13 +214,17 @@ def run_arm(
 def speedup_table(results: list[SystemResult], reference: str = "OMeGa") -> dict:
     """Per-system speedup of ``reference`` over each other system.
 
-    Systems that OOM'd are skipped (as the paper does).  Returns
+    Systems that OOM'd are skipped (as the paper does); runs that
+    recovered from injected crashes count as completions, since resume
+    reports the uninterrupted run's simulated total.  Returns
     {system: geometric-mean speedup across datasets}.
     """
     by_system: dict[str, dict[str, float]] = {}
     for res in results:
         by_system.setdefault(res.system, {})[res.dataset] = (
-            res.sim_seconds if res.status == "ok" else float("nan")
+            res.sim_seconds
+            if res.status in ("ok", "recovered")
+            else float("nan")
         )
     if reference not in by_system:
         raise ValueError(f"no results for reference system {reference!r}")

@@ -9,7 +9,10 @@ Commands:
   anatomy;
 - ``compare``           — run the Fig. 12 system arms on one graph;
 - ``report``            — render a ``--telemetry-out`` JSONL file back
-  into the Fig. 7(a)-style breakdown tables.
+  into the Fig. 7(a)-style breakdown tables;
+- ``serve-sim``         — replay a request trace against the resilient
+  embedding server (:mod:`repro.serve`), optionally under a serve-time
+  fault plan (backend stalls, request bursts, PM degradation).
 
 ``embed``, ``spmm``, ``compare`` and ``calibrate`` accept
 ``--telemetry-out PATH`` to export spans, metrics and cost ledgers as
@@ -288,8 +291,124 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    from repro.memsim.clock import VirtualClock
+    from repro.serve import (
+        EmbeddingBackend,
+        EmbeddingServer,
+        RequestTrace,
+        ServePolicy,
+    )
+
+    edges, n_nodes, scale, name = _load_graph(args)
+    config = _config_from_args(args, scale)
+    session = _telemetry_session(args, "serve-sim", name)
+    embedder = OMeGaEmbedder(
+        config,
+        tracer=session.tracer if session else None,
+        metrics=session.metrics if session else None,
+    )
+    metrics = embedder.metrics
+
+    plan = None
+    if args.faults:
+        plan = FaultPlan.load(args.faults)
+    elif args.fault_seed is not None:
+        plan = FaultPlan.random_serve(
+            seed=args.fault_seed, n_events=args.fault_events
+        )
+    injector = FaultInjector(plan, metrics) if plan is not None else None
+    if session is not None and plan is not None:
+        session.event(
+            "fault_plan", path=args.faults, seed=plan.seed,
+            events=[event.to_dict() for event in plan.events],
+        )
+    if plan is not None and args.save_faults:
+        plan.save(args.save_faults)
+        print(f"fault plan written to {args.save_faults}")
+
+    backend = EmbeddingBackend(
+        embedder, edges, n_nodes, faults=injector, metrics=metrics
+    )
+    warmup_s = backend.warm_up()
+    per_node = backend.compute_cost(1)
+    if args.trace:
+        trace = RequestTrace.load(args.trace)
+    else:
+        trace = RequestTrace.synthesize(
+            seed=args.trace_seed,
+            n_requests=args.requests,
+            per_node_cost_s=per_node,
+            load=args.load,
+        )
+    if args.save_trace:
+        trace.save(args.save_trace)
+        print(f"request trace written to {args.save_trace}")
+
+    # Calibrate the time-based policy knobs to the mean interactive
+    # request (the class with the tight deadlines).
+    policy = ServePolicy.calibrated(
+        per_node * 8.5,
+        queue_limit=args.queue_limit,
+        breaker_enabled=not args.no_breaker,
+        shedding_enabled=not args.no_shedding,
+        deadline_aware=not args.no_deadline_aware,
+    )
+    server = EmbeddingServer(
+        backend,
+        policy,
+        clock=VirtualClock(),
+        metrics=metrics,
+        tracer=session.tracer if session else None,
+        faults=injector,
+    )
+    report = server.run_trace(trace)
+    summary = report.summary()
+    health = server.healthz()
+
+    fidelity = summary["fidelity"]
+    rows = [
+        ["submitted", str(summary["submitted"]), ""],
+        ["served", str(summary["served"]), ""],
+    ] + [
+        [f"  {level}", str(count), ""]
+        for level, count in sorted(fidelity.items())
+    ] + [
+        ["shed", str(summary["shed"]), ""],
+        ["deadline exceeded", str(summary["deadline_exceeded"]), ""],
+        ["failed", str(summary["failed"]), ""],
+        ["p50 latency", format_seconds(summary["p50_latency_s"]), ""],
+        ["p99 latency", format_seconds(summary["p99_latency_s"]), ""],
+        ["breaker trips", str(health["breaker_trips"]), ""],
+        ["warmup (simulated)", format_seconds(warmup_s), ""],
+    ]
+    print(
+        format_table(
+            ["metric", "value", ""],
+            rows,
+            title=f"serve-sim on {name} ({len(trace)} trace requests)",
+        )
+    )
+    print(
+        f"accounting {'balanced' if report.balanced else 'BROKEN'};"
+        f" unhandled exceptions: {health['unhandled_exceptions']};"
+        f" final breaker state: {health['breaker_state']}"
+    )
+    if session is not None:
+        session.event(
+            "serve_summary",
+            breaker_trips=health["breaker_trips"],
+            breaker_state=health["breaker_state"],
+            unhandled_exceptions=health["unhandled_exceptions"],
+            **summary,
+        )
+    _save_telemetry(session, args.telemetry_out)
+    return 0 if report.balanced and health["healthy"] else 1
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.graph)
+    plan = FaultPlan.load(args.faults) if args.faults else None
     session = None
     if args.telemetry_out:
         session = TelemetrySession(
@@ -298,7 +417,13 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "graph": dataset.name,
                 "threads": args.threads,
                 "dim": args.dim,
+                "faults": args.faults,
             }
+        )
+    if session is not None and plan is not None:
+        session.event(
+            "fault_plan", path=args.faults, seed=plan.seed,
+            events=[event.to_dict() for event in plan.events],
         )
     rows = []
     for arm in standard_arms(n_threads=args.threads, dim=args.dim):
@@ -307,6 +432,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
             dataset,
             tracer=session.tracer if session else None,
             metrics=session.metrics if session else None,
+            faults=plan,
         )
         if session is not None:
             session.event(
@@ -378,6 +504,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--threads", type=int, default=16)
     compare.add_argument("--dim", type=int, default=32)
     compare.add_argument(
+        "--faults",
+        metavar="PLAN",
+        help="run every arm under the same JSON fault plan"
+        " (fresh injector per arm; crashes resume from checkpoints)",
+    )
+    compare.add_argument(
         "--telemetry-out",
         metavar="PATH",
         help="export per-arm spans, metrics and cost ledgers as JSONL",
@@ -387,6 +519,64 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render a telemetry JSONL file as breakdown tables"
     )
     report.add_argument("trace", help="path to a --telemetry-out JSONL file")
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="replay a request trace against the resilient embedding server",
+    )
+    serve.add_argument(
+        "graph", help="Table I name (PK..FR) or edge-list path"
+    )
+    serve.add_argument(
+        "--trace", metavar="PATH",
+        help="request trace JSON (RequestTrace.save); default: synthesize",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=500,
+        help="synthesized trace length (ignored with --trace)",
+    )
+    serve.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="seed of the synthesized trace (ignored with --trace)",
+    )
+    serve.add_argument(
+        "--load", type=float, default=0.8,
+        help="offered utilization of the synthesized trace",
+    )
+    serve.add_argument(
+        "--save-trace", metavar="PATH",
+        help="write the (possibly synthesized) trace as JSON",
+    )
+    serve.add_argument(
+        "--faults", metavar="PLAN",
+        help="serve-time fault plan JSON (stalls, bursts, PM degradation)",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int,
+        help="synthesize a serve-time fault plan from this seed",
+    )
+    serve.add_argument(
+        "--fault-events", type=int, default=4,
+        help="events in the synthesized fault plan",
+    )
+    serve.add_argument(
+        "--save-faults", metavar="PATH",
+        help="write the active fault plan as JSON",
+    )
+    serve.add_argument("--queue-limit", type=int, default=64)
+    serve.add_argument(
+        "--no-breaker", action="store_true",
+        help="disable the circuit breaker (chaos-comparison arm)",
+    )
+    serve.add_argument(
+        "--no-shedding", action="store_true",
+        help="disable load shedding (unbounded admission queue)",
+    )
+    serve.add_argument(
+        "--no-deadline-aware", action="store_true",
+        help="disable deadline-aware rung selection in the ladder",
+    )
+    _add_engine_arguments(serve)
 
     return parser
 
@@ -424,6 +614,7 @@ COMMANDS = {
     "spmm": cmd_spmm,
     "compare": cmd_compare,
     "report": cmd_report,
+    "serve-sim": cmd_serve_sim,
 }
 
 

@@ -334,6 +334,37 @@ class OMeGaEmbedder:
             raise
         return run.finish()
 
+    def propagate_only(
+        self, adjacency: CSDBMatrix, initial: np.ndarray | None = None
+    ) -> tuple[np.ndarray, float]:
+        """Spectral-propagation-only embedding (a degraded-fidelity run).
+
+        Skips the tSVD bootstrap: propagates ``initial`` (by default a
+        seeded Gaussian scaled by sqrt(degree), the cheap structural
+        prior) through the Chebyshev filter.  This is the serving
+        ladder's middle rung — roughly the propagation stage's share of
+        the full pipeline cost, with correspondingly lower embedding
+        quality.  Returns ``(embedding, sim_seconds)``.
+        """
+        self._reset()
+        n_nodes = adjacency.n_rows
+        if initial is None:
+            rng = np.random.default_rng(self.params.seed)
+            initial = rng.standard_normal((n_nodes, self.params.dim))
+            degrees = np.zeros(n_nodes, dtype=np.float64)
+            np.add.at(degrees, adjacency.col_list, 1.0)
+            initial *= np.sqrt(degrees + 1.0)[:, None]
+        with self.tracer.span("propagate_only", n_nodes=n_nodes):
+            embedding = prone_propagate(
+                adjacency, initial, self.params, self._matmul_factory,
+                tracer=self.tracer,
+            )
+            self._charge_serial(
+                2.0 * n_nodes * self.params.dim * self.params.dim,
+                "dense_algebra",
+            )
+        return embedding, self._stage_seconds()
+
     def start_run(
         self,
         adjacency: CSDBMatrix,

@@ -40,12 +40,24 @@ from typing import TYPE_CHECKING, Any, Iterable
 if TYPE_CHECKING:  # import deferred: obs -> memsim -> persistence -> faults
     from repro.obs.metrics import MetricsRegistry
 
-#: Recognised fault kinds.
+#: Recognised pipeline fault kinds (the set :meth:`FaultPlan.random`
+#: draws from, kept stable so seeded plans replay bit-identically).
 FAULT_KINDS = ("crash", "transient_load", "pm_degrade", "tier_loss")
+#: Serving-layer fault kinds (:mod:`repro.serve`): a ``backend_stall``
+#: freezes one embed/stream backend call for ``seconds`` of simulated
+#: time; a ``request_burst`` injects ``count`` duplicate arrivals at the
+#: admission queue, stressing the shedding path.
+SERVE_FAULT_KINDS = ("backend_stall", "request_burst")
+#: Every kind a :class:`FaultEvent` accepts.
+ALL_FAULT_KINDS = FAULT_KINDS + SERVE_FAULT_KINDS
 #: Crash phases relative to a stage's WAL commit.
 CRASH_PHASES = ("after_commit", "before_commit")
 #: Default injection site of transient streaming-load failures.
 ASL_LOAD_SITE = "asl.load"
+#: Default injection site of serving-backend stalls.
+BACKEND_SITE = "serve.backend"
+#: Default injection site of request bursts.
+ARRIVAL_SITE = "serve.arrivals"
 
 
 class FaultError(RuntimeError):
@@ -76,21 +88,39 @@ class RetryExhaustedError(FaultError):
         self.attempts = attempts
 
 
+class BackendStallError(FaultError):
+    """A serving-backend call stalled past the caller's stall budget."""
+
+    def __init__(self, site: str, seconds: float) -> None:
+        super().__init__(
+            f"backend call at {site!r} stalled; abandoned after"
+            f" {seconds:.3f}s"
+        )
+        self.site = site
+        self.seconds = seconds
+
+
 @dataclass(frozen=True)
 class FaultEvent:
     """One declarative fault.
 
     Attributes:
-        kind: one of :data:`FAULT_KINDS`.
+        kind: one of :data:`ALL_FAULT_KINDS`.
         site: where the event fires — a pipeline stage name for
             ``crash``/``tier_loss``, :data:`ASL_LOAD_SITE` for
-            ``transient_load``, ``"pm"`` for ``pm_degrade``.
-        count: how many failures a ``transient_load`` event injects
-            (consecutive attempts that fail).
+            ``transient_load``, ``"pm"`` for ``pm_degrade``,
+            :data:`BACKEND_SITE` for ``backend_stall``,
+            :data:`ARRIVAL_SITE` for ``request_burst``.
+        count: how many failures a ``transient_load``/``backend_stall``
+            event injects (consecutive attempts that fail), or how many
+            duplicate arrivals a ``request_burst`` adds.
         factor: bandwidth multiplier of a ``pm_degrade`` event
             (0 < factor <= 1; 0.5 halves the PM streaming bandwidth).
         phase: when a ``crash`` fires relative to the stage's WAL
             commit (:data:`CRASH_PHASES`).
+        seconds: simulated duration of a ``backend_stall`` (how long a
+            stalled call hangs before the caller's stall budget cuts it
+            off); unused by the other kinds.
     """
 
     kind: str
@@ -98,11 +128,12 @@ class FaultEvent:
     count: int = 1
     factor: float = 1.0
     phase: str = "after_commit"
+    seconds: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.kind not in FAULT_KINDS:
+        if self.kind not in ALL_FAULT_KINDS:
             raise ValueError(
-                f"kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+                f"kind must be one of {ALL_FAULT_KINDS}, got {self.kind!r}"
             )
         if self.count < 1:
             raise ValueError(f"count must be >= 1, got {self.count}")
@@ -112,16 +143,23 @@ class FaultEvent:
             raise ValueError(
                 f"phase must be one of {CRASH_PHASES}, got {self.phase!r}"
             )
+        if self.seconds < 0.0:
+            raise ValueError(f"seconds must be >= 0, got {self.seconds}")
+        if self.kind == "backend_stall" and self.seconds == 0.0:
+            raise ValueError("backend_stall events need seconds > 0")
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form."""
-        return {
+        payload = {
             "kind": self.kind,
             "site": self.site,
             "count": self.count,
             "factor": self.factor,
             "phase": self.phase,
         }
+        if self.seconds:
+            payload["seconds"] = self.seconds
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict[str, Any]) -> "FaultEvent":
@@ -132,6 +170,7 @@ class FaultEvent:
             count=int(payload.get("count", 1)),
             factor=float(payload.get("factor", 1.0)),
             phase=payload.get("phase", "after_commit"),
+            seconds=float(payload.get("seconds", 0.0)),
         )
 
 
@@ -196,6 +235,54 @@ class FaultPlan:
             else:
                 events.append(
                     FaultEvent(kind, stages[int(rng.integers(len(stages)))])
+                )
+        return cls(events=tuple(events), seed=seed)
+
+    @classmethod
+    def random_serve(
+        cls,
+        seed: int,
+        n_events: int = 4,
+        max_stall_calls: int = 8,
+        stall_seconds: tuple[float, float] = (0.05, 0.5),
+        max_burst: int = 12,
+    ) -> "FaultPlan":
+        """Seeded serving-chaos plan: stalls, bursts and PM derating.
+
+        Draws ``n_events`` events over ``backend_stall`` /
+        ``request_burst`` / ``pm_degrade`` (stall-biased, since stalls
+        are what trip the circuit breaker).  The same seed always yields
+        the same plan, so a ``serve-sim`` chaos run replays exactly.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        kinds = ("backend_stall", "backend_stall", "request_burst", "pm_degrade")
+        events = []
+        for _ in range(n_events):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            if kind == "backend_stall":
+                events.append(
+                    FaultEvent(
+                        kind,
+                        BACKEND_SITE,
+                        count=int(rng.integers(1, max_stall_calls + 1)),
+                        seconds=float(rng.uniform(*stall_seconds)),
+                    )
+                )
+            elif kind == "request_burst":
+                events.append(
+                    FaultEvent(
+                        kind,
+                        ARRIVAL_SITE,
+                        count=int(rng.integers(2, max_burst + 1)),
+                    )
+                )
+            else:
+                events.append(
+                    FaultEvent(
+                        kind, "pm", factor=float(rng.uniform(0.25, 0.95))
+                    )
                 )
         return cls(events=tuple(events), seed=seed)
 
@@ -302,6 +389,30 @@ class FaultInjector:
     def tier_loss(self, site: str) -> FaultEvent | None:
         """Consume a PM tier-capacity-loss event at a stage start."""
         return self._consume("tier_loss", site)
+
+    def take_backend_stall(self, site: str = BACKEND_SITE) -> FaultEvent | None:
+        """Consume one stalled backend call at a serving site, if armed."""
+        return self._consume("backend_stall", site)
+
+    def take_request_burst(self, site: str = ARRIVAL_SITE) -> FaultEvent | None:
+        """Consume one request-burst event at the admission queue.
+
+        A burst fires once; its ``count`` is the number of duplicate
+        requests it injects, so the whole event is drained in one take.
+        """
+        for entry in self._remaining:
+            event, remaining = entry
+            if (
+                event.kind == "request_burst"
+                and event.site == site
+                and remaining > 0
+            ):
+                entry[1] = 0
+                self.metrics.counter(
+                    "faults.injected", kind="request_burst"
+                ).inc()
+                return event
+        return None
 
     @property
     def pending(self) -> int:

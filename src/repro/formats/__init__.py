@@ -19,11 +19,18 @@ from repro.formats.convert import (
     edges_to_csr,
 )
 from repro.formats.csr import CSRMatrix
-from repro.formats.serialize import load_csdb, load_csr, save_csdb, save_csr
+from repro.formats.serialize import (
+    ContainerFormatError,
+    load_csdb,
+    load_csr,
+    save_csdb,
+    save_csr,
+)
 
 __all__ = [
     "CSDBMatrix",
     "CSRMatrix",
+    "ContainerFormatError",
     "csdb_from_scipy",
     "csdb_to_scipy",
     "csr_from_scipy",

@@ -8,6 +8,7 @@ graph built on one machine can be memory-mapped on another.
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 
 import numpy as np
@@ -17,6 +18,35 @@ from repro.formats.csr import CSRMatrix
 
 #: Container-format version; bump on layout changes.
 FORMAT_VERSION = 1
+
+
+class ContainerFormatError(ValueError):
+    """A matrix container is corrupt, truncated, or of the wrong kind.
+
+    Subclasses :class:`ValueError` so existing ``except ValueError``
+    handlers keep working; the typed error lets ingestion pipelines
+    distinguish a corrupt blob from other value errors.
+    """
+
+
+#: Arrays every container of a given kind must carry.
+_REQUIRED_KEYS = {
+    "csdb": ("shape", "deg_list", "deg_ind", "col_list", "nnz_list", "perm"),
+    "csr": ("shape", "indptr", "indices", "data"),
+}
+
+
+def _open_container(path: Path) -> np.lib.npyio.NpzFile:
+    try:
+        return np.load(path, allow_pickle=False)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError) as exc:
+        # A truncated/garbage file surfaces as BadZipFile or as a
+        # pickle-refusal ValueError from np.load.
+        raise ContainerFormatError(
+            f"{path}: not a readable matrix container ({exc})"
+        ) from exc
 
 
 def save_csdb(path: str | Path, matrix: CSDBMatrix) -> None:
@@ -36,7 +66,7 @@ def save_csdb(path: str | Path, matrix: CSDBMatrix) -> None:
 
 def load_csdb(path: str | Path) -> CSDBMatrix:
     """Load a CSDB matrix saved by :func:`save_csdb`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    with _open_container(Path(path)) as data:
         _check_container(data, "csdb")
         return CSDBMatrix(
             deg_list=data["deg_list"],
@@ -63,7 +93,7 @@ def save_csr(path: str | Path, matrix: CSRMatrix) -> None:
 
 def load_csr(path: str | Path) -> CSRMatrix:
     """Load a CSR matrix saved by :func:`save_csr`."""
-    with np.load(Path(path), allow_pickle=False) as data:
+    with _open_container(Path(path)) as data:
         _check_container(data, "csr")
         return CSRMatrix(
             indptr=data["indptr"],
@@ -75,15 +105,20 @@ def load_csr(path: str | Path) -> CSRMatrix:
 
 def _check_container(data: np.lib.npyio.NpzFile, expected_kind: str) -> None:
     if "kind" not in data or "version" not in data:
-        raise ValueError("not a repro matrix container")
+        raise ContainerFormatError("not a repro matrix container")
     kind = str(data["kind"][0])
     if kind != expected_kind:
-        raise ValueError(
+        raise ContainerFormatError(
             f"container holds a {kind!r} matrix, expected {expected_kind!r}"
         )
     version = int(data["version"][0])
     if version > FORMAT_VERSION:
-        raise ValueError(
+        raise ContainerFormatError(
             f"container version {version} is newer than supported"
             f" ({FORMAT_VERSION})"
+        )
+    missing = [k for k in _REQUIRED_KEYS[expected_kind] if k not in data]
+    if missing:
+        raise ContainerFormatError(
+            f"{expected_kind} container is missing arrays: {missing}"
         )

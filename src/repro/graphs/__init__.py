@@ -16,7 +16,7 @@ from repro.graphs.datasets import (
     dataset_table,
     load_dataset,
 )
-from repro.graphs.io import load_edge_list, save_edge_list
+from repro.graphs.io import EdgeListError, load_edge_list, save_edge_list
 from repro.graphs.partition import (
     balanced_edge_partition,
     edge_cut_fraction,
@@ -32,6 +32,7 @@ from repro.graphs.stats import GraphStats, degree_histogram, graph_stats
 __all__ = [
     "DATASET_NAMES",
     "Dataset",
+    "EdgeListError",
     "GraphStats",
     "balanced_edge_partition",
     "edge_cut_fraction",

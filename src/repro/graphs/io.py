@@ -14,6 +14,20 @@ from pathlib import Path
 import numpy as np
 
 
+class EdgeListError(ValueError):
+    """A text edge list is malformed (bad tokens, shape, or node ids).
+
+    Subclasses :class:`ValueError` so callers that catch the generic
+    error keep working; the typed error carries the offending path so
+    ingestion pipelines can report *which* input failed.
+    """
+
+    def __init__(self, path: str | Path, reason: str):
+        self.path = str(path)
+        self.reason = reason
+        super().__init__(f"{path}: {reason}")
+
+
 def save_edge_list(path: str | Path, edges: np.ndarray, header: str = "") -> None:
     """Write an (m, 2) edge array as a SNAP-style text edge list."""
     edges = np.asarray(edges, dtype=np.int64)
@@ -36,16 +50,27 @@ def load_edge_list(path: str | Path) -> tuple[np.ndarray, int]:
 
     Returns:
         (edges, n_nodes): the (m, 2) compacted edge array and node count.
+
+    Raises:
+        EdgeListError: on non-integer tokens, ragged or short rows, or
+            negative node ids.
     """
     path = Path(path)
-    with warnings.catch_warnings():
-        # Comment-only files legitimately parse to an empty array.
-        warnings.simplefilter("ignore", UserWarning)
-        raw = np.loadtxt(path, comments="#", dtype=np.int64, ndmin=2)
+    try:
+        with warnings.catch_warnings():
+            # Comment-only files legitimately parse to an empty array.
+            warnings.simplefilter("ignore", UserWarning)
+            raw = np.loadtxt(path, comments="#", dtype=np.int64, ndmin=2)
+    except ValueError as exc:
+        raise EdgeListError(path, f"unparseable edge list ({exc})") from exc
     if raw.size == 0:
         return np.empty((0, 2), dtype=np.int64), 0
     if raw.shape[1] < 2:
-        raise ValueError(f"{path}: expected at least two columns per line")
+        raise EdgeListError(path, "expected at least two columns per line")
     edges = raw[:, :2]
+    if edges.min() < 0:
+        raise EdgeListError(
+            path, f"negative node id {int(edges.min())}; ids must be >= 0"
+        )
     node_ids, compact = np.unique(edges, return_inverse=True)
     return compact.reshape(edges.shape).astype(np.int64), int(len(node_ids))

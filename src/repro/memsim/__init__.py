@@ -33,7 +33,7 @@ from repro.memsim.allocator import (
     PlacementPolicy,
     TieredMatrix,
 )
-from repro.memsim.clock import SimClock
+from repro.memsim.clock import SimClock, VirtualClock
 from repro.memsim.costmodel import CostModel
 from repro.memsim.devices import (
     AccessPattern,
@@ -84,6 +84,7 @@ __all__ = [
     "Placement",
     "PlacementPolicy",
     "SimClock",
+    "VirtualClock",
     "TieredMatrix",
     "cxl_spec",
     "cxl_testbed",

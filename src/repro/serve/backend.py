@@ -1,0 +1,195 @@
+"""The embedding backend behind the resilient server.
+
+One :class:`EmbeddingBackend` fronts one graph.  ``warm_up()`` runs the
+full ProNE pipeline once (through the stage-checkpointing layer, so the
+checkpoint store holds a durable copy — the *stale* tier) and a
+spectral-propagation-only pass (the mid-fidelity tier), then calibrates
+per-node serving costs from the measured stage times:
+
+- ``full`` — per-request recompute at full-pipeline cost per node
+  (tSVD bootstrap + propagation), the freshest answer;
+- ``propagation_only`` — per-request recompute at propagation-stage
+  cost per node, skipping the factorization;
+- ``stale`` — a random read of the requested rows from the PM-resident
+  checkpoint, costed by the device model; never touches the backend
+  compute path, so it stays available when the circuit breaker is open.
+
+Injected ``backend_stall`` faults hang a compute-tier call; the caller's
+stall budget converts long stalls into
+:class:`~repro.faults.BackendStallError` (a breaker-visible failure).
+``pm_degrade`` faults derate the serving costs like they derate the
+pipeline's streaming bandwidth.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.embedding import OMeGaEmbedder
+from repro.faults import BackendStallError, FaultInjector
+from repro.formats.convert import edges_to_csdb
+from repro.memsim.devices import (
+    AccessPattern,
+    Locality,
+    MemoryKind,
+    Operation,
+)
+from repro.memsim.persistence import CheckpointedEmbedder
+from repro.obs.metrics import MetricsRegistry
+
+#: Fidelity levels, best first (the degradation ladder's rungs).
+FIDELITY_FULL = "full"
+FIDELITY_PROPAGATION = "propagation_only"
+FIDELITY_STALE = "stale"
+FIDELITY_LEVELS = (FIDELITY_FULL, FIDELITY_PROPAGATION, FIDELITY_STALE)
+
+
+class BackendResponse:
+    """Rows served at one fidelity, with the simulated cost paid."""
+
+    __slots__ = ("rows", "fidelity", "sim_seconds")
+
+    def __init__(
+        self, rows: np.ndarray, fidelity: str, sim_seconds: float
+    ) -> None:
+        self.rows = rows
+        self.fidelity = fidelity
+        self.sim_seconds = sim_seconds
+
+
+class EmbeddingBackend:
+    """Warmed embedding tiers plus per-request cost simulation."""
+
+    def __init__(
+        self,
+        embedder: OMeGaEmbedder,
+        edges: np.ndarray,
+        n_nodes: int,
+        faults: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.embedder = embedder
+        self.edges = np.asarray(edges)
+        self.n_nodes = n_nodes
+        self.faults = faults
+        self.metrics = (
+            metrics if metrics is not None else embedder.metrics
+        )
+        self._full: np.ndarray | None = None
+        self._propagation: np.ndarray | None = None
+        self._checkpointed: CheckpointedEmbedder | None = None
+        self._full_cost_per_node = 0.0
+        self._propagation_cost_per_node = 0.0
+        self.warmup_sim_seconds = 0.0
+
+    # -- warmup ----------------------------------------------------------
+
+    @property
+    def warm(self) -> bool:
+        """True once the embedding tiers are materialized."""
+        return self._full is not None
+
+    def warm_up(self) -> float:
+        """Build every serving tier; returns the simulated warmup cost.
+
+        Idempotent: a second call is free.
+        """
+        if self.warm:
+            return self.warmup_sim_seconds
+        self._checkpointed = CheckpointedEmbedder(self.embedder)
+        result = self._checkpointed.embed_with_checkpoints(
+            self.edges, self.n_nodes
+        )
+        self._full = result.embedding
+        generation = result.factorization_seconds + result.propagation_seconds
+        self._full_cost_per_node = generation / max(self.n_nodes, 1)
+        adjacency = edges_to_csdb(self.edges, self.n_nodes)
+        self._propagation, propagation_seconds = (
+            self.embedder.propagate_only(adjacency)
+        )
+        self._propagation_cost_per_node = propagation_seconds / max(
+            self.n_nodes, 1
+        )
+        self.warmup_sim_seconds = (
+            result.sim_seconds
+            + propagation_seconds
+            + self._checkpointed.checkpoint_sim_seconds
+        )
+        self.metrics.counter("serve.backend.warmups").inc()
+        return self.warmup_sim_seconds
+
+    def _require_warm(self) -> None:
+        if not self.warm:
+            raise RuntimeError("backend is cold; call warm_up() first")
+
+    # -- calibration hooks (trace synthesis, policy defaults) ------------
+
+    def compute_cost(self, n_nodes: int, fidelity: str = FIDELITY_FULL) -> float:
+        """Healthy simulated cost of one compute-tier request."""
+        self._require_warm()
+        per_node = (
+            self._full_cost_per_node
+            if fidelity == FIDELITY_FULL
+            else self._propagation_cost_per_node
+        )
+        return per_node * n_nodes
+
+    def cached_cost(self, n_nodes: int) -> float:
+        """Simulated cost of reading ``n_nodes`` rows from the PM tier."""
+        pm = self.embedder.config.topology.device(MemoryKind.PM)
+        nbytes = float(n_nodes * self.embedder.params.dim * 8)
+        return self.embedder.engine.cost_model.access_time(
+            pm, Operation.READ, AccessPattern.RANDOM, Locality.LOCAL, nbytes
+        )
+
+    # -- serving ---------------------------------------------------------
+
+    def _rows(self, source: np.ndarray, n_nodes: int) -> np.ndarray:
+        ids = np.arange(n_nodes) % len(source)
+        return source[ids]
+
+    def serve(
+        self, n_nodes: int, fidelity: str, stall_budget_s: float
+    ) -> BackendResponse:
+        """One compute-tier call (``full`` or ``propagation_only``).
+
+        Raises:
+            BackendStallError: an injected stall outlived
+                ``stall_budget_s`` — the caller paid the budget and
+                abandoned the call (a circuit-breaker failure).
+        """
+        self._require_warm()
+        if fidelity not in (FIDELITY_FULL, FIDELITY_PROPAGATION):
+            raise ValueError(
+                f"compute tier serves {FIDELITY_FULL!r} or"
+                f" {FIDELITY_PROPAGATION!r}, got {fidelity!r}"
+            )
+        seconds = self.compute_cost(n_nodes, fidelity)
+        if self.faults is not None:
+            seconds /= self.faults.pm_derate()
+            stall = self.faults.take_backend_stall()
+            if stall is not None:
+                self.metrics.counter("serve.backend.stalls").inc()
+                if stall.seconds > stall_budget_s:
+                    raise BackendStallError(stall.site, stall_budget_s)
+                seconds += stall.seconds
+        source = (
+            self._full if fidelity == FIDELITY_FULL else self._propagation
+        )
+        self.metrics.counter("serve.backend.calls", fidelity=fidelity).inc()
+        return BackendResponse(self._rows(source, n_nodes), fidelity, seconds)
+
+    def serve_cached(self, n_nodes: int) -> BackendResponse:
+        """The stale tier: checkpointed rows at PM read cost, fault-free."""
+        self._require_warm()
+        cached = self._checkpointed.recover_embedding()
+        if cached is None:  # pragma: no cover - warm_up always commits
+            raise RuntimeError("no durable embedding in the checkpoint store")
+        self.metrics.counter(
+            "serve.backend.calls", fidelity=FIDELITY_STALE
+        ).inc()
+        return BackendResponse(
+            self._rows(cached, n_nodes),
+            FIDELITY_STALE,
+            self.cached_cost(n_nodes),
+        )

@@ -1,0 +1,195 @@
+"""Circuit breaker around the embed/stream backend.
+
+The classic closed → open → half-open state machine, on the simulated
+clock: repeated backend failures (stalls, injected faults) trip the
+breaker, which then fails fast — the server degrades to the cached tier
+instead of burning a stall timeout per request.  After a recovery window
+the breaker admits probe requests; enough consecutive probe successes
+close it again, one probe failure re-opens it.
+
+Every transition is counted in the ``serve.breaker.*`` metric family and
+the current state is exported as a gauge, so a telemetry file tells the
+whole story of a chaos run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Breaker states.
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+BREAKER_STATES = (STATE_CLOSED, STATE_OPEN, STATE_HALF_OPEN)
+
+#: Gauge encoding of the states (0 = healthy, 2 = tripped).
+_STATE_CODES = {STATE_CLOSED: 0, STATE_HALF_OPEN: 1, STATE_OPEN: 2}
+
+
+class CircuitOpenError(RuntimeError):
+    """A call was rejected because the breaker is open."""
+
+    def __init__(self, name: str, retry_after_s: float) -> None:
+        super().__init__(
+            f"circuit {name!r} is open; retry in {retry_after_s:.3f}s"
+        )
+        self.name = name
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Tuning knobs of one :class:`CircuitBreaker`.
+
+    Attributes:
+        failure_threshold: consecutive failures that trip a closed
+            breaker.
+        recovery_seconds: how long an open breaker rejects calls before
+            admitting half-open probes.
+        half_open_probes: consecutive probe successes needed to close a
+            half-open breaker.
+    """
+
+    failure_threshold: int = 3
+    recovery_seconds: float = 5.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.recovery_seconds <= 0:
+            raise ValueError(
+                f"recovery_seconds must be > 0, got {self.recovery_seconds}"
+            )
+        if self.half_open_probes < 1:
+            raise ValueError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+class CircuitBreaker:
+    """Failure-counting breaker on a simulated clock.
+
+    Args:
+        policy: thresholds and recovery window.
+        clock: zero-argument callable returning the current simulated
+            time (e.g. a :class:`repro.memsim.clock.VirtualClock`'s
+            ``now`` via ``lambda: clock.now``).
+        metrics: registry receiving the ``serve.breaker.*`` series.
+        name: label distinguishing multiple breakers in one registry.
+    """
+
+    def __init__(
+        self,
+        policy: BreakerPolicy | None = None,
+        clock: Callable[[], float] = lambda: 0.0,
+        metrics: MetricsRegistry | None = None,
+        name: str = "backend",
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.name = name
+        self._state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+        self._sync_gauge()
+
+    # -- state -----------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, refreshing open → half-open on recovery expiry."""
+        self._maybe_enter_half_open()
+        return self._state
+
+    @property
+    def trips(self) -> int:
+        """How many times the breaker has opened."""
+        return int(self.metrics.value("serve.breaker.trips", breaker=self.name))
+
+    def _sync_gauge(self) -> None:
+        self.metrics.gauge("serve.breaker.state", breaker=self.name).set(
+            _STATE_CODES[self._state]
+        )
+
+    def _transition(self, to_state: str) -> None:
+        if to_state == self._state:
+            return
+        self.metrics.counter(
+            "serve.breaker.transitions",
+            breaker=self.name,
+            from_state=self._state,
+            to_state=to_state,
+        ).inc()
+        if to_state == STATE_OPEN:
+            self.metrics.counter("serve.breaker.trips", breaker=self.name).inc()
+            self._opened_at = self.clock()
+        self._state = to_state
+        self._sync_gauge()
+
+    def _maybe_enter_half_open(self) -> None:
+        if (
+            self._state == STATE_OPEN
+            and self.clock() >= self._opened_at + self.policy.recovery_seconds
+        ):
+            self._probe_successes = 0
+            self._transition(STATE_HALF_OPEN)
+
+    # -- the caller-facing protocol --------------------------------------
+
+    def allow(self) -> bool:
+        """May the next backend call proceed?
+
+        Closed: always.  Open: only once the recovery window has passed
+        (which moves the breaker to half-open).  Half-open: yes — the
+        call is a probe whose outcome decides the next transition.
+        """
+        self._maybe_enter_half_open()
+        if self._state == STATE_OPEN:
+            self.metrics.counter(
+                "serve.breaker.rejections", breaker=self.name
+            ).inc()
+            return False
+        return True
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed."""
+        if not self.allow():
+            remaining = (
+                self._opened_at + self.policy.recovery_seconds - self.clock()
+            )
+            raise CircuitOpenError(self.name, max(remaining, 0.0))
+
+    def record_success(self) -> None:
+        """Report a successful backend call."""
+        self._consecutive_failures = 0
+        if self._state == STATE_HALF_OPEN:
+            self._probe_successes += 1
+            self.metrics.counter(
+                "serve.breaker.probe_successes", breaker=self.name
+            ).inc()
+            if self._probe_successes >= self.policy.half_open_probes:
+                self._transition(STATE_CLOSED)
+
+    def record_failure(self) -> None:
+        """Report a failed backend call (stall, fault, timeout)."""
+        self.metrics.counter("serve.breaker.failures", breaker=self.name).inc()
+        if self._state == STATE_HALF_OPEN:
+            # One failed probe re-trips immediately.
+            self._probe_successes = 0
+            self._transition(STATE_OPEN)
+            return
+        self._consecutive_failures += 1
+        if (
+            self._state == STATE_CLOSED
+            and self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._consecutive_failures = 0
+            self._transition(STATE_OPEN)

@@ -1,0 +1,43 @@
+"""Typed rejections of the resilient embedding server.
+
+Every non-served outcome carries a precise error type, so clients (and
+the accounting in :class:`~repro.serve.server.ServeReport`) can tell
+load shedding from deadline misses from breaker rejections.  Backend
+stalls raise :class:`~repro.faults.BackendStallError` and an open
+breaker raises :class:`~repro.serve.breaker.CircuitOpenError`; both are
+handled inside the server's degradation ladder rather than surfacing to
+clients.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base class of serving-layer rejections."""
+
+
+class QueueFullError(ServeError):
+    """The admission queue was at its bound; the request was shed."""
+
+    def __init__(self, request_id: str, queue_limit: int) -> None:
+        super().__init__(
+            f"request {request_id!r} shed: admission queue full"
+            f" (limit {queue_limit})"
+        )
+        self.request_id = request_id
+        self.queue_limit = queue_limit
+
+
+class DeadlineExceededError(ServeError):
+    """The request's latency budget expired before it was served."""
+
+    def __init__(
+        self, request_id: str, deadline_s: float, elapsed_s: float
+    ) -> None:
+        super().__init__(
+            f"request {request_id!r} exceeded its {deadline_s:.4f}s deadline"
+            f" ({elapsed_s:.4f}s elapsed)"
+        )
+        self.request_id = request_id
+        self.deadline_s = deadline_s
+        self.elapsed_s = elapsed_s

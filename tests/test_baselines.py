@@ -85,6 +85,48 @@ class TestSystemArms:
             assert np.array_equal(emb, embeddings[0])
 
 
+class TestRunArmFaults:
+    def test_pm_degrade_slows_omega_arm(self, dataset):
+        from repro.faults import FaultEvent, FaultPlan
+
+        arm = standard_arms(n_threads=8, dim=8)[0]
+        clean = run_arm(arm, dataset)
+        degraded = run_arm(
+            arm,
+            dataset,
+            faults=FaultPlan(
+                events=(FaultEvent("pm_degrade", "pm", factor=0.5),)
+            ),
+        )
+        assert clean.status == "ok"
+        assert degraded.status == "ok"
+        assert degraded.sim_seconds > clean.sim_seconds
+
+    def test_crash_plan_recovers_via_checkpoints(self, dataset):
+        from repro.faults import FaultEvent, FaultPlan
+
+        arm = standard_arms(n_threads=8, dim=8)[0]
+        plan = FaultPlan(events=(FaultEvent("crash", "factorization"),))
+        result = run_arm(arm, dataset, faults=plan)
+        assert result.status == "recovered"
+        assert result.result is not None
+        assert result.result.embedding is not None
+        assert result.sim_seconds > 0
+
+    def test_speedup_table_accepts_recovered_arms(self, dataset):
+        from repro.faults import FaultEvent, FaultPlan
+
+        arms = standard_arms(n_threads=8, dim=8)[:2]
+        plan = FaultPlan(events=(FaultEvent("crash", "factorization"),))
+        results = [run_arm(arm, dataset, faults=plan) for arm in arms]
+        assert all(r.status == "recovered" for r in results)
+        # Both recovered arms count as valid completions, so the
+        # non-reference arm gets a finite speedup row.
+        rows = speedup_table(results)
+        assert rows == {"OMeGa-DRAM": pytest.approx(rows["OMeGa-DRAM"])}
+        assert np.isfinite(rows["OMeGa-DRAM"])
+
+
 class TestExternalSimulators:
     def test_all_run_ok(self, dataset):
         sims = (

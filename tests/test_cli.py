@@ -199,6 +199,84 @@ class TestEmbedFaults:
         assert "SpMM ops" in capsys.readouterr().out
 
 
+class TestServeSim:
+    ARGS = ["serve-sim", "PK", "--threads", "4", "--dim", "8"]
+
+    def test_synthesized_trace_balanced(self, capsys):
+        code = main(self.ARGS + ["--requests", "80"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "submitted" in out
+        assert "accounting balanced" in out
+
+    def test_fault_plan_replay_is_deterministic(self, tmp_path, capsys):
+        plan = tmp_path / "plan.json"
+        trace = tmp_path / "trace.json"
+        code = main(
+            self.ARGS
+            + [
+                "--requests", "120", "--fault-seed", "7",
+                "--save-faults", str(plan), "--save-trace", str(trace),
+            ]
+        )
+        assert code == 0
+        first = capsys.readouterr().out
+        code = main(
+            self.ARGS + ["--faults", str(plan), "--trace", str(trace)]
+        )
+        assert code == 0
+        replay = capsys.readouterr().out
+        # Identical counts: same trace + same plan => same outcome
+        # (modulo the "written to" notices of the first run).
+        first_lines = [
+            line for line in first.splitlines() if "written to" not in line
+        ]
+        assert first_lines == replay.splitlines()
+
+    def test_telemetry_has_breaker_series(self, tmp_path, capsys):
+        out_path = tmp_path / "serve.jsonl"
+        code = main(
+            self.ARGS
+            + [
+                "--requests", "150", "--fault-seed", "3",
+                "--telemetry-out", str(out_path),
+            ]
+        )
+        assert code == 0
+        records = [
+            json.loads(line)
+            for line in out_path.read_text().splitlines()
+        ]
+        metrics = {
+            r["name"]: r.get("value")
+            for r in records
+            if r.get("type") == "metric"
+        }
+        assert metrics.get("serve.unhandled_exceptions") == 0
+        assert "serve.submitted" in metrics
+        assert any(
+            r.get("type") == "event" and r.get("name") == "serve_summary"
+            for r in records
+        )
+
+    def test_resilience_toggles_run(self, capsys):
+        code = main(
+            self.ARGS
+            + [
+                "--requests", "60", "--no-breaker", "--no-shedding",
+                "--no-deadline-aware",
+            ]
+        )
+        assert code == 0
+        assert "accounting balanced" in capsys.readouterr().out
+
+    def test_unknown_graph_treated_as_missing_edge_list(self):
+        # Like `embed`, the graph argument falls back to an edge-list
+        # path when it is not a Table I name.
+        with pytest.raises(FileNotFoundError):
+            main(["serve-sim", "nope"])
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

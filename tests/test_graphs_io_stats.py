@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import (
+    EdgeListError,
     degree_histogram,
     graph_stats,
     load_edge_list,
@@ -48,6 +49,34 @@ class TestIO:
     def test_save_rejects_bad_shape(self, tmp_path):
         with pytest.raises(ValueError, match=r"\(m, 2\)"):
             save_edge_list(tmp_path / "x.txt", np.zeros((3, 3)))
+
+
+class TestEdgeListValidation:
+    def test_non_integer_tokens(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\t1\nfoo\tbar\n")
+        with pytest.raises(EdgeListError, match="unparseable"):
+            load_edge_list(path)
+
+    def test_single_column(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\n1\n2\n")
+        with pytest.raises(EdgeListError, match="two columns"):
+            load_edge_list(path)
+
+    def test_negative_node_ids(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\t1\n-3\t2\n")
+        with pytest.raises(EdgeListError, match="negative node id"):
+            load_edge_list(path)
+
+    def test_error_carries_path_and_is_value_error(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError) as excinfo:
+            load_edge_list(path)
+        assert isinstance(excinfo.value, EdgeListError)
+        assert excinfo.value.path == str(path)
 
 
 class TestStats:

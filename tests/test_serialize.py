@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.formats.serialize import load_csdb, load_csr, save_csdb, save_csr
+from repro.formats.serialize import (
+    ContainerFormatError,
+    load_csdb,
+    load_csr,
+    save_csdb,
+    save_csr,
+)
 
 
 class TestCSDBRoundtrip:
@@ -56,3 +62,38 @@ class TestValidation:
         )
         with pytest.raises(ValueError, match="newer"):
             load_csdb(path)
+
+    def test_errors_are_typed(self, tmp_path, skewed_csdb):
+        path = tmp_path / "graph.npz"
+        save_csdb(path, skewed_csdb)
+        with pytest.raises(ContainerFormatError):
+            load_csr(path)
+
+    def test_truncated_blob(self, tmp_path, skewed_csdb):
+        path = tmp_path / "graph.npz"
+        save_csdb(path, skewed_csdb)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 3])
+        with pytest.raises(ContainerFormatError, match="not a readable"):
+            load_csdb(path)
+
+    def test_garbage_blob(self, tmp_path):
+        path = tmp_path / "graph.npz"
+        path.write_bytes(b"this is not a zip archive at all")
+        with pytest.raises(ContainerFormatError):
+            load_csdb(path)
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "graph.npz"
+        np.savez(
+            path,
+            kind=np.array(["csdb"]),
+            version=np.array([1]),
+            shape=np.array([1, 1]),
+        )
+        with pytest.raises(ContainerFormatError, match="missing arrays"):
+            load_csdb(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_csdb(tmp_path / "absent.npz")
