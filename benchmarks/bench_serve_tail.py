@@ -16,7 +16,15 @@ p99 completion latency (over everything that consumed service: served
 plus deadline-exceeded) and serve strictly more requests within their
 deadlines.  The comparison is exact — same trace seed, same fault
 plan, same simulated clock semantics.
+
+Both arms are additionally scored against the declarative SLO spec in
+``benchmarks/serve_tail.slo.json`` (the same spec ``repro serve-sim
+--slo`` takes): the resilient arm must meet every objective while the
+naive arm blows the interactive p99 objective — the observatory's
+burn-rate view of the same Fig. 13-style tail separation.
 """
+
+from pathlib import Path
 
 from common import (  # noqa: F401
     dataset,
@@ -31,6 +39,8 @@ from repro.core import OMeGaConfig, OMeGaEmbedder
 from repro.faults import FaultInjector, FaultPlan
 from repro.memsim.clock import VirtualClock
 from repro.obs import MetricsRegistry
+from repro.obs.observatory import SLOSpec, evaluate_slo
+from repro.obs.observatory.slo import render_slo
 from repro.serve import (
     EmbeddingBackend,
     EmbeddingServer,
@@ -47,6 +57,8 @@ TRACE_SEED = 3
 MEAN_INTERACTIVE_NODES = 8.5
 #: Statuses that consumed service and have a completion latency.
 COMPLETED = ("served", "deadline_exceeded")
+#: Declarative objectives both arms are scored against.
+SLO_SPEC_PATH = Path(__file__).parent / "serve_tail.slo.json"
 
 
 def _run_arm(graph, resilient: bool):
@@ -84,14 +96,20 @@ def _run_arm(graph, resilient: bool):
 
 def _experiment(graph):
     session = telemetry_session("serve_tail", graph=graph.name)
+    spec = SLOSpec.load(SLO_SPEC_PATH)
     arms = {}
     for label, resilient in (("resilient", True), ("naive", False)):
         report, server = _run_arm(graph, resilient)
-        arms[label] = (report, server)
+        slo = evaluate_slo(server.metrics.to_records(), spec)
+        arms[label] = (report, server, slo)
         session.event(
             "serve_arm",
             arm=label,
             breaker_trips=server.breaker.trips,
+            slo_ok=slo.ok,
+            slo_burn_rates={
+                r.objective.name: r.burn_rate for r in slo.results
+            },
             **report.summary(),
         )
     save_telemetry(session, "serve_tail")
@@ -103,7 +121,7 @@ def test_serve_tail_latency(run_once):
     arms = run_once(lambda: _experiment(graph))
 
     rows = []
-    for label, (report, server) in arms.items():
+    for label, (report, server, slo) in arms.items():
         rows.append(
             [
                 label,
@@ -114,12 +132,13 @@ def test_serve_tail_latency(run_once):
                 str(server.breaker.trips),
                 format_seconds(report.latency_percentile(50, COMPLETED)),
                 format_seconds(report.latency_percentile(99, COMPLETED)),
+                "PASS" if slo.ok else "FAIL",
             ]
         )
     table = format_table(
         [
             "arm", "submitted", "served", "shed", "deadline miss",
-            "breaker trips", "p50", "p99",
+            "breaker trips", "p50", "p99", "SLO",
         ],
         rows,
         title=(
@@ -127,10 +146,14 @@ def test_serve_tail_latency(run_once):
             f" fault seed {FAULT_SEED})"
         ),
     )
-    write_report("serve_tail", table)
+    slo_sections = "\n\n".join(
+        f"[{label}]\n{render_slo(slo)}"
+        for label, (_, _, slo) in arms.items()
+    )
+    write_report("serve_tail", f"{table}\n\n{slo_sections}")
 
-    resilient, r_server = arms["resilient"]
-    naive, n_server = arms["naive"]
+    resilient, r_server, r_slo = arms["resilient"]
+    naive, n_server, n_slo = arms["naive"]
     # Both arms replay the identical trace and fault plan.
     assert resilient.submitted == naive.submitted
     # The breaker must actually trip under this plan.
@@ -142,3 +165,10 @@ def test_serve_tail_latency(run_once):
     )
     assert resilient.served > naive.served
     assert resilient.deadline_exceeded < naive.deadline_exceeded
+    # The SLO view of the same separation: the resilient arm meets every
+    # declarative objective, the naive arm blows the p99 objective.
+    assert r_slo.ok
+    assert not n_slo.ok
+    assert "interactive-p99" in {
+        r.objective.name for r in n_slo.violations
+    }

@@ -9,10 +9,20 @@ Commands:
   anatomy;
 - ``compare``           — run the Fig. 12 system arms on one graph;
 - ``report``            — render a ``--telemetry-out`` JSONL file back
-  into the Fig. 7(a)-style breakdown tables;
+  into the Fig. 7(a)-style breakdown tables (plus the hot-span table);
 - ``serve-sim``         — replay a request trace against the resilient
   embedding server (:mod:`repro.serve`), optionally under a serve-time
-  fault plan (backend stalls, request bursts, PM degradation).
+  fault plan (backend stalls, request bursts, PM degradation) and/or a
+  declarative SLO spec (``--slo``, with error-budget burn rates);
+- ``diff``              — per-stage / per-metric deltas between two
+  telemetry exports, nonzero exit when a time-like series regresses
+  past ``--threshold``;
+- ``profile``           — fold a telemetry export's spans into a
+  flamegraph-style profile; ``--out`` writes the collapsed-stack text
+  form standard flamegraph tooling consumes;
+- ``perf-gate``         — run the pinned micro-bench suite, compare
+  against the stored baseline (``benchmarks/baselines/``) and append a
+  ``BENCH_omega.json`` trajectory point (the CI perf-regression gate).
 
 ``embed``, ``spmm``, ``compare`` and ``calibrate`` accept
 ``--telemetry-out PATH`` to export spans, metrics and cost ledgers as
@@ -26,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -138,9 +149,9 @@ def cmd_probe(_: argparse.Namespace) -> int:
 
 
 def _telemetry_session(
-    args: argparse.Namespace, command: str, graph: str
+    args: argparse.Namespace, command: str, graph: str, force: bool = False
 ) -> TelemetrySession | None:
-    if not args.telemetry_out:
+    if not args.telemetry_out and not force:
         return None
     return TelemetrySession(
         meta={
@@ -291,6 +302,109 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_run(spec: str) -> list:
+    """Records of one diff side: a JSONL path or a stored baseline.
+
+    Anything that exists on disk is read as a telemetry file; otherwise
+    the name (or raw content key) is resolved against the baseline
+    store, where payloads of the ``{"records": [...]}`` shape (see
+    ``benchmarks/common.publish_baseline``) hold a full export.
+    """
+    from repro.obs.export import read_jsonl
+
+    if Path(spec).is_file():
+        return read_jsonl(spec)
+    from repro.obs.observatory import BaselineStore
+
+    try:
+        payload = BaselineStore().load(spec)
+    except KeyError:
+        raise SystemExit(
+            f"{spec}: neither a telemetry file nor a stored baseline"
+        )
+    return payload.get("records", [])
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.observatory import diff_runs, render_diff
+
+    report = diff_runs(
+        _load_run(args.run_a),
+        _load_run(args.run_b),
+        threshold=args.threshold,
+    )
+    print(render_diff(report))
+    return 1 if report.regressions else 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.bench.harness import format_seconds, format_table
+    from repro.obs.export import read_jsonl
+    from repro.obs.observatory import (
+        build_profile,
+        hot_spans,
+        write_collapsed,
+    )
+
+    records = read_jsonl(args.trace)
+    spans = [r for r in records if r.get("type") == "span"]
+    profile = build_profile(spans)
+    rows = [
+        [
+            ";".join(node.path[1:]),
+            node.calls,
+            format_seconds(node.sim_self),
+            format_seconds(node.sim_total),
+            format_seconds(node.wall_self),
+        ]
+        for node in hot_spans(profile, top_n=args.top)
+    ]
+    print(
+        format_table(
+            ["span path", "calls", "sim self", "sim total", "wall self"],
+            rows,
+            title=(
+                f"Profile of {args.trace}"
+                f" ({format_seconds(profile.sim_total)} simulated total)"
+            ),
+        )
+    )
+    if args.out:
+        write_collapsed(profile, args.out, clock=args.clock)
+        print(f"collapsed stacks ({args.clock} clock) written to {args.out}")
+    return 0
+
+
+def cmd_perf_gate(args: argparse.Namespace) -> int:
+    from repro.obs.observatory import (
+        BaselineStore,
+        build_profile,
+        render_gate,
+        run_perf_gate,
+        write_collapsed,
+    )
+    from repro.obs.observatory.perfgate import DEFAULT_TRAJECTORY
+
+    store = BaselineStore(args.baseline_dir) if args.baseline_dir else None
+    trajectory = args.trajectory if args.trajectory else DEFAULT_TRAJECTORY
+    report = run_perf_gate(
+        store=store,
+        threshold=args.threshold,
+        update_baseline=args.update_baseline,
+        faults_path=args.faults,
+        trajectory_path=None if args.no_trajectory else trajectory,
+    )
+    print(render_gate(report, threshold=args.threshold))
+    if args.telemetry_out:
+        report.run.session.save(args.telemetry_out)
+        print(f"telemetry written to {args.telemetry_out}")
+    if args.profile_out:
+        spans = report.run.session.tracer.to_records()
+        write_collapsed(build_profile(spans), args.profile_out)
+        print(f"collapsed stacks written to {args.profile_out}")
+    return 0 if report.ok else 1
+
+
 def cmd_serve_sim(args: argparse.Namespace) -> int:
     from repro.memsim.clock import VirtualClock
     from repro.serve import (
@@ -302,7 +416,11 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
 
     edges, n_nodes, scale, name = _load_graph(args)
     config = _config_from_args(args, scale)
-    session = _telemetry_session(args, "serve-sim", name)
+    # An SLO evaluation needs the run's metric records even when no
+    # telemetry file was requested, so force an in-memory session.
+    session = _telemetry_session(
+        args, "serve-sim", name, force=bool(args.slo)
+    )
     embedder = OMeGaEmbedder(
         config,
         tracer=session.tracer if session else None,
@@ -402,8 +520,24 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             unhandled_exceptions=health["unhandled_exceptions"],
             **summary,
         )
+    slo_ok = True
+    if args.slo:
+        from repro.obs.observatory import SLOSpec, evaluate_slo, render_slo
+
+        slo_report = evaluate_slo(session.records(), SLOSpec.load(args.slo))
+        print(render_slo(slo_report))
+        session.event(
+            "slo",
+            spec=args.slo,
+            ok=slo_report.ok,
+            violations=[r.objective.name for r in slo_report.violations],
+            burn_rates={
+                r.objective.name: r.burn_rate for r in slo_report.results
+            },
+        )
+        slo_ok = slo_report.ok
     _save_telemetry(session, args.telemetry_out)
-    return 0 if report.balanced and health["healthy"] else 1
+    return 0 if report.balanced and health["healthy"] and slo_ok else 1
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
@@ -520,6 +654,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("trace", help="path to a --telemetry-out JSONL file")
 
+    diff = sub.add_parser(
+        "diff",
+        help="per-stage/per-metric deltas between two telemetry exports",
+    )
+    diff.add_argument(
+        "run_a", help="baseline: telemetry JSONL file or stored baseline name"
+    )
+    diff.add_argument(
+        "run_b", help="candidate: telemetry JSONL file or stored baseline name"
+    )
+    diff.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative regression threshold on time-like series"
+        " (default 0.05 = 5%%; breaches exit nonzero)",
+    )
+
+    profile = sub.add_parser(
+        "profile",
+        help="fold a telemetry export's spans into a flamegraph profile",
+    )
+    profile.add_argument("trace", help="path to a --telemetry-out JSONL file")
+    profile.add_argument(
+        "--out", metavar="PATH",
+        help="write collapsed-stack text (flamegraph.pl / speedscope input)",
+    )
+    profile.add_argument(
+        "--clock", choices=("sim", "wall"), default="sim",
+        help="which clock the collapsed counts measure (default: sim)",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15,
+        help="rows in the printed hot-span table",
+    )
+
+    gate = sub.add_parser(
+        "perf-gate",
+        help="run the pinned micro-bench suite against the stored baseline",
+    )
+    gate.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="relative regression threshold on simulated stage seconds",
+    )
+    gate.add_argument(
+        "--baseline-dir", metavar="DIR",
+        help="baseline store root (default: benchmarks/baselines/)",
+    )
+    gate.add_argument(
+        "--update-baseline", action="store_true",
+        help="pin this run's stages as the new baseline",
+    )
+    gate.add_argument(
+        "--faults", metavar="PLAN",
+        help="run the suite under a fault plan (chaos check of the gate;"
+        " never updates the baseline or trajectory)",
+    )
+    gate.add_argument(
+        "--trajectory", metavar="PATH",
+        help="trajectory file to append to (default: BENCH_omega.json)",
+    )
+    gate.add_argument(
+        "--no-trajectory", action="store_true",
+        help="skip appending a trajectory point",
+    )
+    gate.add_argument(
+        "--profile-out", metavar="PATH",
+        help="write the suite's collapsed-stack profile (CI artifact)",
+    )
+    gate.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help="export the suite's telemetry as JSONL",
+    )
+
     serve = sub.add_parser(
         "serve-sim",
         help="replay a request trace against the resilient embedding server",
@@ -576,6 +782,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-deadline-aware", action="store_true",
         help="disable deadline-aware rung selection in the ladder",
     )
+    serve.add_argument(
+        "--slo", metavar="SPEC",
+        help="evaluate a JSON SLO spec over the replay's telemetry"
+        " (per-objective pass/fail + burn rate; violations exit nonzero)",
+    )
     _add_engine_arguments(serve)
 
     return parser
@@ -615,6 +826,9 @@ COMMANDS = {
     "compare": cmd_compare,
     "report": cmd_report,
     "serve-sim": cmd_serve_sim,
+    "diff": cmd_diff,
+    "profile": cmd_profile,
+    "perf-gate": cmd_perf_gate,
 }
 
 

@@ -12,7 +12,11 @@ adds the *where* and *when*:
 - :mod:`repro.obs.export` — the JSONL event sink, snapshot exporter and
   :class:`TelemetrySession` bundle shared by the CLI and benches;
 - :mod:`repro.obs.report` — renders a telemetry file back into the
-  Fig. 7(a)-style breakdown tables (``repro report``).
+  Fig. 7(a)-style breakdown tables (``repro report``);
+- :mod:`repro.obs.observatory` — cross-run analysis: run manifests, the
+  content-addressed baseline store, telemetry diffing, flamegraph
+  profiles, SLO evaluation and the CI perf-regression gate
+  (``repro diff`` / ``profile`` / ``perf-gate``, ``serve-sim --slo``).
 """
 
 from repro.obs.export import (
@@ -35,9 +39,29 @@ from repro.obs.report import (
     spmm_step_breakdown,
     split_records,
 )
+from repro.obs.observatory import (
+    BaselineStore,
+    RunManifest,
+    SLOSpec,
+    build_profile,
+    collapsed_stacks,
+    diff_runs,
+    evaluate_slo,
+    hot_spans,
+    manifest_from_records,
+)
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, SpanTracer
 
 __all__ = [
+    "BaselineStore",
+    "RunManifest",
+    "SLOSpec",
+    "build_profile",
+    "collapsed_stacks",
+    "diff_runs",
+    "evaluate_slo",
+    "hot_spans",
+    "manifest_from_records",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",

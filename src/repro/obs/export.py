@@ -3,6 +3,9 @@
 A telemetry file is a JSON-Lines stream of self-describing records:
 
 - ``{"type": "meta", ...}``        — run metadata (graph, config, version);
+- ``{"type": "manifest", ...}``    — the run manifest (git SHA, config
+  hash, dataset, seed, sim/wall totals; see
+  :mod:`repro.obs.observatory.manifest`);
 - ``{"type": "span", ...}``        — one finished tracer span;
 - ``{"type": "metric", ...}``      — one counter/gauge/histogram;
 - ``{"type": "cost_trace", ...}``  — a named :class:`CostTrace` ledger
@@ -128,14 +131,34 @@ class TelemetrySession:
             }
         )
 
+    def manifest(self):
+        """The run manifest of this session's current state.
+
+        Computed fresh on every call (the identity includes the span
+        and metric counts plus the sim total, all of which grow as the
+        run progresses).
+        """
+        # Imported lazily: the observatory is pure post-processing on
+        # top of this module and imports it back.
+        from repro.obs.observatory.manifest import build_manifest
+
+        return build_manifest(
+            self.meta,
+            self.tracer.to_records(),
+            self.metrics.to_records(),
+            self._events,
+            sim_seconds_total=self.tracer.sim_cursor,
+        )
+
     def records(self) -> list[dict[str, Any]]:
-        """All records of this session, meta first."""
+        """All records of this session: meta, then the run manifest."""
         out: list[dict[str, Any]] = [
             {
                 "type": "meta",
                 "telemetry_version": TELEMETRY_VERSION,
                 **self.meta,
-            }
+            },
+            self.manifest().to_record(),
         ]
         out.extend(self.tracer.to_records())
         out.extend(self.metrics.to_records())

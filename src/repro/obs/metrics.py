@@ -125,22 +125,59 @@ class Histogram:
     def quantile(self, q: float) -> float:
         """Approximate quantile from the bucket upper bounds.
 
-        Returns the upper bound of the bucket containing the q-quantile
-        observation (+inf buckets report the observed max).
+        Edge cases are explicit rather than whatever the bucket math
+        produces:
+
+        - an empty histogram returns ``nan`` (there is no quantile of
+          nothing, and 0.0 would be indistinguishable from real data);
+        - ``q=0`` returns the observed minimum and ``q=1`` the observed
+          maximum, exactly;
+        - a single observation returns that value for every ``q``;
+        - interior quantiles return the upper bound of the bucket
+          containing the q-quantile observation, clamped into
+          ``[min, max]`` so a coarse bucket cannot report a value no
+          observation ever reached (+inf overflow buckets report the
+          observed max).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"q must be in [0, 1], got {q}")
         if self.count == 0:
-            return 0.0
+            return math.nan
+        if q == 0.0 or self.count == 1:
+            return self.min if q < 1.0 else self.max
+        if q == 1.0:
+            return self.max
         rank = q * self.count
         seen = 0
         for i, bucket_count in enumerate(self.bucket_counts):
             seen += bucket_count
             if seen >= rank and bucket_count > 0:
                 if i < len(self.bounds):
-                    return self.bounds[i]
+                    return min(max(self.bounds[i], self.min), self.max)
                 return self.max
         return self.max
+
+    def fraction_over(self, threshold: float) -> float:
+        """Fraction of observations strictly above ``threshold`` (approx).
+
+        Computed from the cumulative buckets: every observation in a
+        bucket whose upper bound is <= ``threshold`` counts as within
+        the threshold; the rest count as over.  Conservative (an
+        over-estimate) when the threshold falls inside a bucket.
+        Returns 0.0 for an empty histogram (no observation exceeded
+        anything).
+        """
+        if self.count == 0:
+            return 0.0
+        if threshold >= self.max:
+            return 0.0
+        within = 0
+        for i, bound in enumerate(self.bounds):
+            if bound <= threshold:
+                within += self.bucket_counts[i]
+            else:
+                break
+        return (self.count - within) / self.count
 
     def to_record(self) -> dict[str, Any]:
         """Serialize to a plain dict (the JSONL metric record payload)."""

@@ -1,0 +1,263 @@
+"""Telemetry diffing: per-stage and per-metric deltas between two runs.
+
+``repro diff <run_a> <run_b>`` compares two telemetry exports (JSONL
+files or stored baseline payloads) series by series:
+
+- **stages** — simulated seconds aggregated per span name (the
+  pipeline stages: ``graph_read``, ``factorization``, ``propagation``,
+  …), where *more time is worse*;
+- **costs** — the merged :class:`~repro.memsim.trace.CostTrace`
+  categories (the Fig. 7(a) steps plus auxiliary costs), also
+  time-like;
+- **metrics** — counters and gauges, reported for context but never
+  gated (the diff cannot know which direction is good).
+
+A time-like series regresses when ``b > a * (1 + threshold)``; the
+report collects every breach so the CLI can exit nonzero and *name*
+the regressed stage, which is what keeps the paper's cross-
+configuration ratios honest as the code evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.observatory.manifest import RunManifest, manifest_from_records
+
+#: Series groups a diff covers, in render order.
+GROUP_STAGES = "stage"
+GROUP_COSTS = "cost"
+GROUP_METRICS = "metric"
+
+#: Row statuses.
+STATUS_REGRESSED = "regressed"
+STATUS_IMPROVED = "improved"
+STATUS_UNCHANGED = "unchanged"
+STATUS_ADDED = "added"
+STATUS_REMOVED = "removed"
+
+
+@dataclass(frozen=True)
+class DeltaRow:
+    """One compared series."""
+
+    group: str
+    name: str
+    a: float | None
+    b: float | None
+    status: str
+
+    @property
+    def delta(self) -> float | None:
+        """Absolute change b - a (None when either side is missing)."""
+        if self.a is None or self.b is None:
+            return None
+        return self.b - self.a
+
+    @property
+    def ratio(self) -> float | None:
+        """Relative change (b - a) / a (None when undefined)."""
+        if self.a is None or self.b is None or self.a == 0.0:
+            return None
+        return (self.b - self.a) / self.a
+
+
+@dataclass
+class DiffReport:
+    """Everything one diff produced."""
+
+    rows: list[DeltaRow] = field(default_factory=list)
+    threshold: float = 0.05
+    manifest_a: RunManifest | None = None
+    manifest_b: RunManifest | None = None
+
+    @property
+    def regressions(self) -> list[DeltaRow]:
+        """Rows that breached the regression threshold."""
+        return [r for r in self.rows if r.status == STATUS_REGRESSED]
+
+    @property
+    def comparable(self) -> bool:
+        """Do the two runs share a configuration (when both manifests exist)?"""
+        if self.manifest_a is None or self.manifest_b is None:
+            return True
+        return self.manifest_a.config_hash == self.manifest_b.config_hash
+
+
+def extract_stage_seconds(
+    records: list[dict[str, Any]],
+) -> dict[str, float]:
+    """Simulated seconds per span name, aggregated over the export."""
+    out: dict[str, float] = {}
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        name = record.get("name")
+        if not isinstance(name, str):
+            continue
+        out[name] = out.get(name, 0.0) + float(
+            record.get("sim_seconds", 0.0) or 0.0
+        )
+    return out
+
+
+def extract_cost_seconds(records: list[dict[str, Any]]) -> dict[str, float]:
+    """Merged cost-ledger seconds per category."""
+    from repro.obs.report import merged_cost_trace
+
+    return {
+        category: seconds
+        for category, seconds in merged_cost_trace(records)
+        .breakdown()
+        .items()
+        if seconds > 0.0
+    }
+
+
+def extract_metric_values(
+    records: list[dict[str, Any]],
+) -> dict[str, float]:
+    """Counter/gauge values keyed by their full labelled name."""
+    out: dict[str, float] = {}
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        if record.get("kind") not in ("counter", "gauge"):
+            continue
+        name = record.get("name")
+        if not isinstance(name, str):
+            continue
+        labels = record.get("labels") or {}
+        if labels:
+            inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            name = f"{name}{{{inner}}}"
+        out[name] = float(record.get("value", 0.0) or 0.0)
+    return out
+
+
+def _diff_series(
+    group: str,
+    a: dict[str, float],
+    b: dict[str, float],
+    threshold: float,
+    gated: bool,
+) -> list[DeltaRow]:
+    rows = []
+    for name in sorted(set(a) | set(b)):
+        va, vb = a.get(name), b.get(name)
+        if va is None:
+            status = STATUS_ADDED
+        elif vb is None:
+            status = STATUS_REMOVED
+        elif gated and vb > va * (1.0 + threshold):
+            status = STATUS_REGRESSED
+        elif gated and vb < va * (1.0 - threshold):
+            status = STATUS_IMPROVED
+        else:
+            status = STATUS_UNCHANGED
+        rows.append(DeltaRow(group=group, name=name, a=va, b=vb, status=status))
+    return rows
+
+
+def diff_runs(
+    records_a: list[dict[str, Any]],
+    records_b: list[dict[str, Any]],
+    threshold: float = 0.05,
+) -> DiffReport:
+    """Compare two telemetry exports; ``records_a`` is the baseline."""
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    report = DiffReport(
+        threshold=threshold,
+        manifest_a=manifest_from_records(records_a),
+        manifest_b=manifest_from_records(records_b),
+    )
+    report.rows.extend(
+        _diff_series(
+            GROUP_STAGES,
+            extract_stage_seconds(records_a),
+            extract_stage_seconds(records_b),
+            threshold,
+            gated=True,
+        )
+    )
+    report.rows.extend(
+        _diff_series(
+            GROUP_COSTS,
+            extract_cost_seconds(records_a),
+            extract_cost_seconds(records_b),
+            threshold,
+            gated=True,
+        )
+    )
+    report.rows.extend(
+        _diff_series(
+            GROUP_METRICS,
+            extract_metric_values(records_a),
+            extract_metric_values(records_b),
+            threshold,
+            gated=False,
+        )
+    )
+    return report
+
+
+def render_diff(report: DiffReport) -> str:
+    """Plain-text rendering of a diff report."""
+    from repro.bench.harness import format_seconds, format_table
+
+    sections = []
+    for manifest, label in (
+        (report.manifest_a, "baseline"),
+        (report.manifest_b, "candidate"),
+    ):
+        if manifest is not None:
+            sections.append(
+                f"{label}: run {manifest.run_id} @ {manifest.git_sha}"
+                f" (config {manifest.config_hash},"
+                f" dataset {manifest.dataset or '-'})"
+            )
+    if not report.comparable:
+        sections.append(
+            "WARNING: config hashes differ — the runs are not directly"
+            " comparable; deltas mix configuration and code effects"
+        )
+
+    def fmt(group: str, value: float | None) -> str:
+        if value is None:
+            return "-"
+        if group in (GROUP_STAGES, GROUP_COSTS):
+            return format_seconds(value)
+        return f"{value:.6g}"
+
+    for group, title, gated in (
+        (GROUP_STAGES, "Per-stage simulated seconds", True),
+        (GROUP_COSTS, "Cost-ledger categories", True),
+        (GROUP_METRICS, "Metrics (context only, not gated)", False),
+    ):
+        rows = [r for r in report.rows if r.group == group]
+        if not rows:
+            continue
+        table_rows = []
+        for r in rows:
+            ratio = f"{r.ratio * 100:+.1f}%" if r.ratio is not None else "-"
+            table_rows.append(
+                [r.name, fmt(group, r.a), fmt(group, r.b), ratio, r.status]
+            )
+        if gated:
+            title = f"{title} (threshold {report.threshold * 100:.0f}%)"
+        sections.append(
+            format_table(
+                ["series", "baseline", "candidate", "delta", "status"],
+                table_rows,
+                title=title,
+            )
+        )
+    regressions = report.regressions
+    if regressions:
+        names = ", ".join(f"{r.group}:{r.name}" for r in regressions)
+        sections.append(f"REGRESSED ({len(regressions)}): {names}")
+    else:
+        sections.append("no regressions above threshold")
+    return "\n\n".join(sections)

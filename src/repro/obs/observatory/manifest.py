@@ -1,0 +1,207 @@
+"""Run manifests: the identity card of one telemetry export.
+
+A manifest pins down *what* produced a telemetry file — the git
+revision, a content hash of the run configuration, the dataset and
+seed — plus the run's headline totals (simulated and wall seconds,
+record counts).  Two runs are comparable (``repro diff``,
+``repro perf-gate``) exactly when their config hashes match; the
+``run_id`` is a content address over the deterministic fields, so the
+same code on the same configuration produces the same id and a perf
+regression shows up as identical ids with diverging stage times.
+
+Wall-clock totals are recorded for context but excluded from the
+``run_id`` — they vary per machine while the simulated totals do not.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import subprocess
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: Record type of a manifest inside a telemetry JSONL stream.
+MANIFEST_RECORD_TYPE = "manifest"
+
+#: Meta keys that identify the run's configuration (hashed into
+#: ``config_hash``; everything else in the session meta is context).
+_VOLATILE_META_KEYS = frozenset({"type", "telemetry_version"})
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON encoding (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload: Any, length: int = 16) -> str:
+    """Hex content address of a JSON-able payload."""
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:length]
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha(short: bool = True) -> str:
+    """Revision of the source tree, or ``"unknown"`` outside a checkout.
+
+    Resolved against the package's own location, not the process cwd —
+    the manifest identifies the *code* that ran, wherever it ran from.
+    """
+    cmd = ["git", "rev-parse"] + (["--short"] if short else []) + ["HEAD"]
+    try:
+        out = subprocess.run(
+            cmd,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+            check=True,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if sha else "unknown"
+
+
+def config_hash(meta: dict[str, Any]) -> str:
+    """Content hash of a run's configuration metadata."""
+    stable = {
+        k: v for k, v in meta.items() if k not in _VOLATILE_META_KEYS
+    }
+    return content_hash(stable)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Identity and headline totals of one telemetry export.
+
+    Attributes:
+        git_sha: source revision the run was produced from.
+        config_hash: content hash of the session's config metadata.
+        command: producing command or benchmark name (from the meta).
+        dataset: graph/dataset label (from the meta), if any.
+        seed: RNG seed (from the meta), if any.
+        sim_seconds_total: final position of the simulated clock.
+        wall_seconds_total: wall seconds covered by root spans.
+        n_spans / n_metrics / n_events: record counts of the export.
+        extra: any additional identifying fields.
+    """
+
+    git_sha: str
+    config_hash: str
+    command: str | None = None
+    dataset: str | None = None
+    seed: int | None = None
+    sim_seconds_total: float = 0.0
+    wall_seconds_total: float = 0.0
+    n_spans: int = 0
+    n_metrics: int = 0
+    n_events: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def run_id(self) -> str:
+        """Content address over the deterministic manifest fields."""
+        return content_hash(
+            {
+                "git_sha": self.git_sha,
+                "config_hash": self.config_hash,
+                "command": self.command,
+                "dataset": self.dataset,
+                "seed": self.seed,
+                "sim_seconds_total": self.sim_seconds_total,
+                "n_spans": self.n_spans,
+                "n_metrics": self.n_metrics,
+                "n_events": self.n_events,
+            }
+        )
+
+    def to_record(self) -> dict[str, Any]:
+        """Serialize as the JSONL manifest record."""
+        return {
+            "type": MANIFEST_RECORD_TYPE,
+            "run_id": self.run_id,
+            "git_sha": self.git_sha,
+            "config_hash": self.config_hash,
+            "command": self.command,
+            "dataset": self.dataset,
+            "seed": self.seed,
+            "sim_seconds_total": self.sim_seconds_total,
+            "wall_seconds_total": self.wall_seconds_total,
+            "n_spans": self.n_spans,
+            "n_metrics": self.n_metrics,
+            "n_events": self.n_events,
+            **{k: v for k, v in self.extra.items() if k != "type"},
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "RunManifest":
+        """Rebuild a manifest from its JSONL record."""
+        known = {
+            "git_sha", "config_hash", "command", "dataset", "seed",
+            "sim_seconds_total", "wall_seconds_total", "n_spans",
+            "n_metrics", "n_events",
+        }
+        extra = {
+            k: v
+            for k, v in record.items()
+            if k not in known and k not in ("type", "run_id")
+        }
+        return cls(
+            git_sha=record.get("git_sha", "unknown"),
+            config_hash=record.get("config_hash", ""),
+            command=record.get("command"),
+            dataset=record.get("dataset"),
+            seed=record.get("seed"),
+            sim_seconds_total=record.get("sim_seconds_total", 0.0),
+            wall_seconds_total=record.get("wall_seconds_total", 0.0),
+            n_spans=record.get("n_spans", 0),
+            n_metrics=record.get("n_metrics", 0),
+            n_events=record.get("n_events", 0),
+            extra=extra,
+        )
+
+
+def build_manifest(
+    meta: dict[str, Any],
+    span_records: list[dict[str, Any]],
+    metric_records: list[dict[str, Any]],
+    event_records: list[dict[str, Any]],
+    sim_seconds_total: float,
+) -> RunManifest:
+    """Assemble a manifest from a session's parts.
+
+    The dataset label is taken from the meta's ``graph`` (CLI) or
+    ``benchmark`` (bench suite) key; wall totals sum the root spans so
+    nested spans are not double counted.
+    """
+    wall_total = sum(
+        s.get("wall_seconds", 0.0)
+        for s in span_records
+        if s.get("parent_id") is None
+    )
+    seed = meta.get("seed")
+    return RunManifest(
+        git_sha=git_sha(),
+        config_hash=config_hash(meta),
+        command=meta.get("command") or meta.get("benchmark"),
+        dataset=meta.get("graph") or meta.get("dataset"),
+        seed=int(seed) if seed is not None else None,
+        sim_seconds_total=float(sim_seconds_total),
+        wall_seconds_total=float(wall_total),
+        n_spans=len(span_records),
+        n_metrics=len(metric_records),
+        n_events=len(event_records),
+    )
+
+
+def manifest_from_records(
+    records: list[dict[str, Any]],
+) -> RunManifest | None:
+    """Extract the manifest from a telemetry record stream, if present."""
+    for record in records:
+        if record.get("type") == MANIFEST_RECORD_TYPE:
+            return RunManifest.from_record(record)
+    return None

@@ -1,0 +1,416 @@
+"""Declarative SLOs with error-budget burn rates over serve telemetry.
+
+An SLO spec is a JSON document of objectives evaluated against the
+metric records a :mod:`repro.serve` replay exports:
+
+.. code-block:: json
+
+    {"objectives": [
+      {"name": "interactive-p99", "kind": "latency_quantile",
+       "q": 0.99, "target": 0.002, "klass": "interactive"},
+      {"name": "served", "kind": "served_fraction", "target": 0.9},
+      {"name": "shed", "kind": "status_fraction", "status": "shed",
+       "target": 0.05},
+      {"name": "breaker", "kind": "breaker_trips", "target": 3}
+    ]}
+
+Kinds:
+
+- ``latency_quantile`` — the q-quantile of the ``serve.latency``
+  histograms (optionally one request class) must stay at or below
+  ``target`` seconds.  The error budget is the ``1 - q`` tail mass; the
+  burn rate is the observed fraction of requests over the target
+  divided by that budget (1.0 = exactly spending the budget).
+- ``served_fraction`` — served / submitted must be at least ``target``;
+  budget ``1 - target``, burned by the non-served fraction.
+- ``status_fraction`` — at most ``target`` of submitted requests may
+  end in ``status`` (shed, deadline_exceeded, failed); budget is
+  ``target`` itself.
+- ``breaker_trips`` — at most ``target`` circuit-breaker trips; burn is
+  trips / target.
+
+Burn rates above 1.0 mean the objective's budget is exhausted — the
+pass/fail flag and the burn rate always agree on which side of the
+budget a run landed.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.obs.metrics import Histogram
+
+#: Recognised objective kinds.
+SLO_KINDS = (
+    "latency_quantile",
+    "served_fraction",
+    "status_fraction",
+    "breaker_trips",
+)
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One declarative objective.
+
+    Attributes:
+        name: label shown in reports.
+        kind: one of :data:`SLO_KINDS`.
+        target: threshold — seconds for ``latency_quantile``, a
+            fraction for the fraction kinds, a count for
+            ``breaker_trips``.
+        q: quantile in (0, 1) (``latency_quantile`` only).
+        klass: restrict to one request class (``latency_quantile``).
+        status: response status to bound (``status_fraction`` only).
+    """
+
+    name: str
+    kind: str
+    target: float
+    q: float | None = None
+    klass: str | None = None
+    status: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in SLO_KINDS:
+            raise ValueError(
+                f"unknown SLO kind {self.kind!r}; expected one of {SLO_KINDS}"
+            )
+        if self.kind == "latency_quantile":
+            if self.q is None or not 0.0 < self.q < 1.0:
+                raise ValueError(
+                    f"latency_quantile needs q in (0, 1), got {self.q}"
+                )
+            if self.target <= 0:
+                raise ValueError(f"target must be > 0 s, got {self.target}")
+        elif self.kind in ("served_fraction", "status_fraction"):
+            if not 0.0 <= self.target <= 1.0:
+                raise ValueError(
+                    f"{self.kind} target must be in [0, 1], got {self.target}"
+                )
+            if self.kind == "status_fraction" and not self.status:
+                raise ValueError("status_fraction needs a response status")
+        elif self.target < 0:
+            raise ValueError(f"target must be >= 0, got {self.target}")
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+        }
+        for key in ("q", "klass", "status"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SLOObjective":
+        return cls(
+            name=str(payload["name"]),
+            kind=str(payload["kind"]),
+            target=float(payload["target"]),
+            q=float(payload["q"]) if payload.get("q") is not None else None,
+            klass=payload.get("klass"),
+            status=payload.get("status"),
+        )
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """A named bundle of objectives."""
+
+    objectives: tuple[SLOObjective, ...]
+    name: str = "slo"
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SLOSpec":
+        objectives = tuple(
+            SLOObjective.from_dict(o) for o in payload.get("objectives", ())
+        )
+        if not objectives:
+            raise ValueError("SLO spec declares no objectives")
+        return cls(objectives=objectives, name=payload.get("name", "slo"))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SLOSpec":
+        return cls.from_dict(
+            json.loads(Path(path).read_text(encoding="utf-8"))
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "name": self.name,
+            "objectives": [o.to_dict() for o in self.objectives],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        return path
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """Evaluation outcome of one objective."""
+
+    objective: SLOObjective
+    value: float
+    passed: bool
+    burn_rate: float
+    detail: str = ""
+
+
+@dataclass
+class SLOReport:
+    """All objective results of one evaluation."""
+
+    spec: SLOSpec
+    results: list[ObjectiveResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Did every objective pass?"""
+        return all(r.passed for r in self.results)
+
+    @property
+    def violations(self) -> list[ObjectiveResult]:
+        return [r for r in self.results if not r.passed]
+
+
+def _metric_records(
+    records: list[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    return [r for r in records if r.get("type") == "metric"]
+
+
+def _counter_total(
+    records: list[dict[str, Any]],
+    name: str,
+    labels: dict[str, str] | None = None,
+) -> float:
+    total = 0.0
+    for record in _metric_records(records):
+        if record.get("name") != name:
+            continue
+        if record.get("kind") not in ("counter", "gauge"):
+            continue
+        record_labels = record.get("labels") or {}
+        if labels and any(
+            str(record_labels.get(k)) != str(v) for k, v in labels.items()
+        ):
+            continue
+        total += float(record.get("value", 0.0) or 0.0)
+    return total
+
+
+def _merged_latency_histogram(
+    records: list[dict[str, Any]], klass: str | None
+) -> Histogram | None:
+    """Rebuild (and merge) the exported ``serve.latency`` histograms."""
+    merged: Histogram | None = None
+    for record in _metric_records(records):
+        if record.get("name") != "serve.latency":
+            continue
+        if record.get("kind") != "histogram":
+            continue
+        labels = record.get("labels") or {}
+        if klass is not None and labels.get("klass") != klass:
+            continue
+        bounds = tuple(record.get("bounds") or ())
+        if not bounds:
+            continue
+        if merged is None:
+            merged = Histogram("serve.latency", {}, buckets=bounds)
+        elif merged.bounds != tuple(sorted(float(b) for b in bounds)):
+            raise ValueError(
+                "serve.latency histograms use mismatched buckets;"
+                " cannot merge for SLO evaluation"
+            )
+        counts = record.get("bucket_counts") or []
+        for i, c in enumerate(counts[: len(merged.bucket_counts)]):
+            merged.bucket_counts[i] += int(c)
+        merged.count += int(record.get("count", 0) or 0)
+        merged.sum += float(record.get("sum", 0.0) or 0.0)
+        if record.get("min") is not None:
+            merged.min = min(merged.min, float(record["min"]))
+        if record.get("max") is not None:
+            merged.max = max(merged.max, float(record["max"]))
+    return merged
+
+
+def _evaluate_latency(
+    objective: SLOObjective, records: list[dict[str, Any]]
+) -> ObjectiveResult:
+    hist = _merged_latency_histogram(records, objective.klass)
+    if hist is None or hist.count == 0:
+        return ObjectiveResult(
+            objective=objective,
+            value=math.nan,
+            passed=True,
+            burn_rate=0.0,
+            detail="no latency observations",
+        )
+    value = hist.quantile(objective.q)
+    budget = 1.0 - objective.q
+    bad = hist.fraction_over(objective.target)
+    burn = bad / budget if budget > 0 else math.inf
+    return ObjectiveResult(
+        objective=objective,
+        value=value,
+        passed=value <= objective.target,
+        burn_rate=burn,
+        detail=f"{hist.count} observations, {bad * 100:.2f}% over target",
+    )
+
+
+def _evaluate_served_fraction(
+    objective: SLOObjective, records: list[dict[str, Any]]
+) -> ObjectiveResult:
+    submitted = _counter_total(records, "serve.submitted")
+    served = _counter_total(records, "serve.responses", {"status": "served"})
+    if submitted == 0:
+        return ObjectiveResult(
+            objective=objective,
+            value=math.nan,
+            passed=True,
+            burn_rate=0.0,
+            detail="no requests submitted",
+        )
+    value = served / submitted
+    budget = 1.0 - objective.target
+    bad = 1.0 - value
+    if budget > 0:
+        burn = bad / budget
+    else:
+        burn = 0.0 if bad == 0 else math.inf
+    return ObjectiveResult(
+        objective=objective,
+        value=value,
+        passed=value >= objective.target,
+        burn_rate=burn,
+        detail=f"{served:.0f}/{submitted:.0f} served",
+    )
+
+
+def _evaluate_status_fraction(
+    objective: SLOObjective, records: list[dict[str, Any]]
+) -> ObjectiveResult:
+    submitted = _counter_total(records, "serve.submitted")
+    bad_count = _counter_total(
+        records, "serve.responses", {"status": objective.status}
+    )
+    if submitted == 0:
+        return ObjectiveResult(
+            objective=objective,
+            value=math.nan,
+            passed=True,
+            burn_rate=0.0,
+            detail="no requests submitted",
+        )
+    value = bad_count / submitted
+    if objective.target > 0:
+        burn = value / objective.target
+    else:
+        burn = 0.0 if value == 0 else math.inf
+    return ObjectiveResult(
+        objective=objective,
+        value=value,
+        passed=value <= objective.target,
+        burn_rate=burn,
+        detail=f"{bad_count:.0f}/{submitted:.0f} {objective.status}",
+    )
+
+
+def _evaluate_breaker_trips(
+    objective: SLOObjective, records: list[dict[str, Any]]
+) -> ObjectiveResult:
+    trips = _counter_total(records, "serve.breaker.trips")
+    if objective.target > 0:
+        burn = trips / objective.target
+    else:
+        burn = 0.0 if trips == 0 else math.inf
+    return ObjectiveResult(
+        objective=objective,
+        value=trips,
+        passed=trips <= objective.target,
+        burn_rate=burn,
+        detail=f"{trips:.0f} trips",
+    )
+
+
+_EVALUATORS = {
+    "latency_quantile": _evaluate_latency,
+    "served_fraction": _evaluate_served_fraction,
+    "status_fraction": _evaluate_status_fraction,
+    "breaker_trips": _evaluate_breaker_trips,
+}
+
+
+def evaluate_slo(
+    records: list[dict[str, Any]], spec: SLOSpec
+) -> SLOReport:
+    """Evaluate every objective of a spec over telemetry records."""
+    report = SLOReport(spec=spec)
+    for objective in spec.objectives:
+        report.results.append(_EVALUATORS[objective.kind](objective, records))
+    return report
+
+
+def render_slo(report: SLOReport) -> str:
+    """Plain-text table of an SLO evaluation."""
+    from repro.bench.harness import format_seconds, format_table
+
+    rows = []
+    for result in report.results:
+        objective = result.objective
+        if objective.kind == "latency_quantile":
+            value = (
+                format_seconds(result.value)
+                if not math.isnan(result.value)
+                else "-"
+            )
+            target = format_seconds(objective.target)
+        elif objective.kind == "breaker_trips":
+            value = f"{result.value:.0f}"
+            target = f"{objective.target:.0f}"
+        else:
+            value = (
+                f"{result.value * 100:.2f}%"
+                if not math.isnan(result.value)
+                else "-"
+            )
+            target = f"{objective.target * 100:.2f}%"
+        burn = (
+            f"{result.burn_rate:.2f}x"
+            if math.isfinite(result.burn_rate)
+            else "inf"
+        )
+        rows.append(
+            [
+                objective.name,
+                objective.kind,
+                value,
+                target,
+                burn,
+                "PASS" if result.passed else "FAIL",
+                result.detail,
+            ]
+        )
+    table = format_table(
+        ["objective", "kind", "value", "target", "burn", "status", "detail"],
+        rows,
+        title=f"SLO evaluation: {report.spec.name}",
+    )
+    verdict = (
+        "all objectives met"
+        if report.ok
+        else f"{len(report.violations)} objective(s) VIOLATED: "
+        + ", ".join(r.objective.name for r in report.violations)
+    )
+    return f"{table}\n{verdict}"

@@ -1,0 +1,112 @@
+"""Content-addressed baseline store under ``benchmarks/baselines/``.
+
+The store is deliberately git-shaped: immutable payloads live in
+``objects/<key>.json`` where ``key`` is the content hash of the
+canonical JSON, and human names are movable refs — one-line files in
+``refs/<name>`` holding a key.  Updating a named baseline writes a new
+object and repoints the ref; the old object stays addressable, so the
+history of a pinned baseline is never lost and a ``repro diff`` between
+any two stored runs remains possible.
+
+Unlike ``benchmarks/results/`` (generated, gitignored), the baseline
+store is *meant* to be committed: it is the cross-run memory the
+perf-gate compares against.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+from repro.obs.observatory.manifest import canonical_json, content_hash
+
+#: Default store root, resolved relative to the repository layout.
+DEFAULT_STORE_DIR = (
+    Path(__file__).resolve().parents[4] / "benchmarks" / "baselines"
+)
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class BaselineStore:
+    """Immutable objects plus movable named refs on the filesystem."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else DEFAULT_STORE_DIR
+        self.objects_dir = self.root / "objects"
+        self.refs_dir = self.root / "refs"
+
+    # -- writing ---------------------------------------------------------
+
+    def put(self, payload: dict[str, Any], name: str | None = None) -> str:
+        """Store a payload; returns its content key.
+
+        With ``name``, the ref is (re)pointed at the new object.
+        Storing an identical payload is idempotent: same key, same file.
+        """
+        key = content_hash(payload)
+        self.objects_dir.mkdir(parents=True, exist_ok=True)
+        path = self.objects_dir / f"{key}.json"
+        if not path.exists():
+            path.write_text(
+                json.dumps(payload, sort_keys=True, indent=2) + "\n",
+                encoding="utf-8",
+            )
+        if name is not None:
+            self.set_ref(name, key)
+        return key
+
+    def set_ref(self, name: str, key: str) -> None:
+        """Point a named ref at an existing object."""
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid baseline name {name!r}")
+        if not (self.objects_dir / f"{key}.json").exists():
+            raise KeyError(f"unknown baseline object {key!r}")
+        self.refs_dir.mkdir(parents=True, exist_ok=True)
+        (self.refs_dir / name).write_text(key + "\n", encoding="utf-8")
+
+    # -- reading ---------------------------------------------------------
+
+    def resolve(self, name: str) -> str | None:
+        """Key a ref points at, or None if the ref does not exist."""
+        path = self.refs_dir / name
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8").strip() or None
+
+    def get(self, key: str) -> dict[str, Any]:
+        """Load an object by key; verifies the content address."""
+        path = self.objects_dir / f"{key}.json"
+        if not path.is_file():
+            raise KeyError(f"unknown baseline object {key!r}")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        actual = content_hash(payload)
+        if actual != key:
+            raise ValueError(
+                f"baseline object {key!r} is corrupt: content hashes to"
+                f" {actual!r} (canonical form: {canonical_json(payload)[:80]}…)"
+            )
+        return payload
+
+    def load(self, name_or_key: str) -> dict[str, Any]:
+        """Load by ref name first, falling back to a raw key."""
+        key = self.resolve(name_or_key)
+        if key is None:
+            key = name_or_key
+        return self.get(key)
+
+    def names(self) -> list[str]:
+        """All ref names, sorted."""
+        if not self.refs_dir.is_dir():
+            return []
+        return sorted(p.name for p in self.refs_dir.iterdir() if p.is_file())
+
+    def keys(self) -> list[str]:
+        """All object keys, sorted."""
+        if not self.objects_dir.is_dir():
+            return []
+        return sorted(
+            p.stem for p in self.objects_dir.glob("*.json") if p.is_file()
+        )

@@ -3,13 +3,21 @@
 ``repro report <trace.jsonl>`` prints, from the records alone:
 
 1. the span tree (sim + wall seconds per pipeline stage);
-2. the Fig. 7(a) SpMM step decomposition — the five Algorithm 1 steps
+2. the top-N hot spans by simulated *self* time, from the observatory's
+   hierarchical profile aggregator (see ``repro profile`` for the full
+   collapsed-stack export);
+3. the Fig. 7(a) SpMM step decomposition — the five Algorithm 1 steps
    with their share of SpMM time, reproduced from the exported
    :class:`~repro.memsim.trace.CostTrace` at full float precision;
-3. auxiliary simulated costs (allocation, prefetch maintenance,
+4. auxiliary simulated costs (allocation, prefetch maintenance,
    streaming, NaDP merges) with their share of total simulated time —
    the §IV-C/§IV-D overhead accounting;
-4. counters/gauges and histogram summaries.
+5. counters/gauges and histogram summaries.
+
+Every renderer tolerates adversarial inputs — empty record lists,
+records with missing keys, mixed-schema streams — by substituting
+defaults rather than raising; a telemetry file should always render
+*something*.
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ def split_records(
     """Group records by their ``type`` field."""
     groups: dict[str, list[dict[str, Any]]] = {
         "meta": [],
+        "manifest": [],
         "span": [],
         "metric": [],
         "cost_trace": [],
@@ -58,11 +67,12 @@ def merged_cost_trace(records: list[dict[str, Any]]) -> CostTrace:
             merged.merge(CostTrace.from_dict(record))
         return merged
     for span in groups["span"]:
-        if span["name"] in SPMM_CATEGORIES:
+        name = span.get("name")
+        if name in SPMM_CATEGORIES:
             merged.charge(
-                span["name"],
-                span["sim_seconds"],
-                span.get("attributes", {}).get("nbytes", 0.0),
+                name,
+                max(0.0, float(span.get("sim_seconds", 0.0) or 0.0)),
+                (span.get("attributes") or {}).get("nbytes", 0.0),
             )
     return merged
 
@@ -77,16 +87,43 @@ def _span_tree_table(spans: list[dict[str, Any]]) -> str:
     format_seconds, format_table = _formatters()
     rows = []
     for span in spans:
-        indent = "  " * span.get("depth", 0)
+        depth = span.get("depth", 0)
+        indent = "  " * (depth if isinstance(depth, int) and depth > 0 else 0)
         marker = " !" if span.get("status") == "error" else ""
         rows.append(
             [
-                f"{indent}{span['name']}{marker}",
-                format_seconds(span["sim_seconds"]),
-                format_seconds(span["wall_seconds"]),
+                f"{indent}{span.get('name', '<unnamed>')}{marker}",
+                format_seconds(float(span.get("sim_seconds", 0.0) or 0.0)),
+                format_seconds(float(span.get("wall_seconds", 0.0) or 0.0)),
             ]
         )
     return format_table(["span", "sim", "wall"], rows, title="Pipeline spans")
+
+
+def _hot_span_table(spans: list[dict[str, Any]], top_n: int = 10) -> str:
+    """Top-N spans by simulated self time (the profile aggregator's view)."""
+    from repro.obs.observatory.profile import build_profile, hot_spans
+
+    format_seconds, format_table = _formatters()
+    nodes = hot_spans(build_profile(spans), top_n=top_n)
+    rows = [
+        [
+            ";".join(node.path[1:]),  # drop the synthetic root
+            node.calls,
+            format_seconds(node.sim_self),
+            format_seconds(node.sim_total),
+            format_seconds(node.wall_self),
+        ]
+        for node in nodes
+        if node.sim_self > 0.0 or node.wall_self > 0.0
+    ]
+    if not rows:
+        return ""
+    return format_table(
+        ["span path", "calls", "sim self", "sim total", "wall self"],
+        rows,
+        title=f"Hot spans (top {len(rows)} by simulated self time)",
+    )
 
 
 def _breakdown_tables(trace: CostTrace) -> list[str]:
@@ -148,30 +185,30 @@ def _metric_tables(metrics: list[dict[str, Any]]) -> list[str]:
         return f"{{{inner}}}"
 
     tables = []
-    scalars = [m for m in metrics if m["kind"] in ("counter", "gauge")]
+    scalars = [m for m in metrics if m.get("kind") in ("counter", "gauge")]
     if scalars:
         rows = [
             [
-                f"{m['name']}{label_suffix(m)}",
-                m["kind"],
-                f"{m['value']:.6g}",
+                f"{m.get('name', '<unnamed>')}{label_suffix(m)}",
+                m.get("kind"),
+                f"{float(m.get('value', 0.0) or 0.0):.6g}",
             ]
             for m in scalars
         ]
         tables.append(format_table(["metric", "kind", "value"], rows, "Metrics"))
-    histograms = [m for m in metrics if m["kind"] == "histogram"]
+    histograms = [m for m in metrics if m.get("kind") == "histogram"]
     if histograms:
         rows = []
         for m in histograms:
-            count = m["count"]
-            mean = m["sum"] / count if count else 0.0
+            count = m.get("count", 0) or 0
+            mean = float(m.get("sum", 0.0) or 0.0) / count if count else 0.0
             rows.append(
                 [
-                    f"{m['name']}{label_suffix(m)}",
+                    f"{m.get('name', '<unnamed>')}{label_suffix(m)}",
                     count,
                     f"{mean:.6g}",
-                    f"{m['min']:.6g}" if m["min"] is not None else "-",
-                    f"{m['max']:.6g}" if m["max"] is not None else "-",
+                    f"{m['min']:.6g}" if m.get("min") is not None else "-",
+                    f"{m['max']:.6g}" if m.get("max") is not None else "-",
                 ]
             )
         tables.append(
@@ -186,18 +223,35 @@ def render_report(records: list[dict[str, Any]]) -> str:
     """Render the full plain-text report from telemetry records."""
     groups = split_records(records)
     sections: list[str] = []
+    header_sections = 0
     for meta in groups["meta"]:
         fields = ", ".join(
             f"{k}={v}" for k, v in sorted(meta.items()) if k != "type"
         )
         sections.append(f"telemetry: {fields}")
+        header_sections += 1
+    for manifest in groups["manifest"]:
+        sections.append(
+            "manifest: run {run} @ {sha} (config {cfg}, dataset {ds},"
+            " sim total {sim:.6g} s)".format(
+                run=manifest.get("run_id", "?"),
+                sha=manifest.get("git_sha", "?"),
+                cfg=manifest.get("config_hash", "?"),
+                ds=manifest.get("dataset") or "-",
+                sim=float(manifest.get("sim_seconds_total", 0.0) or 0.0),
+            )
+        )
+        header_sections += 1
     if groups["span"]:
         sections.append(_span_tree_table(groups["span"]))
+        hot = _hot_span_table(groups["span"])
+        if hot:
+            sections.append(hot)
     sections.extend(_breakdown_tables(merged_cost_trace(records)))
     sections.extend(_metric_tables(groups["metric"]))
     if groups["event"]:
         sections.append(f"{len(groups['event'])} event(s) recorded")
-    if len(sections) <= (1 if groups["meta"] else 0):
+    if len(sections) <= header_sections:
         sections.append("telemetry file contains no spans, metrics or ledgers")
     return "\n\n".join(sections)
 

@@ -235,7 +235,20 @@ class _NullSpan(Span):
 
 
 class NullTracer(SpanTracer):
-    """No-op tracer: same API, no recording, near-zero overhead."""
+    """No-op tracer: same API, no recording, near-zero overhead.
+
+    Every public :class:`SpanTracer` method is either overridden here or
+    provably inert on the null path (``tests/test_obs_tracer.py`` holds
+    the contract test that keeps the two surfaces identical):
+
+    - ``advance_sim`` / ``span`` / ``record`` / ``trace`` — overridden,
+      touch nothing;
+    - ``sim_cursor`` / ``current_span`` / ``finished`` / ``find`` /
+      ``to_records`` / ``reset`` — inherited, but operate on the
+      internal state the overrides never mutate, so they always report
+      the empty tracer (cursor 0, no spans) and ``reset`` is a no-op
+      that can never raise.
+    """
 
     _SPAN = _NullSpan(
         name="null",
@@ -252,6 +265,14 @@ class NullTracer(SpanTracer):
     @contextmanager
     def span(self, name: str, **attributes: Any) -> Iterator[Span]:
         yield self._SPAN
+
+    def trace(self, name: str) -> Callable:
+        """Decorator form; returns the function untouched (zero cost)."""
+
+        def decorator(fn: Callable) -> Callable:
+            return fn
+
+        return decorator
 
     def record(
         self,

@@ -70,17 +70,57 @@ class TestHistogram:
         hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
         for v in (0.5, 1.5, 1.6, 3.0):
             hist.observe(v)
-        assert hist.quantile(0.0) == 1.0
+        # Interior quantiles report the containing bucket's upper bound.
         assert hist.quantile(0.5) == 2.0
-        assert hist.quantile(1.0) == 4.0
+        assert hist.quantile(0.9) == 3.0  # bound 4.0 clamped to observed max
+
+    def test_quantile_extremes_are_exact(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(v)
+        assert hist.quantile(0.0) == 0.5
+        assert hist.quantile(1.0) == 3.0
 
     def test_overflow_quantile_is_max(self):
         hist = MetricsRegistry().histogram("h", buckets=(1.0,))
         hist.observe(50.0)
-        assert hist.quantile(1.0) == 50.0
+        hist.observe(60.0)
+        assert hist.quantile(0.5) == 60.0
+        assert hist.quantile(1.0) == 60.0
 
-    def test_empty_quantile(self):
-        assert MetricsRegistry().histogram("h").quantile(0.5) == 0.0
+    def test_single_observation_every_quantile(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 10.0))
+        hist.observe(3.0)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 3.0
+
+    def test_empty_quantile_is_nan(self):
+        import math
+
+        hist = MetricsRegistry().histogram("h")
+        for q in (0.0, 0.5, 1.0):
+            assert math.isnan(hist.quantile(q))
+
+    def test_quantile_clamped_into_observed_range(self):
+        # All mass in one coarse bucket: the bound (10.0) exceeds every
+        # observation, so the quantile must clamp to the observed max.
+        hist = MetricsRegistry().histogram("h", buckets=(10.0,))
+        for v in (2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.quantile(0.5) == 4.0
+
+    def test_fraction_over(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(v)
+        assert hist.fraction_over(0.0) == 1.0  # threshold inside bucket 0
+        assert hist.fraction_over(1.0) == pytest.approx(0.75)
+        assert hist.fraction_over(2.0) == pytest.approx(0.25)
+        assert hist.fraction_over(3.0) == 0.0  # >= observed max
+        assert hist.fraction_over(100.0) == 0.0
+
+    def test_fraction_over_empty(self):
+        assert MetricsRegistry().histogram("h").fraction_over(1.0) == 0.0
 
     def test_invalid_quantile_rejected(self):
         with pytest.raises(ValueError, match="q must be"):

@@ -148,3 +148,55 @@ class TestNullTracer:
 
     def test_shared_instance_is_null(self):
         assert isinstance(NULL_TRACER, NullTracer)
+
+    def test_public_surface_matches_span_tracer(self):
+        """NullTracer must be a drop-in: identical public names, and the
+        overridden callables keep SpanTracer's signatures."""
+        import inspect
+
+        def surface(cls):
+            return {
+                name
+                for name in dir(cls)
+                if not name.startswith("_")
+            }
+
+        assert surface(NullTracer) == surface(SpanTracer)
+        for name in surface(SpanTracer):
+            real = inspect.getattr_static(SpanTracer, name)
+            null = inspect.getattr_static(NullTracer, name)
+            assert isinstance(null, property) == isinstance(real, property), name
+            if callable(real) and not isinstance(real, property):
+                assert (
+                    inspect.signature(getattr(SpanTracer, name))
+                    == inspect.signature(getattr(NullTracer, name))
+                ), name
+
+    def test_inherited_members_are_inert(self):
+        """The inherited accessors report an empty tracer forever."""
+        tracer = NullTracer()
+        with tracer.span("a"):
+            tracer.record("b", sim_seconds=2.0, advance=True)
+            tracer.advance_sim(1.0)
+            # current_span is inherited; the null span never lands on
+            # the stack, so there is no 'current' span even mid-block.
+            assert tracer.current_span is None
+        assert tracer.find("a") == []
+        assert tracer.sim_cursor == 0.0
+        tracer.reset()  # must not raise, even after 'open' spans
+        assert tracer.to_records() == []
+
+    def test_null_trace_decorator_returns_fn_unchanged(self):
+        tracer = NullTracer()
+
+        def fn(x):
+            return x * 2
+
+        assert tracer.trace("fn")(fn) is fn
+        assert fn(3) == 6
+
+    def test_null_span_set_is_noop(self):
+        tracer = NullTracer()
+        with tracer.span("op") as span:
+            span.set("key", "value")
+        assert span.attributes == {}

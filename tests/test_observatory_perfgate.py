@@ -1,0 +1,150 @@
+"""The perf-regression gate: determinism, baselining, and chaos detection.
+
+The suite here runs the real pinned micro-bench (sub-second, pure cost
+model), so these are integration tests of the acceptance criteria:
+
+- an identical re-run passes against the pinned baseline and appends a
+  ``BENCH_omega.json`` trajectory point;
+- a run with PM bandwidth deliberately derated (the existing
+  ``pm_degrade`` fault) fails and *names* the regressed stages.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.observatory.perfgate import (
+    GATE_BASELINE_NAME,
+    compare_to_baseline,
+    render_gate,
+    run_perf_gate,
+    run_suite,
+)
+from repro.obs.observatory.store import BaselineStore
+
+#: Severe PM-bandwidth derate: mild factors hide behind the streaming/
+#: compute overlap, 0.05 produces >50% simulated stage regressions.
+CHAOS_PLAN = {
+    "seed": 0,
+    "events": [{"kind": "pm_degrade", "site": "pm", "factor": 0.05}],
+}
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    return run_suite()
+
+
+@pytest.fixture(scope="module")
+def chaos_plan_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("chaos") / "plan.json"
+    path.write_text(json.dumps(CHAOS_PLAN), encoding="utf-8")
+    return path
+
+
+class TestSuite:
+    def test_stage_set(self, clean_run):
+        assert set(clean_run.stages) == {
+            "embed.graph_read", "embed.factorization", "embed.propagation",
+            "embed.spmm", "embed.total", "spmm.total",
+            "serve.warmup", "serve.p99_latency",
+        }
+        assert all(v > 0.0 for v in clean_run.stages.values())
+
+    def test_deterministic_across_runs(self, clean_run):
+        again = run_suite()
+        assert again.stages == clean_run.stages
+        assert again.manifest.run_id == clean_run.manifest.run_id
+
+    def test_payload_deterministic_fields_only(self, clean_run):
+        payload = clean_run.payload()
+        assert payload["suite"] == "perf_gate"
+        assert set(payload) == {"suite", "config_hash", "stages"}
+
+
+class TestCompare:
+    def test_no_baseline_never_regresses(self, clean_run):
+        verdicts = compare_to_baseline(clean_run, {})
+        assert all(not v.regressed for v in verdicts)
+        assert all(v.baseline is None for v in verdicts)
+
+    def test_identical_baseline_passes(self, clean_run):
+        verdicts = compare_to_baseline(clean_run, clean_run.payload())
+        assert all(not v.regressed for v in verdicts)
+
+    def test_slowdown_detected(self, clean_run):
+        payload = clean_run.payload()
+        payload["stages"] = {
+            k: v / 2.0 for k, v in payload["stages"].items()
+        }
+        verdicts = compare_to_baseline(clean_run, payload)
+        assert all(v.regressed for v in verdicts)
+
+
+class TestGateLifecycle:
+    def test_bootstrap_rerun_and_chaos(self, tmp_path, chaos_plan_path):
+        store = BaselineStore(tmp_path / "store")
+        trajectory = tmp_path / "BENCH_omega.json"
+
+        # 1. First clean run auto-pins the baseline and starts the
+        # trajectory.
+        first = run_perf_gate(store, trajectory_path=trajectory)
+        assert first.ok and first.baseline_updated
+        assert store.resolve(GATE_BASELINE_NAME) == first.baseline_key
+        assert first.trajectory_appended
+
+        # 2. Identical re-run passes and appends a second point.
+        second = run_perf_gate(store, trajectory_path=trajectory)
+        assert second.ok and not second.baseline_updated
+        assert second.trajectory_appended
+        points = json.loads(trajectory.read_text(encoding="utf-8"))
+        assert len(points) == 2
+        assert points[0]["run_id"] == points[1]["run_id"]
+        assert points[1]["stages"] == {
+            k: pytest.approx(v) for k, v in second.run.stages.items()
+        }
+
+        # 3. Derated PM bandwidth: the gate fails and names the
+        # regressed stages; baseline and trajectory stay untouched.
+        chaos = run_perf_gate(
+            store,
+            faults_path=chaos_plan_path,
+            trajectory_path=trajectory,
+        )
+        assert not chaos.ok
+        regressed = {v.stage for v in chaos.regressions}
+        assert "embed.total" in regressed
+        assert "spmm.total" in regressed
+        assert "serve.p99_latency" not in regressed  # serve runs faultless
+        assert not chaos.baseline_updated and not chaos.trajectory_appended
+        assert store.resolve(GATE_BASELINE_NAME) == first.baseline_key
+        assert len(json.loads(trajectory.read_text(encoding="utf-8"))) == 2
+
+        # The rendered verdict names the stages (what CI surfaces).
+        text = render_gate(chaos)
+        assert "PERF GATE FAILED" in text
+        assert "embed.total" in text
+
+    def test_update_baseline_repins(self, tmp_path):
+        store = BaselineStore(tmp_path / "store")
+        first = run_perf_gate(store)
+        repin = run_perf_gate(store, update_baseline=True)
+        assert repin.baseline_updated
+        # Identical payload: the content address cannot move.
+        assert repin.baseline_key == first.baseline_key
+
+
+class TestCommittedBaseline:
+    def test_repo_baseline_matches_current_code(self, clean_run):
+        """The committed baseline must agree with the code as built —
+        otherwise CI's perf-gate job and this checkout disagree."""
+        store = BaselineStore()
+        key = store.resolve(GATE_BASELINE_NAME)
+        assert key is not None, (
+            "benchmarks/baselines has no pinned perf_gate ref; run"
+            " `repro perf-gate --update-baseline`"
+        )
+        baseline = store.get(key)
+        verdicts = compare_to_baseline(clean_run, baseline)
+        regressed = [v.stage for v in verdicts if v.regressed]
+        assert not regressed, f"stages regressed vs committed baseline: {regressed}"
