@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 import numpy as np
@@ -44,8 +45,10 @@ from repro.baselines.systems import run_arm, standard_arms
 from repro.bench.harness import format_seconds, format_table, project_full_scale
 from repro.core.config import (
     AllocationScheme,
+    ExecBackend,
     MemoryMode,
     OMeGaConfig,
+    ParallelConfig,
     PlacementScheme,
 )
 from repro.core.embedding import OMeGaEmbedder
@@ -81,10 +84,39 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--no-prefetch", action="store_true")
     parser.add_argument(
+        "--exec-backend",
+        choices=[b.value for b in ExecBackend],
+        default=None,
+        help=(
+            "execution backend for the real kernels: 'simulated' (serial,"
+            " deterministic default) or 'shared_memory' (worker-process"
+            " pool over zero-copy CSDB views; bit-identical output)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for the shared-memory backend (default 2)",
+    )
+    parser.add_argument(
         "--telemetry-out",
         metavar="PATH",
         help="export spans/metrics/cost ledgers as JSONL (see 'repro report')",
     )
+
+
+def _parallel_from_args(args: argparse.Namespace) -> ParallelConfig:
+    """Backend selection: explicit flags beat env vars beat defaults."""
+    parallel = ParallelConfig.default()
+    backend = getattr(args, "exec_backend", None)
+    workers = getattr(args, "workers", None)
+    if backend is not None:
+        parallel = replace(parallel, backend=ExecBackend(backend))
+    if workers is not None:
+        parallel = replace(parallel, n_workers=workers)
+    return parallel
 
 
 def _config_from_args(args: argparse.Namespace, capacity_scale: int) -> OMeGaConfig:
@@ -99,6 +131,7 @@ def _config_from_args(args: argparse.Namespace, capacity_scale: int) -> OMeGaCon
             not args.no_prefetch and mode is MemoryMode.HETEROGENEOUS
         ),
         capacity_scale=capacity_scale,
+        parallel=_parallel_from_args(args),
     )
 
 
@@ -395,6 +428,20 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
         trajectory_path=None if args.no_trajectory else trajectory,
     )
     print(render_gate(report, threshold=args.threshold))
+    wall_ok = True
+    if args.wall != "off":
+        from repro.obs.observatory import render_wall, run_wall_gate
+
+        wall_report = run_wall_gate(
+            store=store,
+            mode=args.wall,
+            k=args.wall_runs,
+            backend=args.exec_backend,
+            n_workers=args.workers,
+            update_baseline=args.update_baseline,
+        )
+        print(render_wall(wall_report))
+        wall_ok = wall_report.ok
     if args.telemetry_out:
         report.run.session.save(args.telemetry_out)
         print(f"telemetry written to {args.telemetry_out}")
@@ -402,7 +449,7 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
         spans = report.run.session.tracer.to_records()
         write_collapsed(build_profile(spans), args.profile_out)
         print(f"collapsed stacks written to {args.profile_out}")
-    return 0 if report.ok else 1
+    return 0 if (report.ok and wall_ok) else 1
 
 
 def cmd_serve_sim(args: argparse.Namespace) -> int:
@@ -559,8 +606,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
             "fault_plan", path=args.faults, seed=plan.seed,
             events=[event.to_dict() for event in plan.events],
         )
+    parallel = _parallel_from_args(args)
     rows = []
     for arm in standard_arms(n_threads=args.threads, dim=args.dim):
+        arm = replace(arm, config=arm.config.with_overrides(parallel=parallel))
         result = run_arm(
             arm,
             dataset,
@@ -644,6 +693,16 @@ def build_parser() -> argparse.ArgumentParser:
         " (fresh injector per arm; crashes resume from checkpoints)",
     )
     compare.add_argument(
+        "--exec-backend",
+        choices=[b.value for b in ExecBackend],
+        default=None,
+        help="execution backend for every arm's real kernels",
+    )
+    compare.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker processes for the shared-memory backend",
+    )
+    compare.add_argument(
         "--telemetry-out",
         metavar="PATH",
         help="export per-arm spans, metrics and cost ledgers as JSONL",
@@ -724,6 +783,26 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument(
         "--telemetry-out", metavar="PATH",
         help="export the suite's telemetry as JSONL",
+    )
+    gate.add_argument(
+        "--wall", choices=["off", "report", "gate"], default="off",
+        help="wall-clock arm: 'report' prints median-of-k timings with"
+        " the noise band (never fails), 'gate' enforces regressions"
+        " beyond the band",
+    )
+    gate.add_argument(
+        "--wall-runs", type=int, default=5, metavar="K",
+        help="repeats per wall probe (medians are compared)",
+    )
+    gate.add_argument(
+        "--exec-backend",
+        choices=[b.value for b in ExecBackend],
+        default=ExecBackend.SIMULATED.value,
+        help="execution backend timed by the wall-clock arm",
+    )
+    gate.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker processes for the wall arm's shared-memory backend",
     )
 
     serve = sub.add_parser(

@@ -20,8 +20,10 @@ from repro.core.asl import (
 )
 from repro.core.config import (
     AllocationScheme,
+    ExecBackend,
     MemoryMode,
     OMeGaConfig,
+    ParallelConfig,
     PlacementScheme,
     omega_config,
     omega_dram_config,
@@ -68,6 +70,7 @@ __all__ = [
     "DataPlacement",
     "EmbeddingResult",
     "EntropyAwareAllocator",
+    "ExecBackend",
     "FALLBACK_ORDER",
     "InterleavePlacement",
     "LoadOutcome",
@@ -80,6 +83,7 @@ __all__ = [
     "OperatorResult",
     "OperatorSuite",
     "PIPELINE_STAGES",
+    "ParallelConfig",
     "PipelineRun",
     "PipelineState",
     "PlacementScheme",

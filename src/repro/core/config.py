@@ -14,6 +14,7 @@ Every experiment arm in the paper's evaluation maps onto one
 from __future__ import annotations
 
 import enum
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.memsim.numa import NumaTopology
@@ -52,6 +53,72 @@ class PlacementScheme(enum.Enum):
     LOCAL = "local"
 
 
+class ExecBackend(enum.Enum):
+    """Which execution backend runs the real SpMM kernels.
+
+    ``SIMULATED`` keeps the historical behavior: kernels execute
+    serially in-process while only simulated clocks advance per logical
+    thread.  ``SHARED_MEMORY`` runs EaTA partitions concurrently on a
+    pool of worker processes over zero-copy shared-memory views of the
+    CSDB arrays (see :mod:`repro.parallel.shared`); the simulated cost
+    accounting is charged identically in both backends, and the numeric
+    output is bit-identical.
+    """
+
+    SIMULATED = "simulated"
+    SHARED_MEMORY = "shared_memory"
+
+
+#: Default byte budget for the blocked SpMM gather intermediate (bounds
+#: the O(nnz*d) ``vals * dense[cols]`` materialization per chunk).
+DEFAULT_CHUNK_BUDGET_BYTES = 64 * 2**20
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution-backend selection for the real (wall-clock) kernels.
+
+    Attributes:
+        backend: which executor runs the numpy kernels.  The simulated
+            cost model is unaffected by this choice.
+        n_workers: worker processes in the shared-memory pool.  This is
+            a *physical* resource knob, distinct from the *logical*
+            ``OMeGaConfig.n_threads`` the cost model partitions over;
+            the pool consumes the logical partitions work-stealing
+            style.
+        chunk_budget_bytes: byte budget bounding the blocked SpMM
+            kernel's gather intermediate (per chunk, per worker).
+    """
+
+    backend: ExecBackend = ExecBackend.SIMULATED
+    n_workers: int = 2
+    chunk_budget_bytes: int = DEFAULT_CHUNK_BUDGET_BYTES
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.chunk_budget_bytes < 4096:
+            raise ValueError(
+                "chunk_budget_bytes must be >= 4096, got"
+                f" {self.chunk_budget_bytes}"
+            )
+
+    @classmethod
+    def default(cls) -> "ParallelConfig":
+        """Environment-overridable default backend.
+
+        ``REPRO_EXEC_BACKEND`` / ``REPRO_WORKERS`` flip the default so
+        an unmodified test suite can run once against the shared-memory
+        backend (the CI smoke job); unset, the simulated backend keeps
+        deterministic single-process behavior.
+        """
+        backend = ExecBackend(
+            os.environ.get("REPRO_EXEC_BACKEND", ExecBackend.SIMULATED.value)
+        )
+        n_workers = int(os.environ.get("REPRO_WORKERS", "2"))
+        return cls(backend=backend, n_workers=n_workers)
+
+
 @dataclass(frozen=True)
 class OMeGaConfig:
     """Full configuration of an OMeGa engine instance.
@@ -83,6 +150,8 @@ class OMeGaConfig:
         dram_headroom: fraction of DRAM the streaming loader may use.
         topology: the NUMA machine model.
         seed: RNG seed for randomized algorithms (tSVD range finder).
+        parallel: real-execution backend selection (simulated vs
+            shared-memory worker pool); orthogonal to the cost model.
     """
 
     n_threads: int = 8
@@ -100,6 +169,7 @@ class OMeGaConfig:
     dram_headroom: float = 0.5
     topology: NumaTopology = field(default_factory=NumaTopology)
     seed: int = 0
+    parallel: ParallelConfig = field(default_factory=ParallelConfig.default)
 
     def __post_init__(self) -> None:
         if self.n_threads < 1:

@@ -26,7 +26,8 @@ steps of Algorithm 1 separately (the categories of Fig. 7a):
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -36,7 +37,7 @@ from repro.core.asl import (
     StreamingLoader,
     StreamPlan,
 )
-from repro.core.config import MemoryMode, OMeGaConfig
+from repro.core.config import ExecBackend, MemoryMode, OMeGaConfig
 from repro.core.eata import (
     ThreadAllocator,
     WorkloadPartition,
@@ -65,6 +66,8 @@ from repro.memsim.devices import (
 from repro.memsim.trace import CostTrace
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanTracer
+from repro.parallel.scheduler import KernelExecutor, SimulatedExecutor
+from repro.parallel.shared import get_shared_executor
 from repro.parallel.stats import ThreadStats, summarize_thread_times
 
 #: Bytes of CSDB per-row metadata touched by ``read_index`` (degree-block
@@ -98,6 +101,9 @@ class SpMMResult:
         prefetch_plans: per-partition WoFP plans.
         stream_plan: the ASL plan (None outside heterogeneous mode).
         trace: per-category simulated cost ledger.
+        kernel_wall_seconds: measured wall-clock seconds spent in the
+            real kernel dispatch (0.0 when ``compute=False``); lives
+            beside — never inside — the simulated time.
     """
 
     output: np.ndarray | None
@@ -108,6 +114,7 @@ class SpMMResult:
     stream_plan: StreamPlan | None
     trace: CostTrace
     nnz: int
+    kernel_wall_seconds: float = field(default=0.0)
 
     @property
     def thread_stats(self) -> ThreadStats:
@@ -169,6 +176,13 @@ class SpMMEngine:
             self.prefetcher = WorkloadPrefetcher(
                 eta=self.config.eta, sigma=self.config.sigma
             )
+        parallel = self.config.parallel
+        if parallel.backend is ExecBackend.SHARED_MEMORY:
+            self.kernel_executor: KernelExecutor = get_shared_executor(
+                parallel.n_workers
+            )
+        else:
+            self.kernel_executor = SimulatedExecutor()
         pm = self.topology.device(MemoryKind.PM)
         self.loader = StreamingLoader(
             pm.bandwidth(
@@ -261,6 +275,8 @@ class SpMMEngine:
             )
             self.tracer.advance_sim(result.sim_seconds)
             span.set("sim_seconds", result.sim_seconds)
+            span.set("kernel_wall_seconds", result.kernel_wall_seconds)
+            span.set("exec_backend", self.config.parallel.backend.value)
         return result
 
     def _multiply_instrumented(
@@ -294,6 +310,7 @@ class SpMMEngine:
             np.zeros((matrix.n_rows, d), dtype=np.float64) if compute else None
         )
         needs_full_pass = False
+        kernel_ranges: list[tuple[int, int]] = []
         for partition in partitions:
             if self.prefetcher is not None and partition.contiguous:
                 plan = self.prefetcher.plan(matrix, partition, col_degrees)
@@ -307,16 +324,25 @@ class SpMMEngine:
             clock.advance(partition.thread_id, seconds)
             if compute and partition.n_rows > 0:
                 if partition.contiguous:
-                    rows = slice(partition.row_start, partition.row_end)
-                    output[matrix.perm[rows]] = matrix.spmm_rows(
-                        dense, partition.row_start, partition.row_end
+                    kernel_ranges.append(
+                        (partition.row_start, partition.row_end)
                     )
                 else:
                     # Non-contiguous (natural-order) partitions are a
                     # costing construct; compute the result in one pass.
                     needs_full_pass = True
-        if compute and needs_full_pass:
-            output[:] = matrix.spmm(dense)
+        kernel_wall = 0.0
+        if compute:
+            budget = self.config.parallel.chunk_budget_bytes
+            wall_start = time.perf_counter()
+            if needs_full_pass:
+                output[:] = matrix.spmm(dense, budget_bytes=budget)
+            else:
+                self.kernel_executor.run_partitions(
+                    matrix, dense, kernel_ranges, output, budget_bytes=budget
+                )
+            kernel_wall = time.perf_counter() - wall_start
+            self.metrics.counter("spmm.kernel_wall_seconds").inc(kernel_wall)
         thread_times = clock.thread_times
         makespan = clock.synchronize()
 
@@ -384,6 +410,7 @@ class SpMMEngine:
             stream_plan=stream_plan,
             trace=trace,
             nnz=matrix.nnz,
+            kernel_wall_seconds=kernel_wall,
         )
 
     # -- per-partition costing ----------------------------------------------

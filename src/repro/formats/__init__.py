@@ -9,7 +9,13 @@
   CSDB and scipy sparse matrices.
 """
 
-from repro.formats.csdb import CSDBMatrix
+from repro.formats.csdb import (
+    CSDBMatrix,
+    KernelVerificationError,
+    SharedArraySpec,
+    SharedCSDB,
+    SharedCSDBHandle,
+)
 from repro.formats.convert import (
     csdb_from_scipy,
     csdb_to_scipy,
@@ -31,6 +37,10 @@ __all__ = [
     "CSDBMatrix",
     "CSRMatrix",
     "ContainerFormatError",
+    "KernelVerificationError",
+    "SharedArraySpec",
+    "SharedCSDB",
+    "SharedCSDBHandle",
     "csdb_from_scipy",
     "csdb_to_scipy",
     "csr_from_scipy",

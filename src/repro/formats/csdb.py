@@ -26,9 +26,166 @@ back.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
 import numpy as np
 
 from repro.formats.csr import CSRMatrix
+
+#: Default byte budget bounding the blocked SpMM gather intermediate
+#: (the ``vals[:, None] * dense[cols]`` materialization is O(nnz * d)
+#: unblocked; blocking accumulates in row-aligned chunks of at most this
+#: many bytes, which keeps results bit-identical — see
+#: :meth:`CSDBMatrix.spmm_rows`).
+DEFAULT_CHUNK_BUDGET_BYTES = 64 * 2**20
+
+
+class KernelVerificationError(AssertionError):
+    """A blocked/parallel SpMM kernel diverged from the CSR reference."""
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Locator of one ndarray living in a shared-memory segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class SharedCSDBHandle:
+    """Picklable descriptor of a CSDB matrix in shared memory.
+
+    Carries only segment names and array metadata — a worker process
+    rebuilds a zero-copy :class:`CSDBMatrix` from it via
+    :meth:`CSDBMatrix.from_shared`.
+    """
+
+    deg_list: SharedArraySpec
+    deg_ind: SharedArraySpec
+    col_list: SharedArraySpec
+    nnz_list: SharedArraySpec
+    perm: SharedArraySpec
+    shape: tuple[int, int]
+
+    @property
+    def specs(self) -> tuple[SharedArraySpec, ...]:
+        return (
+            self.deg_list, self.deg_ind, self.col_list, self.nnz_list,
+            self.perm,
+        )
+
+    @property
+    def key(self) -> str:
+        """Stable identity of the shared copy (its first segment name)."""
+        return self.deg_list.name
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker side effects.
+
+    ``SharedMemory(name=...)`` in a non-owner process registers the
+    segment with its resource tracker, which would unlink it when that
+    process exits (the well-known CPython gh-82300 wart).  Python 3.13+
+    exposes ``track=False``; on older versions we attach and unregister.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - depends on Python version
+        segment = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:
+            pass
+        return segment
+
+
+def unlink_segment(name: str) -> None:
+    """Attach (plainly, so the tracker entry survives) and unlink.
+
+    A missing segment is not an error — cleanup paths may race.
+    """
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    try:
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - cleanup race
+        pass
+
+
+def create_shared_array(array: np.ndarray, name: str) -> SharedArraySpec:
+    """Copy an ndarray into a new named shared segment; returns its spec.
+
+    The segment is created with ``create=True`` and must eventually be
+    released by the owner (``close()`` + ``unlink()``); callers track the
+    returned name.  Zero-length arrays get a 1-byte segment (POSIX shm
+    rejects empty mappings).
+    """
+    segment = shared_memory.SharedMemory(
+        name=name, create=True, size=max(int(array.nbytes), 1)
+    )
+    try:
+        if array.size:
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=segment.buf
+            )
+            view[:] = array
+            # Drop the exported buffer before close() — mmap refuses to
+            # close while a view holds it.
+            del view
+        return SharedArraySpec(
+            name=segment.name, shape=tuple(array.shape), dtype=str(array.dtype)
+        )
+    finally:
+        segment.close()
+
+
+def attach_shared_array(
+    spec: SharedArraySpec,
+) -> tuple[np.ndarray, shared_memory.SharedMemory]:
+    """Zero-copy view over a shared segment; caller keeps the segment."""
+    segment = attach_segment(spec.name)
+    view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=segment.buf)
+    return view, segment
+
+
+class SharedCSDB:
+    """Owner side of a CSDB matrix copied into shared memory.
+
+    Created by :meth:`CSDBMatrix.to_shared`; the owner must call
+    :meth:`close` (idempotent) to unlink the segments once no process
+    needs them.  The executor (:mod:`repro.parallel.shared`) manages the
+    lifetime for engine-driven SpMM.
+    """
+
+    def __init__(self, handle: SharedCSDBHandle) -> None:
+        self.handle = handle
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink every segment (safe to call more than once)."""
+        if self._closed:
+            return
+        self._closed = True
+        for spec in self.handle.specs:
+            unlink_segment(spec.name)
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
 
 
 class CSDBMatrix:
@@ -68,6 +225,10 @@ class CSDBMatrix:
         self._inv_perm: np.ndarray | None = None
         self._row_degrees: np.ndarray | None = None
         self._nnz_prefix: np.ndarray | None = None
+        self._col_degrees: np.ndarray | None = None
+        # Keeps attached shared-memory segments alive for matrices built
+        # by from_shared (the arrays above are zero-copy views into them).
+        self._shared_segments: tuple[shared_memory.SharedMemory, ...] = ()
 
     def _validate(self) -> None:
         n_rows, n_cols = self.shape
@@ -242,14 +403,49 @@ class CSDBMatrix:
     # -- operators (§III-A: multiplication, addition, subtraction,
     #    transposition) ----------------------------------------------------
 
+    def _chunk_boundaries(
+        self, row_start: int, row_end: int, d: int, budget_bytes: int
+    ) -> np.ndarray:
+        """Row-aligned chunk boundaries whose gather stays in budget.
+
+        Chunks never split a row, so each row's non-zeros are reduced in
+        one ``reduceat`` segment regardless of chunking — blocked results
+        are bit-identical to the one-shot kernel.  A single hub row whose
+        own gather exceeds the budget still forms a chunk of its own.
+        """
+        prefix = self.nnz_prefix()
+        budget_nnz = max(int(budget_bytes) // (16 * max(d, 1)), 1)
+        boundaries = [row_start]
+        cursor = row_start
+        while cursor < row_end:
+            target = prefix[cursor] + budget_nnz
+            # Furthest row whose cumulative nnz still fits the budget.
+            nxt = int(
+                np.searchsorted(prefix, target, side="right") - 1
+            )
+            nxt = min(max(nxt, cursor + 1), row_end)
+            boundaries.append(nxt)
+            cursor = nxt
+        return np.asarray(boundaries, dtype=np.int64)
+
     def spmm_rows(
-        self, dense: np.ndarray, row_start: int, row_end: int
+        self,
+        dense: np.ndarray,
+        row_start: int,
+        row_end: int,
+        budget_bytes: int | None = None,
     ) -> np.ndarray:
         """SpMM restricted to CSDB rows ``[row_start, row_end)``.
 
         This is the unit of work of Algorithm 1: a thread's partition is a
         contiguous run of CSDB rows.  Returns the partial result in CSDB
         row order (shape ``(row_end - row_start, dense.shape[1])``).
+
+        The gather intermediate (``vals * dense[cols]``, O(nnz * d)
+        bytes unblocked) is accumulated in row-aligned chunks of at most
+        ``budget_bytes`` (default :data:`DEFAULT_CHUNK_BUDGET_BYTES`),
+        bounding peak memory without changing a single output bit: a
+        row's reduction never spans a chunk boundary.
         """
         if not 0 <= row_start <= row_end <= self.n_rows:
             raise ValueError(
@@ -266,41 +462,83 @@ class CSDBMatrix:
         out = np.zeros((n_out, d), dtype=np.float64)
         if n_out == 0:
             return out
-        lo = self.row_ptr(row_start)
-        hi = self.row_ptr(row_end)
-        if lo == hi:
+        prefix = self.nnz_prefix()
+        if prefix[row_start] == prefix[row_end]:
             return out
-        cols = self.col_list[lo:hi]
-        vals = self.nnz_list[lo:hi]
-        prod = vals[:, None] * dense[cols]
-        degrees = self.row_degrees()[row_start:row_end]
-        nonzero_rows = degrees > 0
-        # reduceat needs strictly increasing offsets: segment only the
-        # rows that actually own non-zeros, then scatter.
-        offsets = np.concatenate([[0], np.cumsum(degrees)])[:-1][nonzero_rows]
-        out[nonzero_rows] = np.add.reduceat(prod, offsets, axis=0)
+        if budget_bytes is None:
+            budget_bytes = DEFAULT_CHUNK_BUDGET_BYTES
+        degrees = self.row_degrees()
+        boundaries = self._chunk_boundaries(row_start, row_end, d, budget_bytes)
+        for a, b in zip(boundaries[:-1], boundaries[1:]):
+            lo, hi = int(prefix[a]), int(prefix[b])
+            if lo == hi:
+                continue
+            cols = self.col_list[lo:hi]
+            vals = self.nnz_list[lo:hi]
+            prod = vals[:, None] * dense[cols]
+            chunk_degrees = degrees[a:b]
+            nonzero_rows = chunk_degrees > 0
+            # reduceat needs strictly increasing offsets: segment only
+            # the rows that actually own non-zeros, then scatter.
+            offsets = (prefix[a:b] - prefix[a])[nonzero_rows]
+            out_chunk = out[a - row_start : b - row_start]
+            out_chunk[nonzero_rows] = np.add.reduceat(prod, offsets, axis=0)
         return out
 
-    def spmm(self, dense: np.ndarray, chunk_rows: int | None = None) -> np.ndarray:
+    def spmm(
+        self,
+        dense: np.ndarray,
+        chunk_rows: int | None = None,
+        budget_bytes: int | None = None,
+        verify: bool = False,
+    ) -> np.ndarray:
         """Full SpMM ``self @ dense`` in original row order.
 
         Args:
             dense: the dense operand, shape (n_cols, d) or (n_cols,).
-            chunk_rows: optional CSDB-row chunk size to bound the peak
-                footprint of the intermediate gather (useful for large
-                graphs); None computes in one shot.
+            chunk_rows: optional CSDB-row chunk size for the scatter
+                loop; by default chunks are derived from ``budget_bytes``
+                so the peak gather footprint is bounded instead of
+                materializing the whole O(nnz * d) intermediate.
+            budget_bytes: byte budget for the gather intermediate
+                (default :data:`DEFAULT_CHUNK_BUDGET_BYTES`).
+            verify: cross-validate the blocked kernel against the CSR
+                reference (``self.to_csr().spmm``); raises
+                :class:`KernelVerificationError` on divergence.  Meant
+                for tests and debugging — it pays a full second SpMM.
         """
         dense = np.asarray(dense, dtype=np.float64)
         squeeze = dense.ndim == 1
         if squeeze:
             dense = dense[:, None]
+        if budget_bytes is None:
+            budget_bytes = DEFAULT_CHUNK_BUDGET_BYTES
         out = np.zeros((self.n_rows, dense.shape[1]), dtype=np.float64)
-        step = chunk_rows or self.n_rows
-        if step < 1:
+        if chunk_rows is not None and chunk_rows < 1:
             raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
-        for start in range(0, self.n_rows, step):
-            end = min(start + step, self.n_rows)
-            out[self.perm[start:end]] = self.spmm_rows(dense, start, end)
+        if chunk_rows is not None:
+            boundaries = np.arange(
+                0, self.n_rows + chunk_rows, chunk_rows, dtype=np.int64
+            )
+            boundaries[-1] = self.n_rows
+            boundaries = np.unique(boundaries)
+        else:
+            boundaries = self._chunk_boundaries(
+                0, self.n_rows, dense.shape[1], budget_bytes
+            )
+        if self.n_rows:
+            for a, b in zip(boundaries[:-1], boundaries[1:]):
+                out[self.perm[a:b]] = self.spmm_rows(
+                    dense, int(a), int(b), budget_bytes=budget_bytes
+                )
+        if verify:
+            reference = self.to_csr().spmm(dense)
+            if not np.allclose(out, reference, rtol=1e-9, atol=1e-12):
+                worst = float(np.max(np.abs(out - reference)))
+                raise KernelVerificationError(
+                    "blocked SpMM diverged from the CSR reference"
+                    f" (max abs error {worst:.3e})"
+                )
         return out[:, 0] if squeeze else out
 
     def spmv(self, vector: np.ndarray) -> np.ndarray:
@@ -351,8 +589,15 @@ class CSDBMatrix:
         return self._elementwise(other, -1.0)
 
     def scale(self, factor: float) -> "CSDBMatrix":
-        """Return ``factor * self`` (same block structure)."""
-        return CSDBMatrix(
+        """Return ``factor * self`` (same block structure).
+
+        Structural caches (degrees, prefix sums, permutations) depend
+        only on the sparsity pattern, which scaling preserves — the new
+        matrix inherits them instead of recomputing.  ``transpose`` and
+        the elementwise operators change the pattern and therefore build
+        fresh matrices with empty caches.
+        """
+        scaled = CSDBMatrix(
             self.deg_list,
             self.deg_ind,
             self.col_list,
@@ -360,11 +605,83 @@ class CSDBMatrix:
             self.perm,
             self.shape,
         )
+        scaled._inv_perm = self._inv_perm
+        scaled._row_degrees = self._row_degrees
+        scaled._nnz_prefix = self._nnz_prefix
+        scaled._col_degrees = self._col_degrees
+        return scaled
 
     def col_degrees(self) -> np.ndarray:
         """In-degree of every column — the metric of WoFP's degree-based
-        prefetcher (§III-C)."""
-        return np.bincount(self.col_list, minlength=self.n_cols).astype(np.int64)
+        prefetcher (§III-C).  Cached: the engine consults it per SpMM."""
+        if self._col_degrees is None:
+            self._col_degrees = np.bincount(
+                self.col_list, minlength=self.n_cols
+            ).astype(np.int64)
+        return self._col_degrees
+
+    # -- shared memory ------------------------------------------------------
+
+    def to_shared(self, prefix: str | None = None) -> SharedCSDB:
+        """Copy the five block arrays into named shared-memory segments.
+
+        Returns the owner-side :class:`SharedCSDB`, whose picklable
+        ``handle`` lets worker processes rebuild a zero-copy view via
+        :meth:`from_shared`.  The caller owns the segments and must
+        ``close()`` the result when done (the shared-memory executor
+        does this automatically for engine-driven SpMM).
+        """
+        import os as _os
+        import secrets
+
+        if prefix is None:
+            prefix = f"csdb-{_os.getpid()}-{secrets.token_hex(4)}"
+        created: list[str] = []
+        arrays = {
+            "deg_list": self.deg_list,
+            "deg_ind": self.deg_ind,
+            "col_list": self.col_list,
+            "nnz_list": self.nnz_list,
+            "perm": self.perm,
+        }
+        specs: dict[str, SharedArraySpec] = {}
+        try:
+            for field_name, array in arrays.items():
+                spec = create_shared_array(
+                    np.ascontiguousarray(array), f"{prefix}-{field_name}"
+                )
+                created.append(spec.name)
+                specs[field_name] = spec
+        except BaseException:
+            for name in created:
+                unlink_segment(name)
+            raise
+        return SharedCSDB(SharedCSDBHandle(shape=self.shape, **specs))
+
+    @classmethod
+    def from_shared(cls, handle: SharedCSDBHandle) -> "CSDBMatrix":
+        """Rebuild a matrix over shared segments without copying.
+
+        The five arrays are views into the attached segments; the
+        matrix instance keeps the attachments alive for its lifetime.
+        Mutating the views would corrupt every attached process — treat
+        the result as read-only.
+        """
+        views = {}
+        segments = []
+        for field_name, spec in (
+            ("deg_list", handle.deg_list),
+            ("deg_ind", handle.deg_ind),
+            ("col_list", handle.col_list),
+            ("nnz_list", handle.nnz_list),
+            ("perm", handle.perm),
+        ):
+            view, segment = attach_shared_array(spec)
+            views[field_name] = view
+            segments.append(segment)
+        matrix = cls(shape=handle.shape, **views)
+        matrix._shared_segments = tuple(segments)
+        return matrix
 
     # -- conversions --------------------------------------------------------
 

@@ -20,7 +20,10 @@ honest as the codebase grows:
   (``repro serve-sim --slo``);
 - :mod:`~repro.obs.observatory.perfgate` — the pinned micro-bench
   suite, baseline comparison and ``BENCH_omega.json`` trajectory
-  (``repro perf-gate``, run as a CI job).
+  (``repro perf-gate``, run as a CI job);
+- :mod:`~repro.obs.observatory.wallgate` — the opt-in wall-clock arm:
+  median-of-k real-kernel timings gated with noise bands derived from
+  the stored baseline's dispersion (``repro perf-gate --wall``).
 
 Everything here is pure post-processing of exported JSONL records; no
 embedding numerics are touched.
@@ -43,6 +46,7 @@ from repro.obs.observatory.manifest import (
 from repro.obs.observatory.perfgate import (
     GateReport,
     GateRun,
+    append_trajectory_point,
     render_gate,
     run_perf_gate,
     run_suite,
@@ -64,6 +68,15 @@ from repro.obs.observatory.slo import (
     render_slo,
 )
 from repro.obs.observatory.store import BaselineStore
+from repro.obs.observatory.wallgate import (
+    WallProbe,
+    WallReport,
+    WallRun,
+    WallVerdict,
+    render_wall,
+    run_wall_gate,
+    run_wall_suite,
+)
 
 __all__ = [
     "BaselineStore",
@@ -77,6 +90,11 @@ __all__ = [
     "SLOObjective",
     "SLOReport",
     "SLOSpec",
+    "WallProbe",
+    "WallReport",
+    "WallRun",
+    "WallVerdict",
+    "append_trajectory_point",
     "build_manifest",
     "build_profile",
     "collapsed_stacks",
@@ -91,7 +109,10 @@ __all__ = [
     "render_diff",
     "render_gate",
     "render_slo",
+    "render_wall",
     "run_perf_gate",
     "run_suite",
+    "run_wall_gate",
+    "run_wall_suite",
     "write_collapsed",
 ]

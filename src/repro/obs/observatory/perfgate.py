@@ -239,21 +239,35 @@ def compare_to_baseline(
     return verdicts
 
 
-def append_trajectory(
-    run: GateRun,
-    path: str | Path,
-    baseline_key: str | None,
-    ok: bool,
+def append_trajectory_point(
+    path: str | Path, point: dict[str, Any]
 ) -> None:
-    """Append one trajectory point to ``BENCH_omega.json``."""
+    """Append one arbitrary point to a ``BENCH_omega.json`` trajectory.
+
+    The trajectory is a JSON list; gate runs, wall-gate runs and
+    benchmark results (``bench_parallel_scaling``) all append here so
+    the repo's perf history accumulates in one place.
+    """
     path = Path(path)
     points: list[dict[str, Any]] = []
     if path.is_file():
         loaded = json.loads(path.read_text(encoding="utf-8"))
         if isinstance(loaded, list):
             points = loaded
+    points.append(point)
+    path.write_text(json.dumps(points, indent=2) + "\n", encoding="utf-8")
+
+
+def append_trajectory(
+    run: GateRun,
+    path: str | Path,
+    baseline_key: str | None,
+    ok: bool,
+) -> None:
+    """Append one perf-gate point to ``BENCH_omega.json``."""
     manifest = run.manifest
-    points.append(
+    append_trajectory_point(
+        path,
         {
             "run_id": manifest.run_id,
             "git_sha": manifest.git_sha,
@@ -261,9 +275,8 @@ def append_trajectory(
             "baseline_key": baseline_key,
             "ok": ok,
             "stages": {k: float(v) for k, v in sorted(run.stages.items())},
-        }
+        },
     )
-    path.write_text(json.dumps(points, indent=2) + "\n", encoding="utf-8")
 
 
 def run_perf_gate(

@@ -1,0 +1,302 @@
+"""Opt-in wall-clock arm of the perf gate: median-of-k with noise bands.
+
+Simulated stage seconds (:mod:`repro.obs.observatory.perfgate`) are
+bit-stable, so the sim gate can use a plain threshold.  Wall-clock
+seconds are not — CI machines differ, neighbors steal cycles — so the
+wall arm:
+
+- measures each probe ``k`` times and compares **medians**;
+- derives a **noise band** from the stored baseline's own dispersion
+  (relative median-absolute-deviation), widened by a safety multiplier;
+- only flags a regression when the current median exceeds the baseline
+  median by more than ``max(threshold, band)``.
+
+The arm is opt-in (``repro perf-gate --wall report|gate``): ``report``
+prints the table and the band but never affects the exit code (the CI
+default while a machine-specific baseline accumulates); ``gate``
+enforces.  The wall baseline is stored separately from the sim baseline
+(``perf_gate_wall``) because it is machine-specific where the sim
+baseline is universal.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs.observatory.store import BaselineStore
+
+#: Name of the wall-clock baseline ref inside the store.
+WALL_BASELINE_NAME = "perf_gate_wall"
+#: Repeats per probe; medians of this many runs are compared.
+WALL_DEFAULT_RUNS = 5
+#: Floor on the allowed relative slowdown regardless of how quiet the
+#: baseline machine was.
+WALL_THRESHOLD = 0.25
+#: The noise band is this many relative MADs of the stored baseline.
+WALL_BAND_MULTIPLIER = 4.0
+#: Wall-probe workload (smaller than a benchmark: the gate runs per-CI).
+WALL_SCALE = 11
+WALL_EDGE_FACTOR = 8.0
+WALL_DIM = 16
+WALL_SEED = 0
+
+
+@dataclass
+class WallProbe:
+    """Median-of-k wall timing for one probe."""
+
+    name: str
+    samples: list[float]
+
+    @property
+    def median(self) -> float:
+        return statistics.median(self.samples)
+
+    @property
+    def rel_mad(self) -> float:
+        """Median absolute deviation relative to the median."""
+        med = self.median
+        if med == 0.0:
+            return 0.0
+        mad = statistics.median(abs(s - med) for s in self.samples)
+        return mad / med
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "samples": [float(s) for s in self.samples],
+            "median": float(self.median),
+            "rel_mad": float(self.rel_mad),
+        }
+
+
+@dataclass
+class WallRun:
+    """One execution of the wall-clock probe suite."""
+
+    probes: list[WallProbe]
+    backend: str
+    n_workers: int
+    k: int
+
+    def payload(self) -> dict[str, Any]:
+        return {
+            "suite": "perf_gate_wall",
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "k": self.k,
+            "probes": {p.name: p.payload() for p in self.probes},
+        }
+
+
+def run_wall_suite(
+    k: int = WALL_DEFAULT_RUNS,
+    backend: str = "simulated",
+    n_workers: int = 2,
+) -> WallRun:
+    """Time the real-kernel probes ``k`` times each on a seeded graph."""
+    import numpy as np
+
+    from repro.core.config import ExecBackend, OMeGaConfig, ParallelConfig
+    from repro.core.spmm import SpMMEngine
+    from repro.formats.convert import edges_to_csdb
+    from repro.graphs.rmat import rmat_edges
+
+    edges = rmat_edges(WALL_SCALE, edge_factor=WALL_EDGE_FACTOR, seed=WALL_SEED)
+    n_nodes = 1 << WALL_SCALE
+    matrix = edges_to_csdb(edges, n_nodes)
+    dense = np.random.default_rng(WALL_SEED).standard_normal(
+        (n_nodes, WALL_DIM)
+    )
+    config = OMeGaConfig(
+        n_threads=4,
+        dim=WALL_DIM,
+        parallel=ParallelConfig(
+            backend=ExecBackend(backend), n_workers=n_workers
+        ),
+    )
+    engine = SpMMEngine(config)
+
+    kernel_samples: list[float] = []
+    engine_samples: list[float] = []
+    matrix.spmm(dense)  # warm caches (prefix sums, page faults) once
+    for _ in range(max(k, 1)):
+        start = time.perf_counter()
+        matrix.spmm(dense)
+        kernel_samples.append(time.perf_counter() - start)
+        result = engine.multiply(matrix, dense)
+        engine_samples.append(result.kernel_wall_seconds)
+    return WallRun(
+        probes=[
+            WallProbe("wall.spmm_kernel", kernel_samples),
+            WallProbe("wall.engine_dispatch", engine_samples),
+        ],
+        backend=backend,
+        n_workers=n_workers,
+        k=max(k, 1),
+    )
+
+
+@dataclass
+class WallVerdict:
+    """Comparison of one wall probe against the stored baseline."""
+
+    probe: str
+    baseline_median: float | None
+    current_median: float
+    band: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float | None:
+        if self.baseline_median is None or self.baseline_median == 0.0:
+            return None
+        return (
+            self.current_median - self.baseline_median
+        ) / self.baseline_median
+
+
+@dataclass
+class WallReport:
+    """Outcome of one wall-gate run."""
+
+    run: WallRun
+    verdicts: list[WallVerdict] = field(default_factory=list)
+    baseline_key: str | None = None
+    baseline_updated: bool = False
+    enforced: bool = False
+
+    @property
+    def regressions(self) -> list[WallVerdict]:
+        return [v for v in self.verdicts if v.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """Only a *gating* run can fail; report-only runs always pass."""
+        return not (self.enforced and self.regressions)
+
+
+def compare_wall(
+    run: WallRun,
+    baseline: dict[str, Any],
+    threshold: float = WALL_THRESHOLD,
+    band_multiplier: float = WALL_BAND_MULTIPLIER,
+) -> list[WallVerdict]:
+    """Noise-banded verdicts: slowdowns within the band are not flagged."""
+    baseline_probes = baseline.get("probes", {})
+    verdicts = []
+    for probe in run.probes:
+        base = baseline_probes.get(probe.name)
+        if base is None:
+            verdicts.append(
+                WallVerdict(
+                    probe=probe.name,
+                    baseline_median=None,
+                    current_median=probe.median,
+                    band=threshold,
+                    regressed=False,
+                )
+            )
+            continue
+        band = max(
+            threshold, band_multiplier * float(base.get("rel_mad", 0.0))
+        )
+        base_median = float(base["median"])
+        regressed = probe.median > base_median * (1.0 + band)
+        verdicts.append(
+            WallVerdict(
+                probe=probe.name,
+                baseline_median=base_median,
+                current_median=probe.median,
+                band=band,
+                regressed=regressed,
+            )
+        )
+    return verdicts
+
+
+def run_wall_gate(
+    store: BaselineStore | None = None,
+    mode: str = "report",
+    k: int = WALL_DEFAULT_RUNS,
+    backend: str = "simulated",
+    n_workers: int = 2,
+    threshold: float = WALL_THRESHOLD,
+    update_baseline: bool = False,
+) -> WallReport:
+    """Run the wall suite and compare with noise bands.
+
+    ``mode`` is ``"report"`` (print-only; never fails) or ``"gate"``
+    (regressions beyond the band fail the run).  A baseline comparable
+    to the current run must share backend and worker count; otherwise
+    the run is treated as baseline-less.
+    """
+    if mode not in ("report", "gate"):
+        raise ValueError(f"mode must be 'report' or 'gate', got {mode!r}")
+    store = store if store is not None else BaselineStore()
+    run = run_wall_suite(k=k, backend=backend, n_workers=n_workers)
+    report = WallReport(run=run, enforced=(mode == "gate"))
+
+    baseline_key = store.resolve(WALL_BASELINE_NAME)
+    baseline: dict[str, Any] = {}
+    if baseline_key is not None:
+        candidate = store.get(baseline_key)
+        if (
+            candidate.get("backend") == backend
+            and candidate.get("n_workers") == n_workers
+        ):
+            baseline = candidate
+            report.baseline_key = baseline_key
+    report.verdicts = compare_wall(run, baseline, threshold)
+
+    if update_baseline or (not baseline and not report.regressions):
+        report.baseline_key = store.put(
+            run.payload(), name=WALL_BASELINE_NAME
+        )
+        report.baseline_updated = True
+    return report
+
+
+def render_wall(report: WallReport) -> str:
+    """Plain-text table of a wall-gate run, noise band included."""
+    from repro.bench.harness import format_seconds, format_table
+
+    rows = []
+    for v in report.verdicts:
+        ratio = f"{v.ratio * 100:+.1f}%" if v.ratio is not None else "-"
+        rows.append(
+            [
+                v.probe,
+                format_seconds(v.baseline_median)
+                if v.baseline_median is not None
+                else "-",
+                format_seconds(v.current_median),
+                ratio,
+                f"±{v.band * 100:.0f}%",
+                "REGRESSED" if v.regressed else "ok",
+            ]
+        )
+    mode = "gate" if report.enforced else "report-only"
+    table = format_table(
+        ["probe", "baseline", "median", "delta", "noise band", "status"],
+        rows,
+        title=(
+            f"wall-clock gate [{mode}] (backend {report.run.backend},"
+            f" {report.run.n_workers} workers, median of {report.run.k},"
+            f" baseline {report.baseline_key or 'none'})"
+        ),
+    )
+    if report.regressions:
+        names = ", ".join(v.probe for v in report.regressions)
+        verdict = (
+            f"WALL GATE FAILED — regressed probes: {names}"
+            if report.enforced
+            else f"wall regression beyond band (report-only): {names}"
+        )
+    else:
+        verdict = "wall gate within noise band"
+    if report.baseline_updated:
+        verdict = f"{verdict} (baseline updated -> {report.baseline_key})"
+    return f"{table}\n{verdict}"

@@ -1,11 +1,36 @@
-"""Simulated parallel execution: thread pool and tail-latency statistics."""
+"""Parallel execution: simulated and shared-memory backends, thread stats.
 
-from repro.parallel.scheduler import SimulatedExecutor, ThreadTask
+Two interchangeable backends implement the :class:`KernelExecutor`
+protocol behind the engine's kernel-dispatch seam:
+
+- :class:`SimulatedExecutor` — serial in-process kernels, simulated
+  per-thread clocks (the deterministic default);
+- :class:`SharedMemoryExecutor` — EaTA partitions executed concurrently
+  on worker processes over zero-copy shared-memory views of the CSDB
+  arrays, bit-identical to the serial result.
+"""
+
+from repro.parallel.scheduler import (
+    KernelExecutor,
+    SimulatedExecutor,
+    ThreadTask,
+)
+from repro.parallel.shared import (
+    SharedMemoryExecutor,
+    WorkerCrashError,
+    close_shared_executors,
+    get_shared_executor,
+)
 from repro.parallel.stats import ThreadStats, summarize_thread_times
 
 __all__ = [
+    "KernelExecutor",
+    "SharedMemoryExecutor",
     "SimulatedExecutor",
     "ThreadStats",
     "ThreadTask",
+    "WorkerCrashError",
+    "close_shared_executors",
+    "get_shared_executor",
     "summarize_thread_times",
 ]

@@ -3,14 +3,47 @@
 Real work (numpy kernels) executes serially in-process; simulated *time*
 advances per logical thread, so a parallel phase's completion time is the
 maximum simulated clock (the makespan) rather than the serial wall time.
+
+Both execution backends implement one structural protocol
+(:class:`KernelExecutor`): the engine hands them the CSDB operand, the
+dense operand, the contiguous row ranges the allocator produced, and the
+output buffer; the backend is free to run those ranges serially
+(:class:`SimulatedExecutor`) or on a worker-process pool
+(:class:`~repro.parallel.shared.SharedMemoryExecutor`).  Because row
+reductions never span a range or chunk boundary, every backend produces
+bit-identical output.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Protocol, runtime_checkable
 
+import numpy as np
+
+from repro.formats.csdb import CSDBMatrix
 from repro.memsim.clock import SimClock
+
+
+@runtime_checkable
+class KernelExecutor(Protocol):
+    """The engine's kernel-dispatch seam (one method, two backends)."""
+
+    def run_partitions(
+        self,
+        matrix: CSDBMatrix,
+        dense: np.ndarray,
+        ranges: list[tuple[int, int]],
+        output: np.ndarray,
+        budget_bytes: int | None = None,
+    ) -> None:
+        """Compute ``matrix @ dense`` for CSDB row ``ranges`` into ``output``.
+
+        ``output`` has shape ``(n_rows, d)`` in *original* row order and
+        is fully overwritten: covered rows receive their products, rows
+        outside every range are zeroed.
+        """
+        ...
 
 
 @dataclass
@@ -30,10 +63,34 @@ class ThreadTask:
 
 
 class SimulatedExecutor:
-    """Executes :class:`ThreadTask` batches against a :class:`SimClock`."""
+    """Serial backend: real kernels in-process, parallel time simulated.
 
-    def __init__(self, clock: SimClock) -> None:
+    Executes :class:`ThreadTask` batches against a :class:`SimClock`
+    (the historical API) and implements the :class:`KernelExecutor`
+    seam by running partition kernels serially in submission order —
+    the default, fully deterministic backend.
+    """
+
+    def __init__(self, clock: SimClock | None = None) -> None:
         self.clock = clock
+
+    def run_partitions(
+        self,
+        matrix: CSDBMatrix,
+        dense: np.ndarray,
+        ranges: list[tuple[int, int]],
+        output: np.ndarray,
+        budget_bytes: int | None = None,
+    ) -> None:
+        """Serial execution of the kernel-dispatch seam."""
+        output[:] = 0.0
+        for row_start, row_end in ranges:
+            if row_end <= row_start:
+                continue
+            rows = slice(int(row_start), int(row_end))
+            output[matrix.perm[rows]] = matrix.spmm_rows(
+                dense, int(row_start), int(row_end), budget_bytes=budget_bytes
+            )
 
     def run(self, tasks: list[ThreadTask]) -> float:
         """Run all tasks; returns the makespan after a barrier.
@@ -43,6 +100,8 @@ class SimulatedExecutor:
         clocks at the end, modelling the join at the end of a parallel
         SpMM phase.
         """
+        if self.clock is None:
+            raise ValueError("SimulatedExecutor.run requires a SimClock")
         for task in tasks:
             if not 0 <= task.thread_id < self.clock.n_threads:
                 raise ValueError(

@@ -1,0 +1,424 @@
+"""Shared-memory parallel execution of SpMM partitions.
+
+This is the real multicore backend behind the engine's kernel-dispatch
+seam (``OMeGaConfig.parallel.backend = ExecBackend.SHARED_MEMORY``): the
+EaTA partitions that the cost model schedules onto *logical* threads are
+executed concurrently by a pool of worker *processes* operating on
+zero-copy views of the CSDB arrays (``multiprocessing.shared_memory``
+via :meth:`~repro.formats.csdb.CSDBMatrix.to_shared`).
+
+Design invariants:
+
+- **Bit-identical output.**  Workers run exactly the same blocked
+  ``spmm_rows`` kernel as the serial path, one contiguous CSDB row range
+  per partition, and scatter their partial results into disjoint rows of
+  one shared output buffer (``out[perm[rst:red]] = partial``).  Row
+  reductions never span a chunk or partition boundary, so the parallel
+  result equals the serial result bit for bit.
+- **Simulated time is untouched.**  The executor only runs kernels; the
+  engine charges Eq. 2 costs to the per-thread :class:`SimClock` exactly
+  as under the simulated backend.
+- **Crash safety.**  A worker death or in-worker exception surfaces as a
+  typed :class:`WorkerCrashError`; the pool tears down and every shared
+  segment it created is unlinked before the error propagates.
+
+The pool is lazy (no processes are spawned until the first dispatched
+kernel) and process-wide pools are shared across engines via
+:func:`get_shared_executor`, so a ProNE pipeline's dozens of SpMM calls
+reuse both the workers and the shared copy of each operand matrix.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue as queue_module
+import secrets
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.formats.csdb import (
+    CSDBMatrix,
+    SharedArraySpec,
+    SharedCSDB,
+    SharedCSDBHandle,
+    attach_shared_array,
+    unlink_segment,
+)
+
+#: Default per-call completion deadline; a pool that produces neither
+#: results nor progress for this long is declared crashed.
+DEFAULT_CALL_TIMEOUT_S = 300.0
+
+
+class WorkerCrashError(RuntimeError):
+    """A shared-memory worker died or failed; the pool was torn down.
+
+    After this error the executor is closed: its shared segments are
+    unlinked and its workers terminated.  A fresh executor (or the next
+    :func:`get_shared_executor` call) starts a new pool.
+    """
+
+
+def _mp_context():
+    """Fork where available (cheap workers); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _worker_main(jobs, results) -> None:
+    """Worker loop: attach shared operands once, run kernels forever.
+
+    Job shapes (plain tuples, picklable):
+
+    - ``("spmm", call_id, job_id, handle, dense_spec, out_spec,
+      row_start, row_end, budget_bytes, retired)`` — run one partition;
+    - ``("crash", call_id, job_id)`` — hard-exit (crash-safety tests);
+    - ``None`` — shut down.
+    """
+    matrices: dict[str, CSDBMatrix] = {}
+    scratch: dict[str, tuple] = {}  # name -> (ndarray view, segment)
+
+    def drop(names) -> None:
+        for name in names:
+            matrices.pop(name, None)
+            scratch.pop(name, None)
+
+    while True:
+        job = jobs.get()
+        if job is None:
+            return
+        kind = job[0]
+        if kind == "crash":
+            os._exit(17)
+        _, call_id, job_id, handle, dense_spec, out_spec = job[:6]
+        row_start, row_end, budget_bytes, retired = job[6:]
+        try:
+            drop(retired)
+            matrix = matrices.get(handle.key)
+            if matrix is None:
+                matrix = CSDBMatrix.from_shared(handle)
+                matrices[handle.key] = matrix
+            if dense_spec.name not in scratch:
+                scratch[dense_spec.name] = attach_shared_array(dense_spec)
+            if out_spec.name not in scratch:
+                scratch[out_spec.name] = attach_shared_array(out_spec)
+            # Re-view per job: the segment is cached, but its logical
+            # shape can change between calls (d varies across pipeline
+            # stages while the byte capacity stays sufficient).
+            dense_seg = scratch[dense_spec.name][1]
+            out_seg = scratch[out_spec.name][1]
+            dense = np.ndarray(
+                dense_spec.shape, dtype=np.dtype(dense_spec.dtype),
+                buffer=dense_seg.buf,
+            )
+            out = np.ndarray(
+                out_spec.shape, dtype=np.dtype(out_spec.dtype),
+                buffer=out_seg.buf,
+            )
+            partial = matrix.spmm_rows(
+                dense, row_start, row_end, budget_bytes=budget_bytes
+            )
+            out[matrix.perm[row_start:row_end]] = partial
+            del dense, out, partial
+            results.put(("ok", call_id, job_id))
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            try:
+                results.put(
+                    ("error", call_id, job_id, f"{type(exc).__name__}: {exc}")
+                )
+            except Exception:
+                os._exit(1)
+
+
+class _ScratchSegment:
+    """A reusable named shared buffer owned by the executor."""
+
+    def __init__(self, name: str, nbytes: int) -> None:
+        self.segment = shared_memory.SharedMemory(
+            name=name, create=True, size=max(nbytes, 1)
+        )
+        self.capacity = max(nbytes, 1)
+
+    def view(self, shape: tuple[int, ...], dtype: str = "float64") -> np.ndarray:
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=self.segment.buf)
+
+    def release(self) -> None:
+        name = self.segment.name
+        try:
+            self.segment.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass
+        unlink_segment(name)
+
+
+class SharedMemoryExecutor:
+    """Executes contiguous SpMM partitions on a worker-process pool.
+
+    Implements the same ``run_partitions`` seam as the serial
+    :class:`~repro.parallel.scheduler.SimulatedExecutor`; the engine
+    picks one per :class:`~repro.core.config.ParallelConfig`.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 2,
+        call_timeout_s: float = DEFAULT_CALL_TIMEOUT_S,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.call_timeout_s = call_timeout_s
+        self._ctx = _mp_context()
+        self._prefix = f"omega-{os.getpid()}-{secrets.token_hex(4)}"
+        self._workers: list = []
+        self._jobs = None
+        self._results = None
+        self._call_seq = 0
+        self._scratch_seq = 0
+        # id(matrix) -> (weakref to matrix, owner-side SharedCSDB)
+        self._matrices: dict[int, tuple] = {}
+        self._scratch: dict[str, _ScratchSegment] = {}
+        self._retired: list[str] = []
+        self._closed = False
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def started(self) -> bool:
+        return bool(self._workers)
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise WorkerCrashError("executor is closed")
+        if self._workers:
+            return
+        self._jobs = self._ctx.Queue()
+        self._results = self._ctx.Queue()
+        for _ in range(self.n_workers):
+            proc = self._ctx.Process(
+                target=_worker_main,
+                args=(self._jobs, self._results),
+                daemon=True,
+            )
+            proc.start()
+            self._workers.append(proc)
+
+    def close(self) -> None:
+        """Shut down workers and unlink every owned segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._workers:
+            for _ in self._workers:
+                try:
+                    self._jobs.put(None)
+                except Exception:
+                    break
+            for proc in self._workers:
+                proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck worker
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+        self._release_shared()
+        self._workers = []
+
+    def _kill_workers(self) -> None:
+        for proc in self._workers:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._workers:
+            proc.join(timeout=5.0)
+        self._workers = []
+
+    def _release_shared(self) -> None:
+        for _, shared_mat in self._matrices.values():
+            shared_mat.close()
+        self._matrices = {}
+        for seg in self._scratch.values():
+            seg.release()
+        self._scratch = {}
+        for name in self._retired:
+            unlink_segment(name)
+        self._retired = []
+
+    def _fail(self, message: str) -> WorkerCrashError:
+        """Tear the pool down after a failure; returns the typed error."""
+        self._closed = True
+        self._kill_workers()
+        self._release_shared()
+        return WorkerCrashError(message)
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- operand staging --------------------------------------------------
+
+    def _shared_matrix(self, matrix: CSDBMatrix) -> SharedCSDBHandle:
+        """Owner-side shared copy of a matrix, cached per live instance."""
+        for key, (ref, shared_mat) in list(self._matrices.items()):
+            if ref() is None:
+                self._retired.extend(s.name for s in shared_mat.handle.specs)
+                shared_mat.close()
+                del self._matrices[key]
+        entry = self._matrices.get(id(matrix))
+        if entry is not None:
+            return entry[1].handle
+        shared_mat = matrix.to_shared(
+            prefix=f"{self._prefix}-m{len(self._matrices)}-"
+            f"{secrets.token_hex(2)}"
+        )
+        self._matrices[id(matrix)] = (weakref.ref(matrix), shared_mat)
+        return shared_mat.handle
+
+    def _scratch_spec(
+        self, tag: str, shape: tuple[int, ...]
+    ) -> SharedArraySpec:
+        """Reusable scratch buffer spec, regrown when too small."""
+        nbytes = int(np.prod(shape, dtype=np.int64)) * 8
+        current = self._scratch.get(tag)
+        if current is not None and current.capacity < nbytes:
+            self._retired.append(current.segment.name)
+            current.release()
+            current = None
+            del self._scratch[tag]
+        if current is None:
+            self._scratch_seq += 1
+            current = _ScratchSegment(
+                f"{self._prefix}-{tag}-{self._scratch_seq}", nbytes
+            )
+            self._scratch[tag] = current
+        return SharedArraySpec(
+            name=current.segment.name, shape=tuple(shape), dtype="float64"
+        )
+
+    # -- execution --------------------------------------------------------
+
+    def run_partitions(
+        self,
+        matrix: CSDBMatrix,
+        dense: np.ndarray,
+        ranges: list[tuple[int, int]],
+        output: np.ndarray,
+        budget_bytes: int | None = None,
+        _inject_crash: bool = False,
+    ) -> None:
+        """Execute CSDB row ranges on the pool, scattering into ``output``.
+
+        ``output`` (original row order, shape ``(n_rows, d)``) receives
+        the joined result; rows not covered by any range are zeroed.
+
+        Raises:
+            WorkerCrashError: a worker died, failed, or the call timed
+                out; the pool is torn down and its segments released.
+        """
+        if self._closed:
+            raise WorkerCrashError("executor is closed")
+        dense = np.ascontiguousarray(dense, dtype=np.float64)
+        ranges = [(int(a), int(b)) for a, b in ranges if b > a]
+        if not ranges:
+            output[:] = 0.0
+            return
+        self._ensure_workers()
+        handle = self._shared_matrix(matrix)
+        dense_spec = self._scratch_spec("dense", dense.shape)
+        out_spec = self._scratch_spec("out", output.shape)
+        dense_view = self._scratch["dense"].view(dense.shape)
+        dense_view[:] = dense
+        del dense_view
+        out_view = self._scratch["out"].view(output.shape)
+        out_view[:] = 0.0
+        del out_view
+        retired = tuple(self._retired)
+        self._retired = []
+
+        self._call_seq += 1
+        call_id = self._call_seq
+        for job_id, (row_start, row_end) in enumerate(ranges):
+            self._jobs.put(
+                (
+                    "crash" if _inject_crash else "spmm",
+                    call_id,
+                    job_id,
+                    handle,
+                    dense_spec,
+                    out_spec,
+                    row_start,
+                    row_end,
+                    budget_bytes,
+                    retired if job_id == 0 else (),
+                )
+            )
+        self._await(call_id, len(ranges))
+        out_view = self._scratch["out"].view(output.shape)
+        np.copyto(output, out_view)
+        del out_view
+
+    def _await(self, call_id: int, n_jobs: int) -> None:
+        """Barrier: collect one ack per job, watching worker liveness."""
+        import time
+
+        done = 0
+        deadline = time.monotonic() + self.call_timeout_s
+        while done < n_jobs:
+            try:
+                ack = self._results.get(timeout=0.1)
+            except queue_module.Empty:
+                dead = [p for p in self._workers if not p.is_alive()]
+                if dead:
+                    codes = sorted({p.exitcode for p in dead})
+                    raise self._fail(
+                        f"{len(dead)} shared-memory worker(s) died"
+                        f" (exit codes {codes}) with"
+                        f" {n_jobs - done} partition(s) outstanding"
+                    )
+                if time.monotonic() > deadline:
+                    raise self._fail(
+                        f"shared-memory call timed out after"
+                        f" {self.call_timeout_s:.0f}s"
+                        f" ({n_jobs - done} partition(s) outstanding)"
+                    )
+                continue
+            if ack[1] != call_id:
+                continue  # stale ack from an abandoned call
+            if ack[0] == "error":
+                raise self._fail(
+                    f"shared-memory worker failed on partition"
+                    f" {ack[2]}: {ack[3]}"
+                )
+            done += 1
+
+
+#: Process-wide executor pools, one per worker count.
+_POOLS: dict[int, SharedMemoryExecutor] = {}
+
+
+def get_shared_executor(n_workers: int) -> SharedMemoryExecutor:
+    """Shared pool for ``n_workers`` (re-created if a crash closed it)."""
+    pool = _POOLS.get(n_workers)
+    if pool is None or pool.closed:
+        pool = SharedMemoryExecutor(n_workers)
+        _POOLS[n_workers] = pool
+    return pool
+
+
+def close_shared_executors() -> None:
+    """Close every process-wide pool (tests / interpreter exit)."""
+    for pool in list(_POOLS.values()):
+        pool.close()
+    _POOLS.clear()
+
+
+atexit.register(close_shared_executors)

@@ -281,3 +281,76 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExecBackendFlags:
+    def test_embed_shared_memory_bit_identical(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(path, chung_lu_edges(120, 600, seed=1))
+        serial_out = tmp_path / "serial.npy"
+        shm_out = tmp_path / "shm.npy"
+        base = ["embed", str(path), "--threads", "2", "--dim", "8"]
+        assert main([*base, "--output", str(serial_out)]) == 0
+        assert (
+            main(
+                [
+                    *base,
+                    "--exec-backend",
+                    "shared_memory",
+                    "--workers",
+                    "2",
+                    "--output",
+                    str(shm_out),
+                ]
+            )
+            == 0
+        )
+        assert np.array_equal(np.load(serial_out), np.load(shm_out))
+
+    def test_spmm_accepts_backend_flags(self, tmp_path, capsys):
+        path = tmp_path / "graph.txt"
+        save_edge_list(path, chung_lu_edges(80, 300, seed=2))
+        code = main(
+            [
+                "spmm",
+                str(path),
+                "--threads",
+                "2",
+                "--dim",
+                "4",
+                "--exec-backend",
+                "shared_memory",
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+
+    def test_rejects_unknown_backend(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        save_edge_list(path, chung_lu_edges(40, 100, seed=3))
+        with pytest.raises(SystemExit):
+            main(["embed", str(path), "--exec-backend", "threads"])
+
+
+class TestPerfGateWallFlags:
+    def test_wall_report_runs(self, tmp_path, capsys, monkeypatch):
+        from repro.obs.observatory import wallgate
+
+        monkeypatch.setattr(wallgate, "WALL_SCALE", 7)
+        code = main(
+            [
+                "perf-gate",
+                "--baseline-dir",
+                str(tmp_path),
+                "--no-trajectory",
+                "--wall",
+                "report",
+                "--wall-runs",
+                "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "wall-clock gate [report-only]" in out
+        assert "noise band" in out

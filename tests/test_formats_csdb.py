@@ -196,3 +196,123 @@ class TestAlgebra:
         csr = CSRMatrix.from_coo(rows, cols, vals, (50, 50))
         b = rng.standard_normal((50, 4))
         assert np.allclose(csdb.spmm(b), csr.spmm(b))
+
+
+class TestBlockedKernel:
+    """Byte-budgeted chunking must not change a single bit."""
+
+    def test_budget_blocked_is_bitwise_equal(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 7))
+        full = skewed_csdb.spmm(b)
+        assert np.array_equal(skewed_csdb.spmm(b, budget_bytes=4096), full)
+        assert np.array_equal(skewed_csdb.spmm(b, chunk_rows=11), full)
+
+    def test_spmm_rows_budget_bitwise_equal(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 5))
+        mid = skewed_csdb.n_rows // 2
+        assert np.array_equal(
+            skewed_csdb.spmm_rows(b, 0, mid, budget_bytes=4096),
+            skewed_csdb.spmm_rows(b, 0, mid),
+        )
+
+    def test_chunk_boundaries_are_row_aligned(self, skewed_csdb):
+        bounds = skewed_csdb._chunk_boundaries(
+            0, skewed_csdb.n_rows, d=8, budget_bytes=4096
+        )
+        assert bounds[0] == 0 and bounds[-1] == skewed_csdb.n_rows
+        assert np.all(np.diff(bounds) >= 1)
+
+    def test_verify_passes_against_scipy_csr(self, skewed_csdb, rng):
+        b = rng.standard_normal((skewed_csdb.n_cols, 4))
+        out = skewed_csdb.spmm(b, verify=True)
+        assert np.allclose(out, skewed_csdb.to_dense() @ b)
+
+    def test_verify_raises_on_kernel_mismatch(
+        self, skewed_csdb, rng, monkeypatch
+    ):
+        from repro.formats import KernelVerificationError
+
+        b = rng.standard_normal((skewed_csdb.n_cols, 3))
+        # Skew the CSR reference: verification must notice the blocked
+        # kernel and the reference disagreeing.
+        reference = skewed_csdb.to_csr()
+        monkeypatch.setattr(
+            skewed_csdb,
+            "to_csr",
+            lambda: CSRMatrix(
+                reference.indptr,
+                reference.indices,
+                reference.data * 1.01,
+                reference.shape,
+            ),
+        )
+        with pytest.raises(KernelVerificationError, match="max abs error"):
+            skewed_csdb.spmm(b, verify=True)
+
+
+class TestInstanceCaches:
+    def test_prefix_and_degree_caches_are_reused(self, skewed_csdb):
+        assert skewed_csdb.row_degrees() is skewed_csdb.row_degrees()
+        assert skewed_csdb.nnz_prefix() is skewed_csdb.nnz_prefix()
+        assert skewed_csdb.col_degrees() is skewed_csdb.col_degrees()
+
+    def test_cached_values_are_correct(self, skewed_csdb):
+        degrees = skewed_csdb.row_degrees()
+        prefix = skewed_csdb.nnz_prefix()
+        assert np.array_equal(prefix, np.concatenate([[0], np.cumsum(degrees)]))
+
+    def test_scale_inherits_pattern_caches(self, skewed_csdb):
+        skewed_csdb.row_degrees()
+        skewed_csdb.nnz_prefix()
+        scaled = skewed_csdb.scale(2.0)
+        assert scaled.row_degrees() is skewed_csdb.row_degrees()
+        assert scaled.nnz_prefix() is skewed_csdb.nnz_prefix()
+
+    def test_transpose_and_elementwise_get_fresh_caches(self, skewed_csdb):
+        skewed_csdb.row_degrees()
+        t = skewed_csdb.transpose()
+        # The transpose's degrees must describe the transpose, not the
+        # original (cache must not leak across structural ops).
+        assert int(t.row_degrees().sum()) == t.nnz
+        s = skewed_csdb + skewed_csdb
+        assert int(s.row_degrees().sum()) == s.nnz
+
+
+class TestSharedRoundtrip:
+    def test_roundtrip_bitwise_and_zero_copy(self, skewed_csdb, rng):
+        shared = skewed_csdb.to_shared()
+        try:
+            attached = CSDBMatrix.from_shared(shared.handle)
+            for name in ("deg_list", "deg_ind", "col_list", "nnz_list", "perm"):
+                assert np.array_equal(
+                    getattr(attached, name), getattr(skewed_csdb, name)
+                )
+                # Views over the segment buffer, not copies.
+                assert getattr(attached, name).base is not None
+            b = rng.standard_normal((skewed_csdb.n_cols, 6))
+            assert np.array_equal(attached.spmm(b), skewed_csdb.spmm(b))
+        finally:
+            shared.close()
+
+    def test_close_unlinks_and_is_idempotent(self, paper_csdb):
+        from multiprocessing import shared_memory
+
+        shared = paper_csdb.to_shared()
+        names = [spec.name for spec in shared.handle.specs]
+        shared.close()
+        shared.close()
+        assert shared.closed
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_empty_matrix_roundtrip(self):
+        empty = CSDBMatrix.from_coo([], [], [], (4, 4))
+        shared = empty.to_shared()
+        try:
+            attached = CSDBMatrix.from_shared(shared.handle)
+            assert attached.nnz == 0
+            out = attached.spmm(np.ones((4, 2)))
+            assert np.array_equal(out, np.zeros((4, 2)))
+        finally:
+            shared.close()

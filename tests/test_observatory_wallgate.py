@@ -1,0 +1,142 @@
+"""Wall-clock perf-gate arm: noise bands, modes, baseline handling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.observatory import BaselineStore
+from repro.obs.observatory import wallgate
+from repro.obs.observatory.wallgate import (
+    WallProbe,
+    WallRun,
+    compare_wall,
+    render_wall,
+    run_wall_gate,
+)
+
+
+def _run(median: float, spread: float = 0.0) -> WallRun:
+    samples = [median - spread, median, median + spread]
+    return WallRun(
+        probes=[WallProbe("wall.spmm_kernel", samples)],
+        backend="simulated",
+        n_workers=2,
+        k=3,
+    )
+
+
+class TestProbeStats:
+    def test_median_and_rel_mad(self):
+        probe = WallProbe("p", [1.0, 2.0, 4.0])
+        assert probe.median == 2.0
+        assert probe.rel_mad == pytest.approx(0.5)  # MAD=1.0 over median 2
+
+    def test_zero_median_is_safe(self):
+        assert WallProbe("p", [0.0, 0.0]).rel_mad == 0.0
+
+
+class TestCompare:
+    def test_within_threshold_band_ok(self):
+        baseline = _run(1.0).payload()
+        verdicts = compare_wall(_run(1.2), baseline, threshold=0.25)
+        assert not verdicts[0].regressed
+        assert verdicts[0].band == 0.25
+
+    def test_beyond_band_regressed(self):
+        baseline = _run(1.0).payload()
+        verdicts = compare_wall(_run(1.5), baseline, threshold=0.25)
+        assert verdicts[0].regressed
+        assert verdicts[0].ratio == pytest.approx(0.5)
+
+    def test_noisy_baseline_widens_band(self):
+        # rel MAD 0.2 -> band = 4 * 0.2 = 0.8, so a 1.5x median is fine.
+        baseline = _run(1.0, spread=0.2).payload()
+        verdicts = compare_wall(
+            _run(1.5), baseline, threshold=0.25, band_multiplier=4.0
+        )
+        assert verdicts[0].band == pytest.approx(0.8)
+        assert not verdicts[0].regressed
+
+    def test_missing_baseline_probe_never_regresses(self):
+        verdicts = compare_wall(_run(9.9), {}, threshold=0.25)
+        assert verdicts[0].baseline_median is None
+        assert not verdicts[0].regressed
+
+
+class TestGateModes:
+    @pytest.fixture
+    def store(self, tmp_path):
+        return BaselineStore(tmp_path)
+
+    @pytest.fixture
+    def fake_suite(self, monkeypatch):
+        def install(median: float):
+            monkeypatch.setattr(
+                wallgate,
+                "run_wall_suite",
+                lambda k, backend, n_workers: _run(median),
+            )
+
+        return install
+
+    def test_first_run_pins_baseline(self, store, fake_suite):
+        fake_suite(1.0)
+        report = run_wall_gate(store=store, mode="report")
+        assert report.baseline_updated
+        assert store.resolve(wallgate.WALL_BASELINE_NAME) is not None
+
+    def test_report_mode_never_fails(self, store, fake_suite):
+        fake_suite(1.0)
+        run_wall_gate(store=store, mode="report")
+        fake_suite(10.0)
+        report = run_wall_gate(store=store, mode="report")
+        assert report.regressions and report.ok
+
+    def test_gate_mode_fails_beyond_band(self, store, fake_suite):
+        fake_suite(1.0)
+        run_wall_gate(store=store, mode="report")
+        fake_suite(10.0)
+        report = run_wall_gate(store=store, mode="gate")
+        assert report.regressions and not report.ok
+        assert "REGRESSED" in render_wall(report)
+
+    def test_gate_mode_passes_within_band(self, store, fake_suite):
+        fake_suite(1.0)
+        run_wall_gate(store=store, mode="report")
+        fake_suite(1.1)
+        report = run_wall_gate(store=store, mode="gate")
+        assert report.ok and not report.regressions
+        assert "within noise band" in render_wall(report)
+
+    def test_baseline_backend_mismatch_ignored(self, store, fake_suite):
+        fake_suite(1.0)
+        run_wall_gate(store=store, mode="report", backend="simulated")
+        fake_suite(10.0)
+        # Different worker count -> stored baseline is not comparable;
+        # the run re-pins instead of flagging a bogus regression.
+        report = run_wall_gate(
+            store=store, mode="gate", backend="simulated", n_workers=4
+        )
+        assert report.ok and report.baseline_updated
+
+    def test_invalid_mode_rejected(self, store):
+        with pytest.raises(ValueError, match="mode"):
+            run_wall_gate(store=store, mode="enforce")
+
+    def test_render_includes_noise_band(self, store, fake_suite):
+        fake_suite(1.0)
+        report = run_wall_gate(store=store, mode="report")
+        text = render_wall(report)
+        assert "noise band" in text and "report-only" in text
+
+
+class TestRealSuiteSmoke:
+    def test_small_suite_produces_positive_medians(self, monkeypatch):
+        monkeypatch.setattr(wallgate, "WALL_SCALE", 7)
+        run = wallgate.run_wall_suite(k=2, backend="simulated")
+        assert {p.name for p in run.probes} == {
+            "wall.spmm_kernel",
+            "wall.engine_dispatch",
+        }
+        assert all(p.median > 0.0 for p in run.probes)
+        assert all(len(p.samples) == 2 for p in run.probes)
