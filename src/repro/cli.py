@@ -22,14 +22,27 @@ Commands:
   form standard flamegraph tooling consumes;
 - ``perf-gate``         — run the pinned micro-bench suite, compare
   against the stored baseline (``benchmarks/baselines/``) and append a
-  ``BENCH_omega.json`` trajectory point (the CI perf-regression gate).
+  ``BENCH_omega.json`` trajectory point (the CI perf-regression gate);
+- ``top``               — the real-time ops view: tail a ``--live``
+  stream file and render req/s, shed/deadline rates, breaker state,
+  rung occupancy, SpMM throughput and SLO burn (``--once`` renders a
+  single frame; ``--format prom`` emits Prometheus exposition text);
+- ``trend``             — per-series trajectories over the
+  ``BENCH_omega.json`` perf history, with sparklines;
+- ``baselines``         — inspect the baseline store: ``list`` refs,
+  ``show`` a payload, ``gc`` unreferenced objects (dry-run default).
 
 ``embed``, ``spmm``, ``compare`` and ``calibrate`` accept
 ``--telemetry-out PATH`` to export spans, metrics and cost ledgers as
-structured JSONL (see :mod:`repro.obs`).  ``embed`` additionally takes
-``--faults PLAN.json`` (a :class:`repro.faults.FaultPlan`) to run under
-injected faults with stage-granular checkpoints, and ``--resume`` to
-recover from injected crashes and finish the run.
+structured JSONL (see :mod:`repro.obs`).  ``embed``, ``spmm``,
+``serve-sim`` and ``perf-gate`` also accept ``--live PATH`` to stream
+the telemetry incrementally to a crash-tolerant JSONL file while the
+run is in flight — the file ``repro top`` tails.  ``embed``
+additionally takes ``--faults PLAN.json`` (a
+:class:`repro.faults.FaultPlan`) to run under injected faults with
+stage-granular checkpoints, ``--resume`` to recover from injected
+crashes and finish the run, and ``--slo SPEC.json`` to gate the
+pipeline's stage budgets and checkpoint overhead.
 """
 
 from __future__ import annotations
@@ -104,6 +117,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--telemetry-out",
         metavar="PATH",
         help="export spans/metrics/cost ledgers as JSONL (see 'repro report')",
+    )
+    parser.add_argument(
+        "--live",
+        metavar="PATH",
+        help="stream telemetry incrementally to a JSONL file while the"
+        " run is in flight (tail it with 'repro top PATH')",
     )
 
 
@@ -184,9 +203,10 @@ def cmd_probe(_: argparse.Namespace) -> int:
 def _telemetry_session(
     args: argparse.Namespace, command: str, graph: str, force: bool = False
 ) -> TelemetrySession | None:
-    if not args.telemetry_out and not force:
+    live = getattr(args, "live", None)
+    if not args.telemetry_out and not live and not force:
         return None
-    return TelemetrySession(
+    session = TelemetrySession(
         meta={
             "command": command,
             "graph": graph,
@@ -197,10 +217,18 @@ def _telemetry_session(
             "dim": args.dim,
         }
     )
+    if live:
+        session.stream_to(live)
+    return session
 
 
 def _save_telemetry(session: TelemetrySession | None, path: str | None) -> None:
-    if session is not None and path:
+    if session is None:
+        return
+    if session.stream is not None:
+        stream_path = session.close_stream()
+        print(f"live stream closed at {stream_path}")
+    if path:
         session.save(path)
         print(f"telemetry written to {path}")
 
@@ -270,7 +298,9 @@ def _embed_under_faults(
 def cmd_embed(args: argparse.Namespace) -> int:
     edges, n_nodes, scale, name = _load_graph(args)
     config = _config_from_args(args, scale)
-    session = _telemetry_session(args, "embed", name)
+    # An SLO evaluation needs the run's spans and metric records even
+    # when no telemetry file was requested, so force a session.
+    session = _telemetry_session(args, "embed", name, force=bool(args.slo))
     embedder = OMeGaEmbedder(
         config,
         tracer=session.tracer if session else None,
@@ -281,6 +311,13 @@ def cmd_embed(args: argparse.Namespace) -> int:
         if result is None:
             _save_telemetry(session, args.telemetry_out)
             return 1
+    elif args.slo:
+        # Route through the checkpointing layer so the run pays (and
+        # accounts, as checkpoint.sim_seconds) realistic persistence
+        # overhead — the numerator of the overhead-fraction objective.
+        result = CheckpointedEmbedder(embedder).embed_with_checkpoints(
+            edges, n_nodes
+        )
     else:
         result = embedder.embed_edges(edges, n_nodes)
     print(
@@ -295,8 +332,24 @@ def cmd_embed(args: argparse.Namespace) -> int:
         print(f"embedding saved to {args.output}")
     if session is not None:
         session.add_cost_trace("embed", result.trace)
+    slo_ok = True
+    if args.slo:
+        from repro.obs.observatory import SLOSpec, evaluate_slo, render_slo
+
+        slo_report = evaluate_slo(session.records(), SLOSpec.load(args.slo))
+        print(render_slo(slo_report))
+        session.event(
+            "slo",
+            spec=args.slo,
+            ok=slo_report.ok,
+            violations=[r.objective.name for r in slo_report.violations],
+            burn_rates={
+                r.objective.name: r.burn_rate for r in slo_report.results
+            },
+        )
+        slo_ok = slo_report.ok
     _save_telemetry(session, args.telemetry_out)
-    return 0
+    return 0 if slo_ok else 1
 
 
 def cmd_spmm(args: argparse.Namespace) -> int:
@@ -310,7 +363,12 @@ def cmd_spmm(args: argparse.Namespace) -> int:
         tracer=session.tracer if session else None,
         metrics=session.metrics if session else None,
     )
-    result = engine.multiply(matrix, dense, compute=False)
+    # The shared-memory backend only exists at compute time — run the
+    # real kernels there so the worker pool (and its per-partition
+    # telemetry) is actually exercised; the simulated default stays a
+    # pure cost-model pass.
+    compute = config.parallel.backend is ExecBackend.SHARED_MEMORY
+    result = engine.multiply(matrix, dense, compute=compute)
     print(
         f"{name}: SpMM over {matrix.nnz:,} nnz in"
         f" {format_seconds(result.sim_seconds)} simulated"
@@ -343,10 +401,10 @@ def _load_run(spec: str) -> list:
     store, where payloads of the ``{"records": [...]}`` shape (see
     ``benchmarks/common.publish_baseline``) hold a full export.
     """
-    from repro.obs.export import read_jsonl
+    from repro.obs.live import load_records
 
     if Path(spec).is_file():
-        return read_jsonl(spec)
+        return load_records(spec)
     from repro.obs.observatory import BaselineStore
 
     try:
@@ -365,6 +423,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         _load_run(args.run_a),
         _load_run(args.run_b),
         threshold=args.threshold,
+        include_profile=args.profile,
     )
     print(render_diff(report))
     return 1 if report.regressions else 0
@@ -372,14 +431,14 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
 def cmd_profile(args: argparse.Namespace) -> int:
     from repro.bench.harness import format_seconds, format_table
-    from repro.obs.export import read_jsonl
+    from repro.obs.live import load_records
     from repro.obs.observatory import (
         build_profile,
         hot_spans,
         write_collapsed,
     )
 
-    records = read_jsonl(args.trace)
+    records = load_records(args.trace)
     spans = [r for r in records if r.get("type") == "span"]
     profile = build_profile(spans)
     rows = [
@@ -426,8 +485,11 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
         update_baseline=args.update_baseline,
         faults_path=args.faults,
         trajectory_path=None if args.no_trajectory else trajectory,
+        live_path=args.live,
     )
     print(render_gate(report, threshold=args.threshold))
+    if args.live:
+        print(f"live stream closed at {args.live}")
     wall_ok = True
     if args.wall != "off":
         from repro.obs.observatory import render_wall, run_wall_gate
@@ -450,6 +512,106 @@ def cmd_perf_gate(args: argparse.Namespace) -> int:
         write_collapsed(build_profile(spans), args.profile_out)
         print(f"collapsed stacks written to {args.profile_out}")
     return 0 if (report.ok and wall_ok) else 1
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.live import (
+        StreamFollower,
+        build_top_frame,
+        latest_metric_records,
+        read_stream,
+        render_prom,
+        render_top,
+    )
+
+    spec = None
+    if args.slo:
+        from repro.obs.observatory import SLOSpec
+
+        spec = SLOSpec.load(args.slo)
+
+    if args.once:
+        if not Path(args.stream).is_file():
+            raise SystemExit(f"{args.stream}: no such stream file")
+        records, _ = read_stream(args.stream)
+        if args.format == "prom":
+            print(render_prom(latest_metric_records(records)))
+        else:
+            print(render_top(build_top_frame(records, spec)))
+        return 0
+
+    import time
+
+    follower = StreamFollower(args.stream)
+    frames = 0
+    try:
+        while True:
+            follower.poll()
+            frame = build_top_frame(follower.records, spec)
+            # Clear screen + home, full-screen redraw each frame.
+            sys.stdout.write("\x1b[2J\x1b[H" + render_top(frame) + "\n")
+            sys.stdout.flush()
+            frames += 1
+            if follower.closed:
+                print("stream closed")
+                break
+            if args.frames and frames >= args.frames:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    from repro.obs.observatory.perfgate import DEFAULT_TRAJECTORY
+    from repro.obs.observatory.trend import load_trajectory, render_trend
+
+    path = args.trajectory if args.trajectory else DEFAULT_TRAJECTORY
+    points = load_trajectory(path)
+    if not points:
+        print(f"no trajectory at {path}")
+        return 0
+    print(render_trend(points, prefix=args.prefix))
+    return 0
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.observatory import BaselineStore
+
+    store = BaselineStore(args.baseline_dir) if args.baseline_dir else BaselineStore()
+    if args.baselines_command == "list":
+        rows = [[name, store.resolve(name) or "-"] for name in store.names()]
+        if rows:
+            print(format_table(["ref", "key"], rows, title="baseline refs"))
+        else:
+            print("no baseline refs")
+        unreferenced = store.unreferenced_keys()
+        print(
+            f"{len(store.keys())} object(s), {len(unreferenced)} unreferenced"
+            + (" (gc candidates)" if unreferenced else "")
+        )
+        return 0
+    if args.baselines_command == "show":
+        try:
+            payload = store.load(args.name)
+        except KeyError:
+            raise SystemExit(f"{args.name}: no such baseline ref or object")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    # gc
+    doomed = store.gc(dry_run=not args.apply)
+    if not doomed:
+        print("nothing to gc: every object is referenced")
+        return 0
+    verb = "deleted" if args.apply else "would delete"
+    for key in doomed:
+        print(f"{verb} {key}")
+    if not args.apply:
+        print(f"dry run: {len(doomed)} object(s); re-run with --apply to delete")
+    return 0
 
 
 def cmd_serve_sim(args: argparse.Namespace) -> int:
@@ -526,6 +688,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         metrics=metrics,
         tracer=session.tracer if session else None,
         faults=injector,
+        stream=session.stream if session else None,
     )
     report = server.run_trace(trace)
     summary = report.summary()
@@ -676,6 +839,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="recover from injected crashes via the checkpoint log",
     )
+    embed.add_argument(
+        "--slo", metavar="SPEC",
+        help="evaluate a JSON SLO spec (stage sim-time budgets,"
+        " checkpoint-overhead fraction) over the run's telemetry;"
+        " violations exit nonzero",
+    )
     _add_engine_arguments(embed)
 
     spmm = sub.add_parser("spmm", help="run one instrumented SpMM")
@@ -727,6 +896,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--threshold", type=float, default=0.05,
         help="relative regression threshold on time-like series"
         " (default 0.05 = 5%%; breaches exit nonzero)",
+    )
+    diff.add_argument(
+        "--profile", action="store_true",
+        help="also diff per-node simulated self seconds of the folded"
+        " profiles (threshold-gated like the stage series)",
     )
 
     profile = sub.add_parser(
@@ -783,6 +957,11 @@ def build_parser() -> argparse.ArgumentParser:
     gate.add_argument(
         "--telemetry-out", metavar="PATH",
         help="export the suite's telemetry as JSONL",
+    )
+    gate.add_argument(
+        "--live", metavar="PATH",
+        help="stream the suite's telemetry to a JSONL file while it"
+        " runs (tail it with 'repro top PATH'; CI uploads it)",
     )
     gate.add_argument(
         "--wall", choices=["off", "report", "gate"], default="off",
@@ -868,6 +1047,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_arguments(serve)
 
+    top = sub.add_parser(
+        "top",
+        help="real-time ops view over a --live telemetry stream",
+    )
+    top.add_argument("stream", help="path to a --live stream JSONL file")
+    top.add_argument(
+        "--once", action="store_true",
+        help="render a single frame from the stream's current contents",
+    )
+    top.add_argument(
+        "--format", choices=("table", "prom"), default="table",
+        help="frame format with --once: human table or Prometheus"
+        " exposition text",
+    )
+    top.add_argument(
+        "--interval", type=float, default=0.5, metavar="S",
+        help="seconds between follow-mode polls (default 0.5)",
+    )
+    top.add_argument(
+        "--frames", type=int, default=0, metavar="N",
+        help="stop after N follow-mode frames (0 = until stream close)",
+    )
+    top.add_argument(
+        "--slo", metavar="SPEC",
+        help="JSON SLO spec to evaluate per frame (burn-rate column)",
+    )
+
+    trend = sub.add_parser(
+        "trend",
+        help="per-series perf trajectories over BENCH_omega.json",
+    )
+    trend.add_argument(
+        "--trajectory", metavar="PATH",
+        help="trajectory file (default: BENCH_omega.json)",
+    )
+    trend.add_argument(
+        "--prefix", metavar="P",
+        help="only series whose name starts with P (e.g. 'stages.')",
+    )
+
+    baselines = sub.add_parser(
+        "baselines",
+        help="inspect the baseline store (refs, payloads, gc)",
+    )
+    baselines.add_argument(
+        "--baseline-dir", metavar="DIR",
+        help="baseline store root (default: benchmarks/baselines/)",
+    )
+    baselines_sub = baselines.add_subparsers(
+        dest="baselines_command", required=True
+    )
+    baselines_sub.add_parser("list", help="refs, keys and gc candidates")
+    show = baselines_sub.add_parser("show", help="print one stored payload")
+    show.add_argument("name", help="ref name or raw content key")
+    gc = baselines_sub.add_parser(
+        "gc", help="drop unreferenced objects (dry run unless --apply)"
+    )
+    gc.add_argument(
+        "--apply", action="store_true",
+        help="actually delete the unreferenced objects",
+    )
+
     return parser
 
 
@@ -908,6 +1149,9 @@ COMMANDS = {
     "diff": cmd_diff,
     "profile": cmd_profile,
     "perf-gate": cmd_perf_gate,
+    "top": cmd_top,
+    "trend": cmd_trend,
+    "baselines": cmd_baselines,
 }
 
 

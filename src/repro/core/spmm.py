@@ -65,7 +65,7 @@ from repro.memsim.devices import (
 )
 from repro.memsim.trace import CostTrace
 from repro.obs.metrics import MetricsRegistry
-from repro.obs.tracer import NULL_TRACER, SpanTracer
+from repro.obs.tracer import NULL_TRACER, NullTracer, SpanTracer
 from repro.parallel.scheduler import KernelExecutor, SimulatedExecutor
 from repro.parallel.shared import get_shared_executor
 from repro.parallel.stats import ThreadStats, summarize_thread_times
@@ -334,12 +334,36 @@ class SpMMEngine:
         kernel_wall = 0.0
         if compute:
             budget = self.config.parallel.chunk_budget_bytes
+            # Trace propagation into the kernel dispatch: worker (or
+            # serial per-partition) spans parent under the open "spmm"
+            # span and carry this tracer's trace_id across the process
+            # boundary.  Skipped entirely on the null tracer.
+            trace_ctx = None
+            span_sink = None
+            if not isinstance(self.tracer, NullTracer):
+                from repro.obs.live import TraceContext
+
+                parent = self.tracer.current_span
+                trace_ctx = TraceContext(
+                    trace_id=self.tracer.trace_id,
+                    parent_span_id=(
+                        parent.span_id if parent is not None else None
+                    ),
+                    live_path=self.tracer.live_path,
+                )
+                span_sink = self.tracer.attach
             wall_start = time.perf_counter()
             if needs_full_pass:
                 output[:] = matrix.spmm(dense, budget_bytes=budget)
             else:
                 self.kernel_executor.run_partitions(
-                    matrix, dense, kernel_ranges, output, budget_bytes=budget
+                    matrix,
+                    dense,
+                    kernel_ranges,
+                    output,
+                    budget_bytes=budget,
+                    trace_ctx=trace_ctx,
+                    span_sink=span_sink,
                 )
             kernel_wall = time.perf_counter() - wall_start
             self.metrics.counter("spmm.kernel_wall_seconds").inc(kernel_wall)

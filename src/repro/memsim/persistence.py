@@ -388,28 +388,40 @@ class CheckpointedEmbedder:
         return self._drive(run, faults)
 
     def _drive(self, run, faults: FaultInjector | None):
-        """Advance a run to completion, checkpointing at each boundary."""
-        while run.next_stage is not None:
-            try:
-                stage = run.run_next()
-            except BaseException:
-                run.abort()
-                raise
-            crash_during = faults is not None and faults.should_crash(
-                stage, phase="before_commit"
+        """Advance a run to completion, checkpointing at each boundary.
+
+        The persistence overhead accrued here (WAL appends + final
+        shadow commit, crashed or not) is exported as the
+        ``checkpoint.sim_seconds`` counter — the numerator of the
+        ``checkpoint_overhead_fraction`` SLO.
+        """
+        before = self.domain.sim_seconds
+        try:
+            while run.next_stage is not None:
+                try:
+                    stage = run.run_next()
+                except BaseException:
+                    run.abort()
+                    raise
+                crash_during = faults is not None and faults.should_crash(
+                    stage, phase="before_commit"
+                )
+                arrays, meta = run.state.to_payload()
+                try:
+                    self.wal.append(stage, arrays, meta, crash=crash_during)
+                except CrashInjected:
+                    run.abort()
+                    raise
+                if faults is not None and faults.should_crash(stage):
+                    run.abort()
+                    raise InjectedCrash(stage)
+            result = run.finish()
+            self._last_result = result
+            self.store.commit(result.embedding)
+        finally:
+            self.embedder.metrics.counter("checkpoint.sim_seconds").inc(
+                self.domain.sim_seconds - before
             )
-            arrays, meta = run.state.to_payload()
-            try:
-                self.wal.append(stage, arrays, meta, crash=crash_during)
-            except CrashInjected:
-                run.abort()
-                raise
-            if faults is not None and faults.should_crash(stage):
-                run.abort()
-                raise InjectedCrash(stage)
-        result = run.finish()
-        self._last_result = result
-        self.store.commit(result.embedding)
         return result
 
     @property

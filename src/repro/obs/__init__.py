@@ -11,6 +11,10 @@ adds the *where* and *when*:
   partition entropy, streaming exposure);
 - :mod:`repro.obs.export` — the JSONL event sink, snapshot exporter and
   :class:`TelemetrySession` bundle shared by the CLI and benches;
+- :mod:`repro.obs.live` — the live telemetry layer: crash-tolerant
+  streaming JSONL (:class:`TelemetryStream`), cross-process trace
+  propagation (:class:`TraceContext`, worker partition spans),
+  multi-stream merging and the ``repro top`` ops view;
 - :mod:`repro.obs.report` — renders a telemetry file back into the
   Fig. 7(a)-style breakdown tables (``repro report``);
 - :mod:`repro.obs.observatory` — cross-run analysis: run manifests, the
@@ -24,6 +28,14 @@ from repro.obs.export import (
     TELEMETRY_VERSION,
     TelemetrySession,
     read_jsonl,
+)
+from repro.obs.live import (
+    StreamFollower,
+    TelemetryStream,
+    TraceContext,
+    load_records,
+    merge_streams,
+    read_stream,
 )
 from repro.obs.metrics import (
     Counter,
@@ -72,10 +84,16 @@ __all__ = [
     "NullTracer",
     "Span",
     "SpanTracer",
+    "StreamFollower",
     "TELEMETRY_VERSION",
     "TelemetrySession",
+    "TelemetryStream",
+    "TraceContext",
+    "load_records",
+    "merge_streams",
     "merged_cost_trace",
     "read_jsonl",
+    "read_stream",
     "render_report",
     "render_report_file",
     "spmm_step_breakdown",

@@ -106,6 +106,67 @@ class TelemetrySession:
         self.meta = dict(meta or {})
         self._traces: dict[str, CostTrace] = {}
         self._events: list[dict[str, Any]] = []
+        self._stream: Any | None = None
+
+    @property
+    def stream(self):
+        """The live :class:`~repro.obs.live.TelemetryStream`, if any."""
+        return self._stream
+
+    def stream_to(self, path: str | Path, flush_every: int = 20):
+        """Switch the session into streaming mode.
+
+        Opens a live :class:`~repro.obs.live.TelemetryStream` at
+        ``path`` and wires the session to it: the meta record is
+        written immediately, every span is appended the moment it
+        finishes (via a tracer listener), and events forward as they
+        are recorded.  The tracer's ``live_path`` is set so kernel
+        executors can point worker processes at sibling stream files.
+        Call :meth:`close_stream` for the final metrics + manifest;
+        a crash before that still leaves every flushed record behind.
+        """
+        from repro.obs.live import TelemetryStream
+
+        if self._stream is not None:
+            raise ValueError("session is already streaming")
+        stream = TelemetryStream(
+            path,
+            flush_every=flush_every,
+            role="coordinator",
+            trace_id=self.tracer.trace_id,
+        )
+        stream.emit(
+            {
+                "type": "meta",
+                "telemetry_version": TELEMETRY_VERSION,
+                **self.meta,
+            }
+        )
+        self.tracer.add_listener(lambda span: stream.emit(span.to_record()))
+        self.tracer.live_path = str(stream.path)
+        self._stream = stream
+        return stream
+
+    def close_stream(self) -> Path | None:
+        """Finish the live stream: metrics, cost traces, manifest, close.
+
+        Returns the stream path, or None when not streaming.
+        """
+        if self._stream is None:
+            return None
+        stream = self._stream
+        for record in self.metrics.to_records():
+            stream.emit(record)
+        for name, trace in sorted(self._traces.items()):
+            stream.emit(
+                {"type": "cost_trace", "name": name, **trace.to_dict()}
+            )
+        stream.emit(self.manifest().to_record())
+        stream.emit({"type": "stream_closed", "n_records": stream.n_records})
+        stream.close()
+        self._stream = None
+        self.tracer.live_path = None
+        return stream.path
 
     def add_cost_trace(self, name: str, trace: CostTrace) -> None:
         """Attach a named cost ledger (merged if the name repeats)."""
@@ -121,15 +182,17 @@ class TelemetrySession:
         return self._traces.get(name)
 
     def event(self, name: str, **fields: Any) -> None:
-        """Record a free-form instant event."""
-        self._events.append(
-            {
-                "type": "event",
-                "name": name,
-                "sim_cursor": self.tracer.sim_cursor,
-                **fields,
-            }
-        )
+        """Record a free-form instant event (forwarded live if streaming)."""
+        record = {
+            "type": "event",
+            "name": name,
+            "sim_cursor": self.tracer.sim_cursor,
+            **fields,
+        }
+        self._events.append(record)
+        if self._stream is not None:
+            self._stream.emit(record)
+            self._stream.flush()
 
     def manifest(self):
         """The run manifest of this session's current state.

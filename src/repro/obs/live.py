@@ -1,0 +1,786 @@
+"""Cross-process streaming telemetry: the live bus behind ``repro top``.
+
+Three cooperating pieces:
+
+- :class:`TraceContext` — the trace coordinates (trace id, parent span
+  id, live-stream path) a coordinator hands to out-of-process work so
+  worker spans join its trace.  It is a tiny frozen dataclass so it
+  crosses the multiprocessing queue as-is.
+- :class:`TelemetryStream` — an append-only JSONL event stream written
+  incrementally with periodic flush.  The coordinator streams spans,
+  events and snapshots as they happen; each worker process appends to a
+  sibling file (``<stream>.w<pid>``) so a crash loses at most the
+  unflushed tail of one file, never the run.  :func:`merge_streams`
+  stitches coordinator + worker streams back into one export in the
+  :meth:`~repro.obs.export.TelemetrySession.records` shape, so
+  ``repro diff`` / ``repro profile`` / ``repro report`` work unchanged
+  on merged streams.
+- The ops view — :func:`build_top_frame` folds a stream's latest
+  ``serve_snapshot`` (or final metrics) into the dashboard numbers
+  ``repro top`` renders, and :func:`render_prom` emits the same state
+  as Prometheus text exposition for scraping.
+
+Readers are deliberately forgiving: a process killed mid-``write`` tears
+the last line of its stream, so :func:`read_stream` and
+:class:`StreamFollower` skip partial/corrupt lines instead of raising
+the way :func:`~repro.obs.export.read_jsonl` does on curated exports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+#: Schema version stamped into every stream's ``stream_meta`` header.
+STREAM_VERSION = 1
+
+#: Record type of the periodic serving snapshot on a live stream.
+SNAPSHOT_RECORD_TYPE = "serve_snapshot"
+
+#: Record type marking a cleanly closed stream.
+CLOSED_RECORD_TYPE = "stream_closed"
+
+#: Record types that belong to the canonical session export shape, in
+#: the order :meth:`TelemetrySession.records` emits them.
+_CANONICAL_TYPES = ("meta", "manifest", "span", "metric", "cost_trace", "event")
+
+
+# ---------------------------------------------------------------------------
+# Trace propagation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Trace coordinates propagated into out-of-process work.
+
+    Attributes:
+        trace_id: the coordinator tracer's run-wide trace id.
+        parent_span_id: span id the foreign spans should parent under
+            (the coordinator's open ``spmm`` span).
+        live_path: coordinator's live stream path, if streaming — each
+            worker appends its spans to ``<live_path>.w<pid>``.
+    """
+
+    trace_id: str
+    parent_span_id: int | None = None
+    live_path: str | None = None
+
+
+_UID_COUNTER = itertools.count()
+
+
+def next_span_uid() -> str:
+    """Process-unique id for a cross-process span payload.
+
+    Merging dedups on this: a span shipped back over the result queue
+    *and* appended to a worker stream file must count once.
+    """
+    return f"{os.getpid()}-{next(_UID_COUNTER)}"
+
+
+def partition_span_payload(
+    ctx: TraceContext,
+    *,
+    row_start: int,
+    row_end: int,
+    nnz: int,
+    kernel_wall_s: float,
+    scatter_wall_s: float,
+    queue_wait_s: float = 0.0,
+    status: str = "ok",
+    uid: str | None = None,
+    worker_pid: int | None = None,
+) -> dict[str, Any]:
+    """The wire shape of one partition's worker span.
+
+    A plain dict (queue-picklable, JSONL-ready) that
+    :meth:`SpanTracer.attach` adopts on the coordinator side.  Worker
+    spans are wall-clock only — ``sim_seconds`` is zero so the profile
+    tree's sim self-time invariant is untouched.
+    """
+    pid = os.getpid() if worker_pid is None else int(worker_pid)
+    kernel_wall_s = max(0.0, float(kernel_wall_s))
+    scatter_wall_s = max(0.0, float(scatter_wall_s))
+    return {
+        "type": "span",
+        "name": "spmm_partition",
+        "trace_id": ctx.trace_id,
+        "parent_id": ctx.parent_span_id,
+        "status": status,
+        "sim_seconds": 0.0,
+        "sim_start": 0.0,
+        "wall_seconds": kernel_wall_s + scatter_wall_s,
+        "attributes": {
+            "uid": uid if uid is not None else next_span_uid(),
+            "worker_pid": pid,
+            "row_start": int(row_start),
+            "row_end": int(row_end),
+            "rows": int(row_end) - int(row_start),
+            "nnz": int(nnz),
+            "kernel_wall_s": kernel_wall_s,
+            "scatter_wall_s": scatter_wall_s,
+            "queue_wait_s": max(0.0, float(queue_wait_s)),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
+# The stream
+# ---------------------------------------------------------------------------
+
+
+class TelemetryStream:
+    """Append-only, crash-tolerant JSONL telemetry stream.
+
+    Records are written one JSON object per line and flushed every
+    ``flush_every`` records (``1`` = flush each record), so a follower
+    sees progress while the run is live and a crash loses at most the
+    unflushed tail.  The first record is always a ``stream_meta`` header
+    identifying the writing process and trace.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        flush_every: int = 20,
+        role: str = "coordinator",
+        trace_id: str | None = None,
+    ) -> None:
+        if flush_every < 1:
+            raise ValueError(f"flush_every must be >= 1, got {flush_every}")
+        self.path = Path(path)
+        self.role = role
+        self.trace_id = trace_id
+        self.flush_every = int(flush_every)
+        self.n_records = 0
+        self._since_flush = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("w", encoding="utf-8")
+        self.emit(
+            {
+                "type": "stream_meta",
+                "stream_version": STREAM_VERSION,
+                "role": role,
+                "pid": os.getpid(),
+                "trace_id": trace_id,
+            }
+        )
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._handle is None
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Append one record, flushing per the stream's cadence."""
+        if self._handle is None:
+            raise ValueError(f"stream {self.path} is closed")
+        if "type" not in record:
+            raise ValueError(f"record must carry a 'type' field: {record!r}")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.n_records += 1
+        self._since_flush += 1
+        if self._since_flush >= self.flush_every:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered records to the file."""
+        if self._handle is not None:
+            self._handle.flush()
+        self._since_flush = 0
+
+    def close(self) -> None:
+        """Flush and close; further :meth:`emit` calls raise."""
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TelemetryStream":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_stream(path: str | Path) -> tuple[list[dict[str, Any]], int]:
+    """Read a stream file, tolerating a torn or corrupt line.
+
+    A process killed mid-write leaves a partial final line; a tolerant
+    reader is what makes the stream crash-tolerant.  Returns
+    ``(records, n_skipped)`` where ``n_skipped`` counts undecodable
+    lines (typically 0 or 1).
+    """
+    records: list[dict[str, Any]] = []
+    skipped = 0
+    text = Path(path).read_text(encoding="utf-8", errors="replace")
+    for line in text.split("\n"):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            skipped += 1
+    return records, skipped
+
+
+class StreamFollower:
+    """Incremental reader over a growing stream file (``repro top``).
+
+    Keeps a byte offset plus the partial tail of the last read, so each
+    :meth:`poll` returns only records completed since the previous poll
+    and a half-written line is simply retried next time.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.records: list[dict[str, Any]] = []
+        self._offset = 0
+        self._tail = ""
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Read newly completed records; also appended to ``records``."""
+        if not self.path.exists():
+            return []
+        with self.path.open("r", encoding="utf-8", errors="replace") as fh:
+            fh.seek(self._offset)
+            chunk = fh.read()
+            self._offset = fh.tell()
+        if not chunk:
+            return []
+        lines = (self._tail + chunk).split("\n")
+        self._tail = lines.pop()  # "" when the chunk ended on a newline
+        fresh: list[dict[str, Any]] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict):
+                fresh.append(record)
+        self.records.extend(fresh)
+        return fresh
+
+    @property
+    def closed(self) -> bool:
+        """True once the writer emitted its ``stream_closed`` sentinel."""
+        return any(
+            r.get("type") == CLOSED_RECORD_TYPE for r in self.records
+        )
+
+
+# ---------------------------------------------------------------------------
+# Merging multi-process streams
+# ---------------------------------------------------------------------------
+
+
+def worker_stream_paths(path: str | Path) -> list[Path]:
+    """Worker sibling files of a coordinator stream, sorted by name."""
+    path = Path(path)
+    return sorted(
+        p
+        for p in path.parent.glob(path.name + ".w*")
+        if p.is_file()
+    )
+
+
+def merge_streams(path: str | Path) -> list[dict[str, Any]]:
+    """Stitch a coordinator stream and its worker siblings into one export.
+
+    Returns records in the canonical session export shape (meta,
+    manifest, spans in id order, metrics, cost traces, events) followed
+    by the stream-only records (snapshots, stream markers), so the
+    existing observatory — ``repro diff``, ``repro profile``,
+    ``repro report`` — consumes a merged stream exactly like a buffered
+    export.
+
+    Worker spans already adopted by the coordinator (they travel both
+    over the result queue and through the worker's own stream file) are
+    deduplicated by their ``attributes.uid``; spans found *only* in a
+    worker file (the coordinator died first) are grafted in with fresh
+    span ids.  If the stream was cut before close, a manifest is
+    synthesized from what survived.
+    """
+    base, _ = read_stream(path)
+    grouped: dict[str, list[dict[str, Any]]] = {t: [] for t in _CANONICAL_TYPES}
+    passthrough: list[dict[str, Any]] = []
+    for record in base:
+        kind = record.get("type")
+        if kind in grouped:
+            grouped[kind].append(record)
+        else:
+            passthrough.append(record)
+
+    spans = sorted(
+        grouped["span"], key=lambda s: int(s.get("span_id", 0) or 0)
+    )
+    seen_uids = {
+        (s.get("attributes") or {}).get("uid")
+        for s in spans
+    }
+    seen_uids.discard(None)
+    known_ids = {
+        int(s["span_id"])
+        for s in spans
+        if isinstance(s.get("span_id"), int)
+    }
+    next_id = max(known_ids, default=-1) + 1
+    parent_sim_start = {
+        int(s["span_id"]): float(s.get("sim_start", 0.0) or 0.0)
+        for s in spans
+        if isinstance(s.get("span_id"), int)
+    }
+    for worker_path in worker_stream_paths(path):
+        worker_records, _ = read_stream(worker_path)
+        for record in worker_records:
+            if record.get("type") != "span":
+                continue
+            uid = (record.get("attributes") or {}).get("uid")
+            if uid is not None and uid in seen_uids:
+                continue
+            entry = dict(record)
+            parent = entry.get("parent_id")
+            if parent is not None and int(parent) in known_ids:
+                # Zero-width sim placement inside the parent's interval.
+                entry["sim_start"] = parent_sim_start[int(parent)]
+            else:
+                entry["parent_id"] = None  # parent span never closed
+            entry["span_id"] = next_id
+            entry.setdefault("depth", 1)
+            entry.setdefault("sim_seconds", 0.0)
+            next_id += 1
+            if uid is not None:
+                seen_uids.add(uid)
+            spans.append(entry)
+
+    manifests = grouped["manifest"]
+    if not manifests:
+        manifests = [
+            _synthesize_manifest(
+                grouped["meta"], spans, grouped["metric"], grouped["event"]
+            )
+        ]
+    return (
+        grouped["meta"][:1]
+        + manifests[:1]
+        + spans
+        + grouped["metric"]
+        + grouped["cost_trace"]
+        + grouped["event"]
+        + passthrough
+    )
+
+
+def _synthesize_manifest(
+    metas: list[dict[str, Any]],
+    spans: list[dict[str, Any]],
+    metrics: list[dict[str, Any]],
+    events: list[dict[str, Any]],
+) -> dict[str, Any]:
+    """Best-effort manifest for a stream cut before clean close."""
+    from repro.obs.observatory.manifest import build_manifest
+
+    meta = dict(metas[0]) if metas else {}
+    sim_total = max(
+        (
+            float(s.get("sim_start", 0.0) or 0.0)
+            + max(0.0, float(s.get("sim_seconds", 0.0) or 0.0))
+            for s in spans
+        ),
+        default=0.0,
+    )
+    manifest = build_manifest(meta, spans, metrics, events, sim_total)
+    record = manifest.to_record()
+    record["synthesized"] = True
+    return record
+
+
+def is_stream_file(path: str | Path) -> bool:
+    """Does this file start with a ``stream_meta`` header record?
+
+    Only the first line is inspected — stream writers emit the header
+    before anything else, and torn writes only ever affect the tail.
+    """
+    try:
+        with Path(path).open("r", encoding="utf-8", errors="replace") as fh:
+            first = fh.readline().strip()
+    except OSError:
+        return False
+    if not first:
+        return False
+    try:
+        record = json.loads(first)
+    except json.JSONDecodeError:
+        return False
+    return isinstance(record, dict) and record.get("type") == "stream_meta"
+
+
+def load_records(path: str | Path) -> list[dict[str, Any]]:
+    """Load telemetry records from an export *or* a live stream.
+
+    Streams (identified by their ``stream_meta`` header) are merged with
+    their worker siblings, tolerating a torn final line — their writer
+    may have crashed mid-record, by design.  Plain exports are written
+    atomically, so they keep the strict :func:`read_jsonl` contract:
+    corruption raises with the offending line's location.
+    """
+    if is_stream_file(path):
+        return merge_streams(path)
+    from repro.obs.export import read_jsonl
+
+    return read_jsonl(path)
+
+
+# ---------------------------------------------------------------------------
+# Serving snapshots and the ops view
+# ---------------------------------------------------------------------------
+
+
+def build_serve_snapshot(
+    metrics: Iterable[Any],
+    *,
+    sim_now_s: float,
+    breaker_state: str,
+    queue_depth: int,
+    prefixes: tuple[str, ...] = ("serve.", "spmm."),
+) -> dict[str, Any]:
+    """One periodic snapshot of the serving loop's observable state.
+
+    Embeds the current records of every metric under ``prefixes`` so a
+    follower can compute rates between consecutive snapshots without
+    replaying the whole run.
+    """
+    metric_records = [
+        m.to_record()
+        for m in metrics
+        if m.name.startswith(prefixes)
+    ]
+    return {
+        "type": SNAPSHOT_RECORD_TYPE,
+        "sim_now_s": float(sim_now_s),
+        "breaker_state": str(breaker_state),
+        "queue_depth": int(queue_depth),
+        "metrics": metric_records,
+    }
+
+
+def latest_metric_records(
+    records: list[dict[str, Any]],
+) -> list[dict[str, Any]]:
+    """The freshest metric view a stream offers.
+
+    The last ``serve_snapshot`` wins (it is the live view); a closed
+    stream's final ``metric`` records win over any snapshot because they
+    are complete.
+    """
+    finals = [r for r in records if r.get("type") == "metric"]
+    if finals:
+        return finals
+    snapshots = [
+        r for r in records if r.get("type") == SNAPSHOT_RECORD_TYPE
+    ]
+    if snapshots:
+        return list(snapshots[-1].get("metrics") or [])
+    return []
+
+
+def _counter_value(
+    metric_records: list[dict[str, Any]],
+    name: str,
+    labels: dict[str, str] | None = None,
+) -> float:
+    from repro.obs.observatory.slo import _counter_total
+
+    return _counter_total(metric_records, name, labels)
+
+
+def _label_values(
+    metric_records: list[dict[str, Any]], name: str, label: str
+) -> dict[str, float]:
+    out: dict[str, float] = {}
+    for record in metric_records:
+        if record.get("name") != name:
+            continue
+        value = record.get("value")
+        if value is None:
+            continue
+        key = (record.get("labels") or {}).get(label, "")
+        out[key] = out.get(key, 0.0) + float(value)
+    return out
+
+
+def build_top_frame(
+    records: list[dict[str, Any]],
+    slo_spec: Any | None = None,
+) -> dict[str, Any]:
+    """Fold stream records into the numbers ``repro top`` renders.
+
+    Rates are simulated-time rates computed between the last two
+    snapshots when possible (the live view), falling back to run-wide
+    averages.  SLO burn rows appear when ``slo_spec`` is given.
+    """
+    from repro.obs.observatory.slo import (
+        _merged_latency_histogram,
+        evaluate_slo,
+    )
+
+    snapshots = [
+        r for r in records if r.get("type") == SNAPSHOT_RECORD_TYPE
+    ]
+    metric_records = latest_metric_records(records)
+    closed = any(r.get("type") == CLOSED_RECORD_TYPE for r in records)
+
+    sim_now = snapshots[-1]["sim_now_s"] if snapshots else 0.0
+    breaker = snapshots[-1]["breaker_state"] if snapshots else "-"
+    queue_depth = snapshots[-1]["queue_depth"] if snapshots else 0
+
+    submitted = _counter_value(metric_records, "serve.submitted")
+    statuses = _label_values(metric_records, "serve.responses", "status")
+    responded = sum(statuses.values())
+
+    # Between-snapshot rates (per simulated second) when two snapshots
+    # exist; otherwise the run-wide average.
+    req_rate = shed_rate = None
+    if len(snapshots) >= 2:
+        prev, last = snapshots[-2], snapshots[-1]
+        dt = float(last["sim_now_s"]) - float(prev["sim_now_s"])
+        if dt > 0:
+            prev_metrics = list(prev.get("metrics") or [])
+            last_metrics = list(last.get("metrics") or [])
+            d_sub = _counter_value(
+                last_metrics, "serve.submitted"
+            ) - _counter_value(prev_metrics, "serve.submitted")
+            d_shed = _counter_value(
+                last_metrics, "serve.responses", {"status": "shed"}
+            ) - _counter_value(
+                prev_metrics, "serve.responses", {"status": "shed"}
+            )
+            req_rate = d_sub / dt
+            shed_rate = d_shed / dt
+    if req_rate is None and sim_now > 0:
+        req_rate = submitted / sim_now
+        shed_rate = statuses.get("shed", 0.0) / sim_now
+
+    histogram = _merged_latency_histogram(metric_records, None)
+    p50 = histogram.quantile(0.5) if histogram is not None else math.nan
+    p99 = histogram.quantile(0.99) if histogram is not None else math.nan
+
+    fidelity = _label_values(metric_records, "serve.served", "fidelity")
+    tier_calls = _label_values(
+        metric_records, "serve.backend.calls", "fidelity"
+    )
+    tier_seconds = _label_values(
+        metric_records, "serve.backend.sim_seconds", "fidelity"
+    )
+
+    spmm_calls = _counter_value(metric_records, "spmm.calls")
+    spmm_nnz = _counter_value(metric_records, "spmm.nnz")
+    spmm_kernel_wall = _counter_value(
+        metric_records, "spmm.kernel_wall_seconds"
+    )
+    spmm_throughput = (
+        spmm_nnz / spmm_kernel_wall if spmm_kernel_wall > 0 else math.nan
+    )
+
+    slo_report = None
+    if slo_spec is not None and metric_records:
+        slo_report = evaluate_slo(metric_records, slo_spec)
+
+    return {
+        "closed": closed,
+        "n_snapshots": len(snapshots),
+        "sim_now_s": float(sim_now),
+        "breaker_state": breaker,
+        "queue_depth": int(queue_depth),
+        "submitted": submitted,
+        "responded": responded,
+        "statuses": statuses,
+        "req_rate": req_rate,
+        "shed_rate": shed_rate,
+        "latency_p50_s": p50,
+        "latency_p99_s": p99,
+        "fidelity": fidelity,
+        "tier_calls": tier_calls,
+        "tier_seconds": tier_seconds,
+        "spmm_calls": spmm_calls,
+        "spmm_nnz": spmm_nnz,
+        "spmm_kernel_wall_s": spmm_kernel_wall,
+        "spmm_nnz_per_wall_s": spmm_throughput,
+        "slo_report": slo_report,
+    }
+
+
+def _fmt(value: float | None, digits: int = 2, suffix: str = "") -> str:
+    if value is None or (isinstance(value, float) and not math.isfinite(value)):
+        return "-"
+    return f"{value:.{digits}f}{suffix}"
+
+
+def render_top(frame: dict[str, Any]) -> str:
+    """Render one dashboard frame as terminal text."""
+    from repro.bench.harness import format_table
+
+    state = "closed" if frame["closed"] else "live"
+    lines = [
+        f"repro top — {state}, sim t={_fmt(frame['sim_now_s'], 3, 's')},"
+        f" snapshots={frame['n_snapshots']}",
+        "",
+    ]
+    statuses = frame["statuses"]
+    total = max(frame["responded"], 1.0)
+    rows = [
+        ["submitted", f"{frame['submitted']:.0f}", _fmt(frame["req_rate"], 2, "/s")],
+        *[
+            [
+                status,
+                f"{statuses.get(status, 0.0):.0f}",
+                f"{100.0 * statuses.get(status, 0.0) / total:.1f}%",
+            ]
+            for status in ("served", "shed", "deadline_exceeded", "failed")
+        ],
+    ]
+    lines.append(format_table(["requests", "count", "rate"], rows))
+    lines.append("")
+    lines.append(
+        f"breaker={frame['breaker_state']}  queue_depth={frame['queue_depth']}"
+        f"  shed_rate={_fmt(frame['shed_rate'], 2, '/s')}"
+        f"  p50={_fmt(frame['latency_p50_s'], 4, 's')}"
+        f"  p99={_fmt(frame['latency_p99_s'], 4, 's')}"
+    )
+    if frame["fidelity"] or frame["tier_calls"]:
+        tiers = sorted(
+            set(frame["fidelity"]) | set(frame["tier_calls"])
+        )
+        tier_rows = [
+            [
+                tier or "?",
+                f"{frame['fidelity'].get(tier, 0.0):.0f}",
+                f"{frame['tier_calls'].get(tier, 0.0):.0f}",
+                _fmt(frame["tier_seconds"].get(tier), 4, "s"),
+            ]
+            for tier in tiers
+        ]
+        lines.append("")
+        lines.append(
+            format_table(
+                ["tier", "served", "backend calls", "sim seconds"], tier_rows
+            )
+        )
+    if frame["spmm_calls"] > 0:
+        lines.append("")
+        lines.append(
+            f"spmm: calls={frame['spmm_calls']:.0f}"
+            f" nnz={frame['spmm_nnz']:.0f}"
+            f" kernel_wall={_fmt(frame['spmm_kernel_wall_s'], 3, 's')}"
+            f" throughput={_fmt(frame['spmm_nnz_per_wall_s'], 0, ' nnz/s')}"
+        )
+    if frame["slo_report"] is not None:
+        from repro.obs.observatory.slo import render_slo
+
+        lines.append("")
+        lines.append(render_slo(frame["slo_report"]))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Prometheus-style exposition
+# ---------------------------------------------------------------------------
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    clean = _PROM_BAD.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _prom_labels(labels: dict[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(str(k))}="{v}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def render_prom(metric_records: list[dict[str, Any]]) -> str:
+    """Prometheus text exposition of a set of metric records.
+
+    Counters get the conventional ``_total`` suffix; histograms expand
+    to ``_bucket``/``_sum``/``_count`` with cumulative ``le`` buckets.
+    Built for the future network front-end's ``/metrics`` endpoint to
+    serve verbatim.
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for record in sorted(
+        metric_records,
+        key=lambda r: (str(r.get("name", "")), str(r.get("labels", ""))),
+    ):
+        kind = record.get("kind")
+        name = _prom_name(str(record.get("name", "")))
+        if not name:
+            continue
+        labels = record.get("labels") or {}
+        if kind == "counter":
+            full = f"{name}_total"
+            if full not in seen_types:
+                lines.append(f"# TYPE {full} counter")
+                seen_types.add(full)
+            lines.append(
+                f"{full}{_prom_labels(labels)} {float(record.get('value', 0.0))}"
+            )
+        elif kind == "gauge":
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} gauge")
+                seen_types.add(name)
+            lines.append(
+                f"{name}{_prom_labels(labels)} {float(record.get('value', 0.0))}"
+            )
+        elif kind == "histogram":
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} histogram")
+                seen_types.add(name)
+            bounds = list(record.get("bounds") or [])
+            counts = list(record.get("bucket_counts") or [])
+            cumulative = 0.0
+            for bound, count in zip(bounds, counts):
+                cumulative += float(count)
+                le_labels = dict(labels)
+                le_labels["le"] = f"{float(bound):g}"
+                lines.append(
+                    f"{name}_bucket{_prom_labels(le_labels)} {cumulative:g}"
+                )
+            # Trailing counts beyond the bounds are the +inf overflow.
+            cumulative += sum(float(c) for c in counts[len(bounds):])
+            inf_labels = dict(labels)
+            inf_labels["le"] = "+Inf"
+            lines.append(
+                f"{name}_bucket{_prom_labels(inf_labels)} {cumulative:g}"
+            )
+            lines.append(
+                f"{name}_sum{_prom_labels(labels)}"
+                f" {float(record.get('sum', 0.0)):g}"
+            )
+            lines.append(
+                f"{name}_count{_prom_labels(labels)} {cumulative:g}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -23,7 +23,10 @@ honest as the codebase grows:
   (``repro perf-gate``, run as a CI job);
 - :mod:`~repro.obs.observatory.wallgate` — the opt-in wall-clock arm:
   median-of-k real-kernel timings gated with noise bands derived from
-  the stored baseline's dispersion (``repro perf-gate --wall``).
+  the stored baseline's dispersion (``repro perf-gate --wall``);
+- :mod:`~repro.obs.observatory.trend` — per-series trajectories with
+  sparklines over the accumulated ``BENCH_omega.json`` perf history
+  (``repro trend``).
 
 Everything here is pure post-processing of exported JSONL records; no
 embedding numerics are touched.
@@ -68,6 +71,12 @@ from repro.obs.observatory.slo import (
     render_slo,
 )
 from repro.obs.observatory.store import BaselineStore
+from repro.obs.observatory.trend import (
+    load_trajectory,
+    render_trend,
+    sparkline,
+    trajectory_series,
+)
 from repro.obs.observatory.wallgate import (
     WallProbe,
     WallReport,
@@ -104,15 +113,19 @@ __all__ = [
     "evaluate_slo",
     "git_sha",
     "hot_spans",
+    "load_trajectory",
     "manifest_from_records",
     "parse_collapsed",
     "render_diff",
     "render_gate",
     "render_slo",
+    "render_trend",
     "render_wall",
     "run_perf_gate",
     "run_suite",
     "run_wall_gate",
     "run_wall_suite",
+    "sparkline",
+    "trajectory_series",
     "write_collapsed",
 ]

@@ -28,6 +28,7 @@ from repro.obs.observatory.manifest import RunManifest, manifest_from_records
 #: Series groups a diff covers, in render order.
 GROUP_STAGES = "stage"
 GROUP_COSTS = "cost"
+GROUP_PROFILE = "profile"
 GROUP_METRICS = "metric"
 
 #: Row statuses.
@@ -115,6 +116,32 @@ def extract_cost_seconds(records: list[dict[str, Any]]) -> dict[str, float]:
     }
 
 
+def extract_profile_self_seconds(
+    records: list[dict[str, Any]],
+) -> dict[str, float]:
+    """Per-node simulated *self* seconds keyed by profile path.
+
+    Folds the export's spans through
+    :func:`~repro.obs.observatory.profile.build_profile` so the diff
+    sees hierarchical hot spots (``embed;factorization;spmm``) rather
+    than flat per-name aggregates — the ``repro diff --profile`` view.
+    Nodes with zero self time on both sides carry no signal and are
+    dropped by the caller's set union.
+    """
+    from repro.obs.observatory.profile import ROOT_NAME, build_profile
+
+    profile = build_profile(
+        [r for r in records if r.get("type") == "span"]
+    )
+    out: dict[str, float] = {}
+    for node in profile.walk():
+        if node.path == (ROOT_NAME,):
+            continue
+        if node.sim_self > 0.0:
+            out[";".join(node.path[1:])] = node.sim_self
+    return out
+
+
 def extract_metric_values(
     records: list[dict[str, Any]],
 ) -> dict[str, float]:
@@ -164,8 +191,14 @@ def diff_runs(
     records_a: list[dict[str, Any]],
     records_b: list[dict[str, Any]],
     threshold: float = 0.05,
+    include_profile: bool = False,
 ) -> DiffReport:
-    """Compare two telemetry exports; ``records_a`` is the baseline."""
+    """Compare two telemetry exports; ``records_a`` is the baseline.
+
+    With ``include_profile``, the hierarchical profiles are compared
+    too: per-node simulated self-time deltas, threshold-gated like the
+    stage series.
+    """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
     report = DiffReport(
@@ -191,6 +224,16 @@ def diff_runs(
             gated=True,
         )
     )
+    if include_profile:
+        report.rows.extend(
+            _diff_series(
+                GROUP_PROFILE,
+                extract_profile_self_seconds(records_a),
+                extract_profile_self_seconds(records_b),
+                threshold,
+                gated=True,
+            )
+        )
     report.rows.extend(
         _diff_series(
             GROUP_METRICS,
@@ -227,13 +270,14 @@ def render_diff(report: DiffReport) -> str:
     def fmt(group: str, value: float | None) -> str:
         if value is None:
             return "-"
-        if group in (GROUP_STAGES, GROUP_COSTS):
+        if group in (GROUP_STAGES, GROUP_COSTS, GROUP_PROFILE):
             return format_seconds(value)
         return f"{value:.6g}"
 
     for group, title, gated in (
         (GROUP_STAGES, "Per-stage simulated seconds", True),
         (GROUP_COSTS, "Cost-ledger categories", True),
+        (GROUP_PROFILE, "Profile-node simulated self seconds", True),
         (GROUP_METRICS, "Metrics (context only, not gated)", False),
     ):
         rows = [r for r in report.rows if r.group == group]

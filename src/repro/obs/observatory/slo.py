@@ -28,6 +28,14 @@ Kinds:
   ``target`` itself.
 - ``breaker_trips`` — at most ``target`` circuit-breaker trips; burn is
   trips / target.
+- ``stage_seconds`` — the simulated seconds of one pipeline stage
+  (spans named ``stage``, summed over the export) must stay at or below
+  ``target`` — the embed pipeline's per-stage budget; burn is
+  observed / target.
+- ``checkpoint_overhead_fraction`` — the checkpointing layer's
+  simulated seconds (``checkpoint.sim_seconds``) as a fraction of the
+  embedding pipeline's (``embed.sim_seconds``) must stay at or below
+  ``target``; burn is fraction / target.
 
 Burn rates above 1.0 mean the objective's budget is exhausted — the
 pass/fail flag and the burn rate always agree on which side of the
@@ -50,6 +58,8 @@ SLO_KINDS = (
     "served_fraction",
     "status_fraction",
     "breaker_trips",
+    "stage_seconds",
+    "checkpoint_overhead_fraction",
 )
 
 
@@ -66,6 +76,8 @@ class SLOObjective:
         q: quantile in (0, 1) (``latency_quantile`` only).
         klass: restrict to one request class (``latency_quantile``).
         status: response status to bound (``status_fraction`` only).
+        stage: span name whose sim seconds are budgeted
+            (``stage_seconds`` only).
     """
 
     name: str
@@ -74,6 +86,7 @@ class SLOObjective:
     q: float | None = None
     klass: str | None = None
     status: str | None = None
+    stage: str | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in SLO_KINDS:
@@ -87,13 +100,22 @@ class SLOObjective:
                 )
             if self.target <= 0:
                 raise ValueError(f"target must be > 0 s, got {self.target}")
-        elif self.kind in ("served_fraction", "status_fraction"):
+        elif self.kind in (
+            "served_fraction",
+            "status_fraction",
+            "checkpoint_overhead_fraction",
+        ):
             if not 0.0 <= self.target <= 1.0:
                 raise ValueError(
                     f"{self.kind} target must be in [0, 1], got {self.target}"
                 )
             if self.kind == "status_fraction" and not self.status:
                 raise ValueError("status_fraction needs a response status")
+        elif self.kind == "stage_seconds":
+            if not self.stage:
+                raise ValueError("stage_seconds needs a span (stage) name")
+            if self.target <= 0:
+                raise ValueError(f"target must be > 0 s, got {self.target}")
         elif self.target < 0:
             raise ValueError(f"target must be >= 0, got {self.target}")
 
@@ -103,7 +125,7 @@ class SLOObjective:
             "kind": self.kind,
             "target": self.target,
         }
-        for key in ("q", "klass", "status"):
+        for key in ("q", "klass", "status", "stage"):
             value = getattr(self, key)
             if value is not None:
                 out[key] = value
@@ -118,6 +140,7 @@ class SLOObjective:
             q=float(payload["q"]) if payload.get("q") is not None else None,
             klass=payload.get("klass"),
             status=payload.get("status"),
+            stage=payload.get("stage"),
         )
 
 
@@ -344,11 +367,70 @@ def _evaluate_breaker_trips(
     )
 
 
+def _evaluate_stage_seconds(
+    objective: SLOObjective, records: list[dict[str, Any]]
+) -> ObjectiveResult:
+    seconds = 0.0
+    n_spans = 0
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        if record.get("name") != objective.stage:
+            continue
+        seconds += float(record.get("sim_seconds", 0.0) or 0.0)
+        n_spans += 1
+    if n_spans == 0:
+        return ObjectiveResult(
+            objective=objective,
+            value=math.nan,
+            passed=True,
+            burn_rate=0.0,
+            detail=f"no {objective.stage!r} spans",
+        )
+    burn = seconds / objective.target if objective.target > 0 else math.inf
+    return ObjectiveResult(
+        objective=objective,
+        value=seconds,
+        passed=seconds <= objective.target,
+        burn_rate=burn,
+        detail=f"{n_spans} span(s)",
+    )
+
+
+def _evaluate_checkpoint_overhead(
+    objective: SLOObjective, records: list[dict[str, Any]]
+) -> ObjectiveResult:
+    checkpoint = _counter_total(records, "checkpoint.sim_seconds")
+    embed = _counter_total(records, "embed.sim_seconds")
+    if embed == 0:
+        return ObjectiveResult(
+            objective=objective,
+            value=math.nan,
+            passed=True,
+            burn_rate=0.0,
+            detail="no embed.sim_seconds recorded",
+        )
+    value = checkpoint / embed
+    if objective.target > 0:
+        burn = value / objective.target
+    else:
+        burn = 0.0 if value == 0 else math.inf
+    return ObjectiveResult(
+        objective=objective,
+        value=value,
+        passed=value <= objective.target,
+        burn_rate=burn,
+        detail=f"{checkpoint:.4g}s checkpoint / {embed:.4g}s embed",
+    )
+
+
 _EVALUATORS = {
     "latency_quantile": _evaluate_latency,
     "served_fraction": _evaluate_served_fraction,
     "status_fraction": _evaluate_status_fraction,
     "breaker_trips": _evaluate_breaker_trips,
+    "stage_seconds": _evaluate_stage_seconds,
+    "checkpoint_overhead_fraction": _evaluate_checkpoint_overhead,
 }
 
 
@@ -369,7 +451,7 @@ def render_slo(report: SLOReport) -> str:
     rows = []
     for result in report.results:
         objective = result.objective
-        if objective.kind == "latency_quantile":
+        if objective.kind in ("latency_quantile", "stage_seconds"):
             value = (
                 format_seconds(result.value)
                 if not math.isnan(result.value)

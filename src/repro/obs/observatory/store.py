@@ -110,3 +110,33 @@ class BaselineStore:
         return sorted(
             p.stem for p in self.objects_dir.glob("*.json") if p.is_file()
         )
+
+    # -- maintenance -----------------------------------------------------
+
+    def referenced_keys(self) -> set[str]:
+        """Keys some ref currently points at."""
+        out: set[str] = set()
+        for name in self.names():
+            key = self.resolve(name)
+            if key is not None:
+                out.add(key)
+        return out
+
+    def unreferenced_keys(self) -> list[str]:
+        """Objects no ref points at (gc candidates), sorted."""
+        referenced = self.referenced_keys()
+        return [key for key in self.keys() if key not in referenced]
+
+    def gc(self, dry_run: bool = True) -> list[str]:
+        """Drop every unreferenced object; returns the doomed keys.
+
+        Dry-run by default: the candidate list is returned but nothing
+        is deleted until ``dry_run=False``.  Referenced objects are
+        never touched, so a named baseline's current payload always
+        survives — only the unnamed history goes.
+        """
+        doomed = self.unreferenced_keys()
+        if not dry_run:
+            for key in doomed:
+                (self.objects_dir / f"{key}.json").unlink()
+        return doomed

@@ -1,0 +1,140 @@
+"""Perf-history trends over the ``BENCH_omega.json`` trajectory.
+
+``repro trend`` turns the append-only trajectory (perf-gate points with
+their ``stages`` dicts, ``bench_parallel_scaling`` points with nested
+per-worker measurements) into per-series trajectories and renders each
+as a first/last/delta row with a unicode sparkline — the ten-second
+answer to "is the cost model drifting commit over commit?".
+
+The trajectory is heterogeneous by design: every producer appends its
+own point shape.  Series extraction is therefore shape-aware but
+lenient — unknown point shapes contribute nothing rather than failing,
+so a new producer never breaks ``repro trend`` retroactively.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+#: Ramp used for sparklines, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def load_trajectory(path: str | Path) -> list[dict[str, Any]]:
+    """Load a trajectory file; missing file is an empty history."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    loaded = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(loaded, list):
+        raise ValueError(
+            f"trajectory {path} is not a JSON list (got {type(loaded).__name__})"
+        )
+    return [p for p in loaded if isinstance(p, dict)]
+
+
+def extract_point_series(point: dict[str, Any]) -> dict[str, float]:
+    """Flatten one trajectory point into named numeric series.
+
+    Perf-gate points contribute ``stages.<name>``; benchmark points with
+    a nested ``points`` list (``bench_parallel_scaling``) contribute
+    ``<suite>.<backend>.w<workers>.<field>``.  Anything unrecognized is
+    skipped.
+    """
+    out: dict[str, float] = {}
+    stages = point.get("stages")
+    if isinstance(stages, dict):
+        for name, value in stages.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"stages.{name}"] = float(value)
+    inner = point.get("points")
+    if isinstance(inner, list):
+        suite = point.get("suite") or "bench"
+        for sub in inner:
+            if not isinstance(sub, dict):
+                continue
+            backend = sub.get("backend", "?")
+            workers = sub.get("workers", "?")
+            for field in ("kernel_wall_s", "speedup"):
+                value = sub.get(field)
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    out[f"{suite}.{backend}.w{workers}.{field}"] = float(value)
+    return out
+
+
+def trajectory_series(
+    points: list[dict[str, Any]],
+) -> dict[str, list[float]]:
+    """Per-series value sequences, in trajectory (append) order.
+
+    A series only advances on points that carry it, so perf-gate and
+    benchmark histories interleave without padding each other with
+    gaps.
+    """
+    series: dict[str, list[float]] = {}
+    for point in points:
+        for name, value in extract_point_series(point).items():
+            series.setdefault(name, []).append(value)
+    return series
+
+
+def sparkline(values: list[float]) -> str:
+    """Min-max scaled unicode sparkline; flat series render mid-ramp."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi <= lo:
+        return SPARK_CHARS[len(SPARK_CHARS) // 2] * len(values)
+    span = hi - lo
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(SPARK_CHARS) - 1))
+        out.append(SPARK_CHARS[idx])
+    return "".join(out)
+
+
+def render_trend(
+    points: list[dict[str, Any]], prefix: str | None = None
+) -> str:
+    """Plain-text trend table over a loaded trajectory.
+
+    ``prefix`` filters the series (``stages.`` shows only the perf-gate
+    history).  Each row: series, sample count, first, last, relative
+    change first->last, sparkline.
+    """
+    from repro.bench.harness import format_table
+
+    series = trajectory_series(points)
+    if prefix:
+        series = {k: v for k, v in series.items() if k.startswith(prefix)}
+    if not series:
+        return "no trajectory series" + (
+            f" matching prefix {prefix!r}" if prefix else ""
+        )
+    rows = []
+    for name in sorted(series):
+        values = series[name]
+        first, last = values[0], values[-1]
+        if first != 0.0:
+            delta = f"{(last - first) / abs(first) * 100:+.1f}%"
+        else:
+            delta = "-"
+        rows.append(
+            [
+                name,
+                str(len(values)),
+                f"{first:.6g}",
+                f"{last:.6g}",
+                delta,
+                sparkline(values),
+            ]
+        )
+    return format_table(
+        ["series", "n", "first", "last", "delta", "trend"],
+        rows,
+        title=f"trajectory trends ({len(points)} points)",
+    )

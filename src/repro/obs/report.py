@@ -257,5 +257,12 @@ def render_report(records: list[dict[str, Any]]) -> str:
 
 
 def render_report_file(path: str | Path) -> str:
-    """Load a telemetry JSONL file and render its report."""
-    return render_report(read_jsonl(path))
+    """Load a telemetry JSONL file and render its report.
+
+    Live streams load through :func:`repro.obs.live.load_records`, so a
+    stream that was cut mid-run (torn last line, sibling worker files)
+    still renders instead of raising.
+    """
+    from repro.obs.live import load_records
+
+    return render_report(load_records(path))

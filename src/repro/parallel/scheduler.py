@@ -16,13 +16,15 @@ bit-identical output.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Callable, Protocol, runtime_checkable
+from typing import Any, Callable, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.formats.csdb import CSDBMatrix
 from repro.memsim.clock import SimClock
+from repro.obs.live import TraceContext, next_span_uid, partition_span_payload
 
 
 @runtime_checkable
@@ -36,12 +38,19 @@ class KernelExecutor(Protocol):
         ranges: list[tuple[int, int]],
         output: np.ndarray,
         budget_bytes: int | None = None,
+        trace_ctx: TraceContext | None = None,
+        span_sink: Callable[[dict[str, Any]], Any] | None = None,
     ) -> None:
         """Compute ``matrix @ dense`` for CSDB row ``ranges`` into ``output``.
 
         ``output`` has shape ``(n_rows, d)`` in *original* row order and
         is fully overwritten: covered rows receive their products, rows
         outside every range are zeroed.
+
+        With ``trace_ctx`` given, the backend measures each partition
+        (kernel wall, scatter wall, rows/nnz) and feeds one span payload
+        per partition to ``span_sink`` — the trace-propagation seam both
+        backends honour so per-partition telemetry is backend-agnostic.
         """
         ...
 
@@ -81,16 +90,39 @@ class SimulatedExecutor:
         ranges: list[tuple[int, int]],
         output: np.ndarray,
         budget_bytes: int | None = None,
+        trace_ctx: TraceContext | None = None,
+        span_sink: Callable[[dict[str, Any]], Any] | None = None,
     ) -> None:
         """Serial execution of the kernel-dispatch seam."""
         output[:] = 0.0
+        nnz_prefix = (
+            matrix.nnz_prefix()
+            if trace_ctx is not None and span_sink is not None
+            else None
+        )
         for row_start, row_end in ranges:
             if row_end <= row_start:
                 continue
-            rows = slice(int(row_start), int(row_end))
-            output[matrix.perm[rows]] = matrix.spmm_rows(
-                dense, int(row_start), int(row_end), budget_bytes=budget_bytes
+            row_start, row_end = int(row_start), int(row_end)
+            kernel_start = time.perf_counter()
+            partial = matrix.spmm_rows(
+                dense, row_start, row_end, budget_bytes=budget_bytes
             )
+            kernel_end = time.perf_counter()
+            output[matrix.perm[row_start:row_end]] = partial
+            if nnz_prefix is not None:
+                scatter_end = time.perf_counter()
+                span_sink(
+                    partition_span_payload(
+                        trace_ctx,
+                        row_start=row_start,
+                        row_end=row_end,
+                        nnz=int(nnz_prefix[row_end] - nnz_prefix[row_start]),
+                        kernel_wall_s=kernel_end - kernel_start,
+                        scatter_wall_s=scatter_end - kernel_end,
+                        uid=next_span_uid(),
+                    )
+                )
 
     def run(self, tasks: list[ThreadTask]) -> float:
         """Run all tasks; returns the makespan after a barrier.

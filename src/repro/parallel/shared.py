@@ -21,6 +21,15 @@ Design invariants:
 - **Crash safety.**  A worker death or in-worker exception surfaces as a
   typed :class:`WorkerCrashError`; the pool tears down and every shared
   segment it created is unlinked before the error propagates.
+- **Observable workers.**  When the engine passes a
+  :class:`~repro.obs.live.TraceContext`, each worker measures its
+  partition (queue wait, kernel wall, scatter wall, rows, nnz) and ships
+  a span payload back with the ack — on the error ack too, so partition
+  telemetry survives the :class:`WorkerCrashError` path.  With a live
+  stream attached, workers additionally append their spans to sibling
+  stream files (``<stream>.w<pid>``) that
+  :func:`~repro.obs.live.merge_streams` stitches back together even if
+  the coordinator never gets the ack.
 
 The pool is lazy (no processes are spawned until the first dispatched
 kernel) and process-wide pools are shared across engines via
@@ -35,8 +44,10 @@ import multiprocessing
 import os
 import queue as queue_module
 import secrets
+import time
 import weakref
 from multiprocessing import shared_memory
+from typing import Any, Callable
 
 import numpy as np
 
@@ -47,6 +58,12 @@ from repro.formats.csdb import (
     SharedCSDBHandle,
     attach_shared_array,
     unlink_segment,
+)
+from repro.obs.live import (
+    TelemetryStream,
+    TraceContext,
+    next_span_uid,
+    partition_span_payload,
 )
 
 #: Default per-call completion deadline; a pool that produces neither
@@ -71,18 +88,48 @@ def _mp_context():
     )
 
 
+def _worker_stream(
+    streams: dict[str, "TelemetryStream | None"], ctx: TraceContext
+) -> "TelemetryStream | None":
+    """This worker's sibling stream file for a live run (cached).
+
+    Telemetry must never take a kernel down: a stream that cannot be
+    opened is remembered as ``None`` and silently skipped.
+    """
+    if ctx.live_path is None:
+        return None
+    path = f"{ctx.live_path}.w{os.getpid()}"
+    if path not in streams:
+        try:
+            streams[path] = TelemetryStream(
+                path, flush_every=1, role="worker", trace_id=ctx.trace_id
+            )
+        except OSError:
+            streams[path] = None
+    return streams[path]
+
+
 def _worker_main(jobs, results) -> None:
     """Worker loop: attach shared operands once, run kernels forever.
 
     Job shapes (plain tuples, picklable):
 
     - ``("spmm", call_id, job_id, handle, dense_spec, out_spec,
-      row_start, row_end, budget_bytes, retired)`` — run one partition;
+      row_start, row_end, budget_bytes, retired, ctx, enqueued_at)`` —
+      run one partition (``ctx`` is a
+      :class:`~repro.obs.live.TraceContext` or None; ``enqueued_at`` is
+      the coordinator's ``time.monotonic()`` at submission, comparable
+      across forked processes on Linux);
     - ``("crash", call_id, job_id)`` — hard-exit (crash-safety tests);
     - ``None`` — shut down.
+
+    With a trace context, the ack carries the partition's span payload:
+    ``("ok", call_id, job_id, payload)`` /
+    ``("error", call_id, job_id, message, payload)``.
     """
     matrices: dict[str, CSDBMatrix] = {}
     scratch: dict[str, tuple] = {}  # name -> (ndarray view, segment)
+    streams: dict[str, TelemetryStream | None] = {}
 
     def drop(names) -> None:
         for name in names:
@@ -95,9 +142,18 @@ def _worker_main(jobs, results) -> None:
             return
         kind = job[0]
         if kind == "crash":
+            # Flush acks already put for earlier jobs (the feeder
+            # thread is async and os._exit would drop them), then die
+            # hard: the crash job itself is never acked.
+            results.close()
+            results.join_thread()
             os._exit(17)
+        received_at = time.monotonic()
         _, call_id, job_id, handle, dense_spec, out_spec = job[:6]
-        row_start, row_end, budget_bytes, retired = job[6:]
+        row_start, row_end, budget_bytes, retired, ctx, enqueued_at = job[6:]
+        queue_wait_s = max(0.0, received_at - enqueued_at)
+        kernel_wall_s = scatter_wall_s = 0.0
+        nnz = 0
         try:
             drop(retired)
             matrix = matrices.get(handle.key)
@@ -121,16 +177,60 @@ def _worker_main(jobs, results) -> None:
                 out_spec.shape, dtype=np.dtype(out_spec.dtype),
                 buffer=out_seg.buf,
             )
+            if ctx is not None:
+                prefix = matrix.nnz_prefix()
+                nnz = int(prefix[row_end] - prefix[row_start])
+            kernel_start = time.perf_counter()
             partial = matrix.spmm_rows(
                 dense, row_start, row_end, budget_bytes=budget_bytes
             )
+            kernel_wall_s = time.perf_counter() - kernel_start
+            scatter_start = time.perf_counter()
             out[matrix.perm[row_start:row_end]] = partial
+            scatter_wall_s = time.perf_counter() - scatter_start
             del dense, out, partial
-            results.put(("ok", call_id, job_id))
+            payload = None
+            if ctx is not None:
+                payload = partition_span_payload(
+                    ctx,
+                    row_start=row_start,
+                    row_end=row_end,
+                    nnz=nnz,
+                    kernel_wall_s=kernel_wall_s,
+                    scatter_wall_s=scatter_wall_s,
+                    queue_wait_s=queue_wait_s,
+                    uid=next_span_uid(),
+                )
+                stream = _worker_stream(streams, ctx)
+                if stream is not None:
+                    stream.emit(payload)
+            results.put(("ok", call_id, job_id, payload))
         except BaseException as exc:  # noqa: BLE001 - forwarded to parent
             try:
+                payload = None
+                if ctx is not None:
+                    payload = partition_span_payload(
+                        ctx,
+                        row_start=row_start,
+                        row_end=row_end,
+                        nnz=nnz,
+                        kernel_wall_s=kernel_wall_s,
+                        scatter_wall_s=scatter_wall_s,
+                        queue_wait_s=queue_wait_s,
+                        status="error",
+                        uid=next_span_uid(),
+                    )
+                    stream = _worker_stream(streams, ctx)
+                    if stream is not None:
+                        stream.emit(payload)
                 results.put(
-                    ("error", call_id, job_id, f"{type(exc).__name__}: {exc}")
+                    (
+                        "error",
+                        call_id,
+                        job_id,
+                        f"{type(exc).__name__}: {exc}",
+                        payload,
+                    )
                 )
             except Exception:
                 os._exit(1)
@@ -313,12 +413,21 @@ class SharedMemoryExecutor:
         ranges: list[tuple[int, int]],
         output: np.ndarray,
         budget_bytes: int | None = None,
-        _inject_crash: bool = False,
+        trace_ctx: TraceContext | None = None,
+        span_sink: Callable[[dict[str, Any]], Any] | None = None,
+        _inject_crash: bool | int = False,
     ) -> None:
         """Execute CSDB row ranges on the pool, scattering into ``output``.
 
         ``output`` (original row order, shape ``(n_rows, d)``) receives
         the joined result; rows not covered by any range are zeroed.
+
+        With ``trace_ctx`` set, workers measure each partition and ship
+        a span payload back with the ack; payloads are fed to
+        ``span_sink`` (typically ``SpanTracer.attach``) as acks arrive —
+        including every payload received before a
+        :class:`WorkerCrashError` is raised, so partial telemetry
+        survives a crashed call.
 
         Raises:
             WorkerCrashError: a worker died, failed, or the call timed
@@ -344,12 +453,21 @@ class SharedMemoryExecutor:
         retired = tuple(self._retired)
         self._retired = []
 
+        # ``_inject_crash=True`` crashes every job; an integer N lets
+        # jobs 0..N-1 complete first, exercising the partial-telemetry
+        # crash path (payloads for completed partitions still arrive).
+        crash_from: int | None = None
+        if _inject_crash:
+            crash_from = 0 if _inject_crash is True else int(_inject_crash)
+
         self._call_seq += 1
         call_id = self._call_seq
         for job_id, (row_start, row_end) in enumerate(ranges):
             self._jobs.put(
                 (
-                    "crash" if _inject_crash else "spmm",
+                    "crash"
+                    if crash_from is not None and job_id >= crash_from
+                    else "spmm",
                     call_id,
                     job_id,
                     handle,
@@ -359,17 +477,48 @@ class SharedMemoryExecutor:
                     row_end,
                     budget_bytes,
                     retired if job_id == 0 else (),
+                    trace_ctx,
+                    time.monotonic(),
                 )
             )
-        self._await(call_id, len(ranges))
+        self._await(call_id, len(ranges), span_sink)
         out_view = self._scratch["out"].view(output.shape)
         np.copyto(output, out_view)
         del out_view
 
-    def _await(self, call_id: int, n_jobs: int) -> None:
-        """Barrier: collect one ack per job, watching worker liveness."""
-        import time
+    def _drain_payloads(
+        self,
+        call_id: int,
+        span_sink: Callable[[dict[str, Any]], Any] | None,
+    ) -> None:
+        """Best-effort sink of span payloads still queued at failure.
 
+        Called just before raising :class:`WorkerCrashError`: acks that
+        arrived between the last blocking get and the liveness check
+        still carry telemetry worth keeping.
+        """
+        if span_sink is None:
+            return
+        while True:
+            try:
+                ack = self._results.get_nowait()
+            except queue_module.Empty:
+                return
+            if ack[1] == call_id and ack[-1] is not None:
+                span_sink(ack[-1])
+
+    def _await(
+        self,
+        call_id: int,
+        n_jobs: int,
+        span_sink: Callable[[dict[str, Any]], Any] | None = None,
+    ) -> None:
+        """Barrier: collect one ack per job, watching worker liveness.
+
+        Span payloads riding on the acks are fed to ``span_sink``
+        immediately — before any failure is raised, so the coordinator
+        trace keeps every partition that completed.
+        """
         done = 0
         deadline = time.monotonic() + self.call_timeout_s
         while done < n_jobs:
@@ -378,6 +527,7 @@ class SharedMemoryExecutor:
             except queue_module.Empty:
                 dead = [p for p in self._workers if not p.is_alive()]
                 if dead:
+                    self._drain_payloads(call_id, span_sink)
                     codes = sorted({p.exitcode for p in dead})
                     raise self._fail(
                         f"{len(dead)} shared-memory worker(s) died"
@@ -385,6 +535,7 @@ class SharedMemoryExecutor:
                         f" {n_jobs - done} partition(s) outstanding"
                     )
                 if time.monotonic() > deadline:
+                    self._drain_payloads(call_id, span_sink)
                     raise self._fail(
                         f"shared-memory call timed out after"
                         f" {self.call_timeout_s:.0f}s"
@@ -393,6 +544,8 @@ class SharedMemoryExecutor:
                 continue
             if ack[1] != call_id:
                 continue  # stale ack from an abandoned call
+            if span_sink is not None and ack[-1] is not None:
+                span_sink(ack[-1])
             if ack[0] == "error":
                 raise self._fail(
                     f"shared-memory worker failed on partition"

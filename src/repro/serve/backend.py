@@ -177,6 +177,9 @@ class EmbeddingBackend:
             self._full if fidelity == FIDELITY_FULL else self._propagation
         )
         self.metrics.counter("serve.backend.calls", fidelity=fidelity).inc()
+        self.metrics.counter(
+            "serve.backend.sim_seconds", fidelity=fidelity
+        ).inc(seconds)
         return BackendResponse(self._rows(source, n_nodes), fidelity, seconds)
 
     def serve_cached(self, n_nodes: int) -> BackendResponse:
@@ -188,8 +191,10 @@ class EmbeddingBackend:
         self.metrics.counter(
             "serve.backend.calls", fidelity=FIDELITY_STALE
         ).inc()
+        seconds = self.cached_cost(n_nodes)
+        self.metrics.counter(
+            "serve.backend.sim_seconds", fidelity=FIDELITY_STALE
+        ).inc(seconds)
         return BackendResponse(
-            self._rows(cached, n_nodes),
-            FIDELITY_STALE,
-            self.cached_cost(n_nodes),
+            self._rows(cached, n_nodes), FIDELITY_STALE, seconds
         )

@@ -31,8 +31,9 @@ metrics plus latency histograms per request class.
 
 from __future__ import annotations
 
+import secrets
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 import numpy as np
@@ -164,6 +165,10 @@ class ServeResponse:
     arrival_s: float = 0.0
     completed_s: float | None = None
     error: str | None = None
+    #: Server-assigned trace id, unique per submitted request (bursts
+    #: included), so every served/shed/failed request is queryable in
+    #: the telemetry stream.
+    trace_id: str | None = None
 
     @property
     def latency_s(self) -> float | None:
@@ -267,13 +272,24 @@ class EmbeddingServer:
         metrics: MetricsRegistry | None = None,
         tracer: SpanTracer | None = None,
         faults: FaultInjector | None = None,
+        stream: Any | None = None,
+        snapshot_every: int = 50,
     ) -> None:
+        if snapshot_every < 1:
+            raise ValueError(
+                f"snapshot_every must be >= 1, got {snapshot_every}"
+            )
         self.backend = backend
         self.policy = policy or ServePolicy()
         self.clock = clock or VirtualClock()
         self.metrics = metrics if metrics is not None else backend.metrics
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.faults = faults if faults is not None else backend.faults
+        #: Live :class:`~repro.obs.live.TelemetryStream` to feed — one
+        #: ``serve_request`` event per response plus a ``serve_snapshot``
+        #: every ``snapshot_every`` responses (what ``repro top`` tails).
+        self.stream = stream
+        self.snapshot_every = snapshot_every
         self.breaker = CircuitBreaker(
             self.policy.breaker,
             clock=lambda: self.clock.now,
@@ -281,6 +297,11 @@ class EmbeddingServer:
             name="backend",
         )
         self._pending: deque[ServeRequest] = deque()
+        # Per-server token so trace ids stay unique across concurrently
+        # replaying servers that share one metrics registry.
+        self._trace_token = secrets.token_hex(4)
+        self._trace_seq = 0
+        self._trace_ids: dict[str, str] = {}
         # Touch the counters probes and smoke checks read, so they are
         # present (at zero) in every telemetry export.
         self.metrics.counter("serve.unhandled_exceptions")
@@ -350,6 +371,7 @@ class EmbeddingServer:
                         ),
                     )
         report.finished_at_s = self.clock.now
+        self._emit_snapshot()
         self.tracer.record(
             "serve_summary",
             submitted=report.submitted,
@@ -391,6 +413,7 @@ class EmbeddingServer:
                     )
             for arrival in arrivals:
                 report.submitted += 1
+                self._trace_ids[arrival.request_id] = self._next_trace_id()
                 self.metrics.counter("serve.submitted").inc()
                 if (
                     self.policy.shedding_enabled
@@ -513,7 +536,32 @@ class EmbeddingServer:
             return rung
         return None
 
+    def _next_trace_id(self) -> str:
+        """Unique per-request trace id (assigned at submission)."""
+        self._trace_seq += 1
+        return f"req-{self._trace_token}-{self._trace_seq:06d}"
+
+    def _emit_snapshot(self) -> None:
+        """Force-flushed snapshot of the live serving state."""
+        if self.stream is None:
+            return
+        from repro.obs.live import build_serve_snapshot
+
+        self.stream.emit(
+            build_serve_snapshot(
+                self.metrics,
+                sim_now_s=self.clock.now,
+                breaker_state=self.breaker.state,
+                queue_depth=len(self._pending),
+            )
+        )
+        self.stream.flush()
+
     def _respond(self, report: ServeReport, response: ServeResponse) -> None:
+        trace_id = self._trace_ids.pop(response.request_id, None)
+        if trace_id is None:
+            trace_id = self._next_trace_id()
+        response = replace(response, trace_id=trace_id)
         report.responses.append(response)
         self.metrics.counter(
             "serve.responses", status=response.status, klass=response.klass
@@ -527,3 +575,18 @@ class EmbeddingServer:
             self.metrics.histogram(
                 "serve.latency", klass=response.klass
             ).observe(latency)
+        if self.stream is not None:
+            self.stream.emit(
+                {
+                    "type": "serve_request",
+                    "trace_id": trace_id,
+                    "request_id": response.request_id,
+                    "klass": response.klass,
+                    "status": response.status,
+                    "fidelity": response.fidelity,
+                    "latency_s": latency,
+                    "sim_now_s": self.clock.now,
+                }
+            )
+            if len(report.responses) % self.snapshot_every == 0:
+                self._emit_snapshot()
