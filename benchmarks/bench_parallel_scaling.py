@@ -6,6 +6,11 @@ shared-memory pool at 2 and 4 workers, prints the speedup table, checks
 bit-identity of every parallel result against serial, and appends the
 measured speedups to the ``BENCH_omega.json`` trajectory.
 
+Each arm also runs one *instrumented* multiply with a real tracer, so
+the per-partition ``spmm_partition`` worker spans come back across the
+process boundary; their kernel walls give the partition imbalance
+(max/median) — the number EaTA allocation is supposed to hold near 1.
+
 Wall-clock speedup is a *physical* property: it requires free cores.
 The benchmark measures and reports honestly on any machine, and asserts
 the >= 1.5x 4-worker speedup target only where at least 4 cores are
@@ -32,6 +37,7 @@ from repro.graphs import rmat_edges
 from repro.obs.observatory import append_trajectory_point
 from repro.obs.observatory.manifest import git_sha
 from repro.obs.observatory.perfgate import DEFAULT_TRAJECTORY
+from repro.obs.tracer import SpanTracer
 from repro.parallel import close_shared_executors
 
 SCALE = 13
@@ -49,13 +55,16 @@ def _available_cores() -> int:
         return os.cpu_count() or 1
 
 
-def _engine(backend: ExecBackend, n_workers: int) -> SpMMEngine:
+def _engine(
+    backend: ExecBackend, n_workers: int, tracer: SpanTracer | None = None
+) -> SpMMEngine:
     return SpMMEngine(
         OMeGaConfig(
             n_threads=8,
             dim=DIM,
             parallel=ParallelConfig(backend=backend, n_workers=n_workers),
-        )
+        ),
+        tracer=tracer,
     )
 
 
@@ -70,6 +79,36 @@ def _median_kernel_wall(engine, matrix, dense) -> tuple[float, np.ndarray]:
     return statistics.median(samples), output
 
 
+def _partition_imbalance(
+    backend: ExecBackend, n_workers: int, matrix, dense
+) -> float:
+    """max/median per-partition kernel wall of one instrumented multiply.
+
+    The tracer makes the engine thread a trace context into the kernel
+    dispatch, so every partition (worker process or serial loop) ships
+    back an ``spmm_partition`` span with its own kernel wall.
+    """
+    tracer = SpanTracer()
+    engine = _engine(backend, n_workers, tracer=tracer)
+    engine.multiply(matrix, dense)  # pool warm-up (spans discarded below)
+    tracer.reset()
+    engine.multiply(matrix, dense)
+    walls = [
+        span.attributes["kernel_wall_s"]
+        for span in tracer.finished
+        if span.name == "spmm_partition"
+    ]
+    # 8 threads' worth of ranges — if the spans did not come back, the
+    # trace context never crossed the process boundary.
+    assert len(walls) >= 2, (
+        f"expected per-partition spans from {backend.value}, got {len(walls)}"
+    )
+    median = statistics.median(walls)
+    if median <= 0:
+        return float("inf")
+    return max(walls) / median
+
+
 def test_parallel_scaling(run_once):
     edges = rmat_edges(SCALE, edge_factor=EDGE_FACTOR, seed=SEED)
     n_nodes = 1 << SCALE
@@ -81,10 +120,16 @@ def test_parallel_scaling(run_once):
         serial_s, serial_out = _median_kernel_wall(
             _engine(ExecBackend.SIMULATED, 1), matrix, dense
         )
-        rows = [("serial", 1, serial_s, 1.0, True)]
+        serial_imb = _partition_imbalance(
+            ExecBackend.SIMULATED, 1, matrix, dense
+        )
+        rows = [("serial", 1, serial_s, 1.0, True, serial_imb)]
         for n_workers in (2, 4):
             wall_s, out = _median_kernel_wall(
                 _engine(ExecBackend.SHARED_MEMORY, n_workers), matrix, dense
+            )
+            imbalance = _partition_imbalance(
+                ExecBackend.SHARED_MEMORY, n_workers, matrix, dense
             )
             rows.append(
                 (
@@ -93,6 +138,7 @@ def test_parallel_scaling(run_once):
                     wall_s,
                     serial_s / wall_s if wall_s > 0 else float("inf"),
                     np.array_equal(out, serial_out),
+                    imbalance,
                 )
             )
         return rows
@@ -107,7 +153,7 @@ def test_parallel_scaling(run_once):
         nnz=int(matrix.nnz),
         cores=cores,
     )
-    for backend, workers, wall_s, speedup, identical in rows:
+    for backend, workers, wall_s, speedup, identical, imbalance in rows:
         session.event(
             "scaling_point",
             backend=backend,
@@ -115,11 +161,15 @@ def test_parallel_scaling(run_once):
             kernel_wall_s=wall_s,
             speedup=speedup,
             bit_identical=identical,
+            partition_imbalance=imbalance,
         )
     save_telemetry(session, "parallel_scaling")
 
     table = format_table(
-        ["backend", "workers", "kernel wall", "speedup", "bit-identical"],
+        [
+            "backend", "workers", "kernel wall", "speedup",
+            "bit-identical", "imbalance",
+        ],
         [
             [
                 backend,
@@ -127,8 +177,9 @@ def test_parallel_scaling(run_once):
                 format_seconds(wall_s),
                 f"{speedup:.2f}x",
                 "yes" if identical else "NO",
+                f"{imbalance:.2f}",
             ]
-            for backend, workers, wall_s, speedup, identical in rows
+            for backend, workers, wall_s, speedup, identical, imbalance in rows
         ],
         title=(
             f"Parallel scaling — R-MAT s{SCALE}, d={DIM},"
@@ -154,14 +205,19 @@ def test_parallel_scaling(run_once):
                     "kernel_wall_s": wall_s,
                     "speedup": speedup,
                     "bit_identical": identical,
+                    "partition_imbalance": imbalance,
                 }
-                for backend, workers, wall_s, speedup, identical in rows
+                for backend, workers, wall_s, speedup, identical, imbalance
+                in rows
             ],
         },
     )
 
     # Correctness is unconditional: every backend must agree bitwise.
-    assert all(identical for *_, identical in rows)
+    assert all(identical for *_, identical, _imb in rows)
+    # The imbalance ratio is max/median: finite and >= 1 by construction
+    # whenever real per-partition walls came back.
+    assert all(np.isfinite(imb) and imb >= 1.0 for *_, imb in rows)
     # Wall speedup needs physical cores; enforce the target only where
     # the machine can express it.
     four_worker = next(r for r in rows if r[1] == 4)

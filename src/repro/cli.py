@@ -644,6 +644,15 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         plan = FaultPlan.random_serve(
             seed=args.fault_seed, n_events=args.fault_events
         )
+        if args.shards:
+            # One seed drives both layers of chaos: serve-level stalls
+            # and process-level shard kills.
+            shard_plan = FaultPlan.random_shard(
+                seed=args.fault_seed, n_shards=args.shards, max_lookup=8
+            )
+            plan = FaultPlan(
+                events=plan.events + shard_plan.events, seed=plan.seed
+            )
     injector = FaultInjector(plan, metrics) if plan is not None else None
     if session is not None and plan is not None:
         session.event(
@@ -654,43 +663,72 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         plan.save(args.save_faults)
         print(f"fault plan written to {args.save_faults}")
 
-    backend = EmbeddingBackend(
-        embedder, edges, n_nodes, faults=injector, metrics=metrics
-    )
-    warmup_s = backend.warm_up()
-    per_node = backend.compute_cost(1)
-    if args.trace:
-        trace = RequestTrace.load(args.trace)
-    else:
-        trace = RequestTrace.synthesize(
-            seed=args.trace_seed,
-            n_requests=args.requests,
-            per_node_cost_s=per_node,
-            load=args.load,
-        )
-    if args.save_trace:
-        trace.save(args.save_trace)
-        print(f"request trace written to {args.save_trace}")
+    shard_info = None
+    if args.shards:
+        from repro.serve.sharded import ShardedEmbeddingBackend
+        from repro.shard import ShardPolicy, SupervisorPolicy
 
-    # Calibrate the time-based policy knobs to the mean interactive
-    # request (the class with the tight deadlines).
-    policy = ServePolicy.calibrated(
-        per_node * 8.5,
-        queue_limit=args.queue_limit,
-        breaker_enabled=not args.no_breaker,
-        shedding_enabled=not args.no_shedding,
-        deadline_aware=not args.no_deadline_aware,
-    )
-    server = EmbeddingServer(
-        backend,
-        policy,
-        clock=VirtualClock(),
-        metrics=metrics,
-        tracer=session.tracer if session else None,
-        faults=injector,
-        stream=session.stream if session else None,
-    )
-    report = server.run_trace(trace)
+        backend = ShardedEmbeddingBackend(
+            embedder,
+            edges,
+            n_nodes,
+            # --no-supervisor is the full unsupervised arm: no repairs
+            # AND no hedging, so a lost shard range is visibly lost.
+            shard_policy=ShardPolicy(
+                n_shards=args.shards,
+                hedge_enabled=not args.no_supervisor,
+            ),
+            supervisor_policy=(
+                None if args.no_supervisor else SupervisorPolicy()
+            ),
+            faults=injector,
+            metrics=metrics,
+            stream=session.stream if session else None,
+        )
+    else:
+        backend = EmbeddingBackend(
+            embedder, edges, n_nodes, faults=injector, metrics=metrics
+        )
+    try:
+        warmup_s = backend.warm_up()
+        per_node = backend.compute_cost(1)
+        if args.trace:
+            trace = RequestTrace.load(args.trace)
+        else:
+            trace = RequestTrace.synthesize(
+                seed=args.trace_seed,
+                n_requests=args.requests,
+                per_node_cost_s=per_node,
+                load=args.load,
+            )
+        if args.save_trace:
+            trace.save(args.save_trace)
+            print(f"request trace written to {args.save_trace}")
+
+        # Calibrate the time-based policy knobs to the mean interactive
+        # request (the class with the tight deadlines).
+        policy = ServePolicy.calibrated(
+            per_node * 8.5,
+            queue_limit=args.queue_limit,
+            breaker_enabled=not args.no_breaker,
+            shedding_enabled=not args.no_shedding,
+            deadline_aware=not args.no_deadline_aware,
+        )
+        server = EmbeddingServer(
+            backend,
+            policy,
+            clock=VirtualClock(),
+            metrics=metrics,
+            tracer=session.tracer if session else None,
+            faults=injector,
+            stream=session.stream if session else None,
+        )
+        report = server.run_trace(trace)
+        if args.shards:
+            shard_info = backend.shard_summary()
+    finally:
+        if args.shards:
+            backend.close()
     summary = report.summary()
     health = server.healthz()
 
@@ -710,6 +748,20 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         ["breaker trips", str(health["breaker_trips"]), ""],
         ["warmup (simulated)", format_seconds(warmup_s), ""],
     ]
+    if shard_info is not None:
+        rows += [
+            ["shards", str(shard_info["n_shards"]), ""],
+            ["shard restarts", str(shard_info["restarts"]), ""],
+            ["shard stale rows", str(shard_info["stale_rows"]), ""],
+            [
+                "shard hedged",
+                str(
+                    shard_info["hedged_checkpoint"]
+                    + shard_info["hedged_replica"]
+                ),
+                "",
+            ],
+        ]
     print(
         format_table(
             ["metric", "value", ""],
@@ -730,6 +782,8 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             unhandled_exceptions=health["unhandled_exceptions"],
             **summary,
         )
+        if shard_info is not None:
+            session.event("shard_summary", **shard_info)
     slo_ok = True
     if args.slo:
         from repro.obs.observatory import SLOSpec, evaluate_slo, render_slo
@@ -1044,6 +1098,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo", metavar="SPEC",
         help="evaluate a JSON SLO spec over the replay's telemetry"
         " (per-objective pass/fail + burn rate; violations exit nonzero)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="serve the full tier from N shard processes (0 = monolithic);"
+        " with --fault-seed the plan also gets seeded shard chaos",
+    )
+    serve.add_argument(
+        "--no-supervisor", action="store_true",
+        help="disable the shard supervisor (crashed shards stay down)",
     )
     _add_engine_arguments(serve)
 

@@ -60,6 +60,10 @@ def optimal_partitions(
     return min(max(n, 1), dim)
 
 
+#: Recognised :attr:`RetryPolicy.jitter` modes.
+JITTER_MODES = ("none", "full")
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Exponential backoff for transient streaming-load failures.
@@ -69,11 +73,20 @@ class RetryPolicy:
             :class:`~repro.faults.RetryExhaustedError`.
         base_delay_seconds: backoff before the first retry.
         multiplier: per-retry backoff growth factor.
+        jitter: ``"none"`` (pure exponential, the historical behaviour)
+            or ``"full"`` — each delay is drawn uniformly from
+            ``[0, base * multiplier**attempt]`` (the AWS "full jitter"
+            scheme), decorrelating retry storms when many loads fail at
+            once.
+        jitter_seed: seed of the policy's private RNG, so a jittered
+            simulation stays deterministic and replayable.
     """
 
     max_retries: int = 3
     base_delay_seconds: float = 1e-3
     multiplier: float = 2.0
+    jitter: str = "none"
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -89,10 +102,27 @@ class RetryPolicy:
             raise ValueError(
                 f"multiplier must be >= 1, got {self.multiplier}"
             )
+        if self.jitter not in JITTER_MODES:
+            raise ValueError(
+                f"jitter must be one of {JITTER_MODES}, got {self.jitter!r}"
+            )
+        import numpy as np
+
+        object.__setattr__(
+            self, "_rng", np.random.default_rng(self.jitter_seed)
+        )
 
     def delay(self, attempt: int) -> float:
-        """Backoff charged after the ``attempt``-th failure (0-based)."""
-        return self.base_delay_seconds * self.multiplier**attempt
+        """Backoff charged after the ``attempt``-th failure (0-based).
+
+        With full jitter the policy's seeded RNG advances per call, so
+        the delay *sequence* (not each individual delay) is the
+        deterministic, replayable unit.
+        """
+        cap = self.base_delay_seconds * self.multiplier**attempt
+        if self.jitter == "none":
+            return cap
+        return float(self._rng.uniform(0.0, cap))
 
 
 #: Default backoff used by the engine when none is configured.
@@ -247,5 +277,8 @@ class StreamingLoader:
             if metrics is not None:
                 metrics.counter("asl.retries").inc()
                 metrics.counter("asl.retry_seconds").inc(wasted + delay)
+                metrics.histogram(
+                    "asl.retry_delay", jitter=retry.jitter
+                ).observe(delay)
             if attempts > retry.max_retries:
                 raise RetryExhaustedError(site, attempts)

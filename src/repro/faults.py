@@ -48,8 +48,18 @@ FAULT_KINDS = ("crash", "transient_load", "pm_degrade", "tier_loss")
 #: time; a ``request_burst`` injects ``count`` duplicate arrivals at the
 #: admission queue, stressing the shedding path.
 SERVE_FAULT_KINDS = ("backend_stall", "request_burst")
+#: Shard-store fault kinds (:mod:`repro.shard`): a ``shard_crash`` hard
+#: kills one shard process, a ``shard_hang`` freezes it for ``seconds``
+#: of wall time (the process stops heartbeating *and* serving), and a
+#: ``heartbeat_loss`` mutes the heartbeat while the shard keeps serving
+#: (exercising the supervisor's false-positive restart path).  For these
+#: kinds ``site`` names the target shard (``"shard.<i>"``) and ``count``
+#: is the 1-based scatter-gather lookup sequence number at which the
+#: event fires, so a seeded chaos run kills a shard at a deterministic
+#: point mid-serve.
+SHARD_FAULT_KINDS = ("shard_crash", "shard_hang", "heartbeat_loss")
 #: Every kind a :class:`FaultEvent` accepts.
-ALL_FAULT_KINDS = FAULT_KINDS + SERVE_FAULT_KINDS
+ALL_FAULT_KINDS = FAULT_KINDS + SERVE_FAULT_KINDS + SHARD_FAULT_KINDS
 #: Crash phases relative to a stage's WAL commit.
 CRASH_PHASES = ("after_commit", "before_commit")
 #: Default injection site of transient streaming-load failures.
@@ -112,8 +122,10 @@ class FaultEvent:
             :data:`BACKEND_SITE` for ``backend_stall``,
             :data:`ARRIVAL_SITE` for ``request_burst``.
         count: how many failures a ``transient_load``/``backend_stall``
-            event injects (consecutive attempts that fail), or how many
-            duplicate arrivals a ``request_burst`` adds.
+            event injects (consecutive attempts that fail), how many
+            duplicate arrivals a ``request_burst`` adds, or — for the
+            shard kinds — the 1-based lookup sequence number at which
+            the fault fires.
         factor: bandwidth multiplier of a ``pm_degrade`` event
             (0 < factor <= 1; 0.5 halves the PM streaming bandwidth).
         phase: when a ``crash`` fires relative to the stage's WAL
@@ -147,6 +159,15 @@ class FaultEvent:
             raise ValueError(f"seconds must be >= 0, got {self.seconds}")
         if self.kind == "backend_stall" and self.seconds == 0.0:
             raise ValueError("backend_stall events need seconds > 0")
+        if self.kind == "shard_hang" and self.seconds == 0.0:
+            raise ValueError("shard_hang events need seconds > 0")
+        if self.kind in SHARD_FAULT_KINDS and not self.site.startswith(
+            "shard."
+        ):
+            raise ValueError(
+                f"{self.kind} events target a 'shard.<i>' site,"
+                f" got {self.site!r}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form."""
@@ -286,6 +307,45 @@ class FaultPlan:
                 )
         return cls(events=tuple(events), seed=seed)
 
+    @classmethod
+    def random_shard(
+        cls,
+        seed: int,
+        n_shards: int = 4,
+        n_events: int = 2,
+        max_lookup: int = 40,
+        hang_seconds: tuple[float, float] = (0.5, 2.0),
+    ) -> "FaultPlan":
+        """Seeded shard-chaos plan: crashes, hangs and heartbeat loss.
+
+        Draws ``n_events`` events over the shard kinds (crash-biased —
+        a dead shard is the recovery path worth exercising most), each
+        targeting a uniform shard and firing at a uniform lookup
+        sequence number in ``[1, max_lookup]``.  The same seed always
+        yields the same plan, so a shard-kill chaos run replays exactly.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        kinds = ("shard_crash", "shard_crash", "shard_hang", "heartbeat_loss")
+        events = []
+        for _ in range(n_events):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            site = f"shard.{int(rng.integers(n_shards))}"
+            at = int(rng.integers(1, max_lookup + 1))
+            if kind == "shard_hang":
+                events.append(
+                    FaultEvent(
+                        kind,
+                        site,
+                        count=at,
+                        seconds=float(rng.uniform(*hang_seconds)),
+                    )
+                )
+            else:
+                events.append(FaultEvent(kind, site, count=at))
+        return cls(events=tuple(events), seed=seed)
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form."""
         return {
@@ -410,6 +470,28 @@ class FaultInjector:
                 entry[1] = 0
                 self.metrics.counter(
                     "faults.injected", kind="request_burst"
+                ).inc()
+                return event
+        return None
+
+    def take_shard_fault(self, site: str, seq: int) -> FaultEvent | None:
+        """Consume one armed shard fault at ``site`` due by lookup ``seq``.
+
+        Shard events interpret ``count`` as the 1-based scatter-gather
+        lookup sequence number at which they fire; each event fires
+        exactly once, at the first lookup whose sequence reaches it.
+        """
+        for entry in self._remaining:
+            event, remaining = entry
+            if (
+                event.kind in SHARD_FAULT_KINDS
+                and event.site == site
+                and remaining > 0
+                and seq >= event.count
+            ):
+                entry[1] = 0
+                self.metrics.counter(
+                    "faults.injected", kind=event.kind
                 ).inc()
                 return event
         return None

@@ -341,21 +341,44 @@ class SharedMemoryExecutor:
         self._workers = []
 
     def _release_shared(self) -> None:
+        """Unlink every owned segment, even when some releases fail.
+
+        Teardown often runs on an already-failing path (a worker crash,
+        a double fault); one segment refusing to close must not leave
+        the rest leaked in ``/dev/shm``.  Every release is attempted,
+        the bookkeeping is cleared regardless, and the first failure is
+        re-raised once the sweep is complete.
+        """
+        first: BaseException | None = None
         for _, shared_mat in self._matrices.values():
-            shared_mat.close()
+            try:
+                shared_mat.close()
+            except BaseException as exc:  # noqa: BLE001 - sweep all
+                first = first if first is not None else exc
         self._matrices = {}
         for seg in self._scratch.values():
-            seg.release()
+            try:
+                seg.release()
+            except BaseException as exc:  # noqa: BLE001 - sweep all
+                first = first if first is not None else exc
         self._scratch = {}
         for name in self._retired:
-            unlink_segment(name)
+            try:
+                unlink_segment(name)
+            except BaseException as exc:  # noqa: BLE001 - sweep all
+                first = first if first is not None else exc
         self._retired = []
+        if first is not None:
+            raise first
 
     def _fail(self, message: str) -> WorkerCrashError:
         """Tear the pool down after a failure; returns the typed error."""
         self._closed = True
         self._kill_workers()
-        self._release_shared()
+        try:
+            self._release_shared()
+        except BaseException:  # noqa: BLE001 - already failing; swept
+            pass
         return WorkerCrashError(message)
 
     def __del__(self) -> None:  # pragma: no cover - best-effort cleanup

@@ -45,16 +45,28 @@ FIDELITY_LEVELS = (FIDELITY_FULL, FIDELITY_PROPAGATION, FIDELITY_STALE)
 
 
 class BackendResponse:
-    """Rows served at one fidelity, with the simulated cost paid."""
+    """Rows served at one fidelity, with the simulated cost paid.
 
-    __slots__ = ("rows", "fidelity", "sim_seconds")
+    ``stale_rows`` / ``stale_ranges`` carry per-shard staleness when the
+    rows came from a sharded store that hedged part of the gather to its
+    checkpoint tier (zero/empty for the monolithic backend).
+    """
+
+    __slots__ = ("rows", "fidelity", "sim_seconds", "stale_rows", "stale_ranges")
 
     def __init__(
-        self, rows: np.ndarray, fidelity: str, sim_seconds: float
+        self,
+        rows: np.ndarray,
+        fidelity: str,
+        sim_seconds: float,
+        stale_rows: int = 0,
+        stale_ranges: tuple[tuple[int, int, int], ...] = (),
     ) -> None:
         self.rows = rows
         self.fidelity = fidelity
         self.sim_seconds = sim_seconds
+        self.stale_rows = stale_rows
+        self.stale_ranges = stale_ranges
 
 
 class EmbeddingBackend:

@@ -56,6 +56,7 @@ from repro.serve.breaker import (
 )
 from repro.serve.errors import DeadlineExceededError, QueueFullError
 from repro.serve.trace import RequestTrace, ServeRequest
+from repro.shard.errors import PartialResultError
 
 #: Response statuses (the accounting buckets).
 STATUS_SERVED = "served"
@@ -165,6 +166,11 @@ class ServeResponse:
     arrival_s: float = 0.0
     completed_s: float | None = None
     error: str | None = None
+    #: Rows served from a stale shard tier (checkpoint hedge or a
+    #: restarted shard that has not caught up); 0 for monolithic
+    #: backends.  A served-but-stale response is degraded *within* its
+    #: fidelity rung rather than down the ladder.
+    stale_rows: int = 0
     #: Server-assigned trace id, unique per submitted request (bursts
     #: included), so every served/shed/failed request is queryable in
     #: the telemetry stream.
@@ -468,7 +474,7 @@ class EmbeddingServer:
                 ),
             )
             return
-        fidelity = self._serve_ladder(request, deadline_at)
+        fidelity, stale_rows = self._serve_ladder(request, deadline_at)
         if fidelity is None:
             self._respond(
                 report,
@@ -494,18 +500,19 @@ class EmbeddingServer:
                 arrival_s=request.arrival_s,
                 completed_s=completed,
                 error=DeadlineExceededError.__name__ if late else None,
+                stale_rows=stale_rows,
             ),
         )
 
     def _serve_ladder(
         self, request: ServeRequest, deadline_at: float
-    ) -> str | None:
-        """Walk the class ladder; returns the served fidelity, if any."""
+    ) -> tuple[str | None, int]:
+        """Walk the class ladder; returns (served fidelity, stale rows)."""
         for rung in self.policy.ladder_for(request.klass):
             if rung == FIDELITY_STALE:
                 response = self.backend.serve_cached(request.n_nodes)
                 self.clock.advance(response.sim_seconds)
-                return rung
+                return rung, response.stale_rows
             if self.policy.deadline_aware:
                 predicted = self.backend.compute_cost(request.n_nodes, rung)
                 if self.clock.now + predicted > deadline_at:
@@ -531,10 +538,25 @@ class EmbeddingServer:
                     "serve.degraded", reason="backend_stall"
                 ).inc()
                 continue
+            except PartialResultError:
+                # Part of the sharded gather had neither a live worker
+                # nor a checkpoint.  A per-shard hole is not a backend
+                # failure — the breaker stays untouched, the request
+                # falls one rung (usually onto the global stale tier).
+                self.metrics.counter(
+                    "serve.degraded", reason="shard_partial"
+                ).inc()
+                continue
             self.clock.advance(response.sim_seconds)
             self.breaker.record_success()
-            return rung
-        return None
+            if response.stale_rows > 0:
+                # Served on this rung, but part of the gather came from
+                # a stale shard tier: degraded within the rung.
+                self.metrics.counter(
+                    "serve.degraded", reason="shard_stale"
+                ).inc()
+            return rung, response.stale_rows
+        return None, 0
 
     def _next_trace_id(self) -> str:
         """Unique per-request trace id (assigned at submission)."""
@@ -585,6 +607,7 @@ class EmbeddingServer:
                     "status": response.status,
                     "fidelity": response.fidelity,
                     "latency_s": latency,
+                    "stale_rows": response.stale_rows,
                     "sim_now_s": self.clock.now,
                 }
             )

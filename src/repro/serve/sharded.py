@@ -1,0 +1,208 @@
+"""Sharded serving backend: the store's scatter-gather behind the ladder.
+
+:class:`ShardedEmbeddingBackend` keeps the monolithic backend's warmup,
+cost model, stall faults, and global stale tier, but sources
+full-fidelity rows from an :class:`~repro.shard.EmbeddingShardManager`
+— so shard crashes, hangs, and heartbeat losses injected by a fault
+plan flow through real processes into the serving ladder:
+
+- a hedged gather (replica or checkpoint tier) serves on the same rung
+  with ``stale_rows`` marked, degrading *within* the rung;
+- a :class:`~repro.shard.PartialResultError` falls one rung without a
+  breaker failure (per-shard loss is not backend-wide loss);
+- with hedging disabled (the unsupervised arm) the raw
+  :class:`~repro.shard.ShardCrashError` escapes and the server fails
+  the request — the availability gap the recovery benchmark measures.
+
+A :class:`~repro.shard.ShardSupervisor` (optional) is consulted once
+per serve call, so crashed shards restart from their WAL checkpoints
+between requests, exactly like a health-check loop would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.embedding import OMeGaEmbedder
+from repro.faults import BackendStallError, FaultInjector
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.backend import (
+    FIDELITY_FULL,
+    BackendResponse,
+    EmbeddingBackend,
+)
+from repro.shard.store import EmbeddingShardManager, ShardPolicy
+from repro.shard.supervisor import ShardSupervisor, SupervisorPolicy
+
+
+class ShardedEmbeddingBackend(EmbeddingBackend):
+    """An :class:`EmbeddingBackend` whose full tier is a sharded store.
+
+    Args:
+        embedder: pipeline used to materialize the tiers.
+        edges: the graph's edge list.
+        n_nodes: node count.
+        shard_policy: sharded-store configuration.
+        supervisor_policy: supervision thresholds; ``None`` disables
+            supervision entirely (the unsupervised benchmark arm).
+        faults: one injector shared by serve-level and shard-level
+            fault plans.
+        stream: live telemetry stream for ``shard_event`` records.
+    """
+
+    def __init__(
+        self,
+        embedder: OMeGaEmbedder,
+        edges: np.ndarray,
+        n_nodes: int,
+        shard_policy: ShardPolicy = ShardPolicy(),
+        supervisor_policy: SupervisorPolicy | None = SupervisorPolicy(),
+        faults: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        stream=None,
+    ) -> None:
+        super().__init__(embedder, edges, n_nodes, faults=faults, metrics=metrics)
+        self.shard_policy = shard_policy
+        self.supervisor_policy = supervisor_policy
+        self.stream = stream
+        self.shards: EmbeddingShardManager | None = None
+        self.supervisor: ShardSupervisor | None = None
+        self._serve_seq = 0
+
+    # -- warmup ----------------------------------------------------------
+
+    def warm_up(self) -> float:
+        """Build the tiers, then shard the full table into processes.
+
+        The shard genesis checkpoints' persistence cost joins the
+        warmup bill.
+        """
+        if self.warm:
+            return self.warmup_sim_seconds
+        super().warm_up()
+        degrees = np.bincount(
+            np.asarray(self.edges, dtype=np.int64).ravel(),
+            minlength=self.n_nodes,
+        )[: self.n_nodes]
+        self.shards = EmbeddingShardManager(
+            self._full,
+            degrees=degrees,
+            policy=self.shard_policy,
+            faults=self.faults,
+            metrics=self.metrics,
+            stream=self.stream,
+            cost_model=self.embedder.engine.cost_model,
+        ).start()
+        if self.supervisor_policy is not None:
+            self.supervisor = ShardSupervisor(
+                self.shards, self.supervisor_policy, metrics=self.metrics
+            )
+            self.supervisor.wait_heartbeats()
+        self.warmup_sim_seconds += sum(
+            host.domain.sim_seconds for host in self.shards.hosts
+        )
+        return self.warmup_sim_seconds
+
+    def close(self) -> None:
+        """Stop every shard process and unlink their segments."""
+        if self.shards is not None:
+            self.shards.close()
+            self.shards = None
+        self.supervisor = None
+
+    def __enter__(self) -> "ShardedEmbeddingBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- serving ---------------------------------------------------------
+
+    def _request_ids(self, n_nodes: int) -> np.ndarray:
+        """Deterministic node ids of one request, spread across shards.
+
+        A strided walk with a per-request offset, so consecutive
+        requests touch every shard rather than camping on shard 0 —
+        the access pattern that makes single-shard loss visible.
+        """
+        total = self.shards.routing.n_nodes
+        stride = max(total // max(n_nodes, 1), 1)
+        offset = (self._serve_seq * 13) % total
+        return (offset + np.arange(n_nodes, dtype=np.int64) * stride) % total
+
+    def serve(
+        self, n_nodes: int, fidelity: str, stall_budget_s: float
+    ) -> BackendResponse:
+        """One compute-tier call; the full tier gathers from the shards.
+
+        Raises:
+            BackendStallError: injected stall outlived the budget.
+            PartialResultError: a shard range had no rung left to serve.
+            ShardError: hedging disabled and a shard failed.
+        """
+        self._require_warm()
+        if fidelity != FIDELITY_FULL:
+            return super().serve(n_nodes, fidelity, stall_budget_s)
+        if self.supervisor is not None:
+            # The health-check loop runs between requests: crashed or
+            # hung shards restart from checkpoints before this gather.
+            self.supervisor.check()
+        seconds = self.compute_cost(n_nodes, fidelity)
+        if self.faults is not None:
+            seconds /= self.faults.pm_derate()
+            stall = self.faults.take_backend_stall()
+            if stall is not None:
+                self.metrics.counter("serve.backend.stalls").inc()
+                if stall.seconds > stall_budget_s:
+                    raise BackendStallError(stall.site, stall_budget_s)
+                seconds += stall.seconds
+        self._serve_seq += 1
+        result = self.shards.lookup(self._request_ids(n_nodes))
+        self.metrics.counter("serve.backend.calls", fidelity=fidelity).inc()
+        self.metrics.counter(
+            "serve.backend.sim_seconds", fidelity=fidelity
+        ).inc(seconds + result.sim_seconds)
+        return BackendResponse(
+            result.rows,
+            fidelity,
+            seconds + result.sim_seconds,
+            stale_rows=result.stale_rows,
+            stale_ranges=result.stale_ranges,
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    def shard_summary(self) -> dict:
+        """Headline shard-fleet numbers for reports and the CLI."""
+        if self.shards is None:
+            return {"n_shards": 0}
+        restarts = sum(host.restarts for host in self.shards.hosts)
+        return {
+            "n_shards": self.shards.routing.n_shards,
+            "ranges": [list(r) for r in self.shards.routing.ranges],
+            "lookups": self.shards.lookup_seq,
+            "restarts": restarts,
+            "abandoned": sum(
+                1 for host in self.shards.hosts if host.abandoned
+            ),
+            "stale_rows": int(self.metrics.value("shard.stale_rows")),
+            "hedged_checkpoint": int(
+                self.metrics.value("shard.hedged", target="checkpoint")
+            ),
+            "hedged_replica": int(
+                self.metrics.value("shard.hedged", target="replica")
+            ),
+            "incidents": (
+                [
+                    {
+                        "shard": i.shard_id,
+                        "reason": i.reason,
+                        "action": i.action,
+                        "lost_versions": i.lost_versions,
+                    }
+                    for i in self.supervisor.incidents
+                ]
+                if self.supervisor is not None
+                else []
+            ),
+        }

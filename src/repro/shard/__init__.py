@@ -1,0 +1,61 @@
+"""repro.shard — fault-tolerant multi-process sharded embedding store.
+
+The embedding table is partitioned into entropy-aware contiguous
+ranges, each served by a real shard process over shared memory and
+journaled into a WAL checkpoint store; a supervisor restarts crashed or
+hung shards from their checkpoints with bounded staleness, and the
+scatter-gather front hedges failed shards through replicas and the
+stale-checkpoint tier instead of failing whole requests.
+"""
+
+from repro.shard.errors import (
+    PartialResultError,
+    ShardCrashError,
+    ShardError,
+    ShardHungError,
+    ShardTimeoutError,
+)
+from repro.shard.ranges import (
+    ShardRoutingTable,
+    entropy_aware_node_ranges,
+    uniform_node_ranges,
+)
+from repro.shard.store import (
+    STATUS_FRESH,
+    STATUS_MISSING,
+    STATUS_REPLICA,
+    STATUS_STALE,
+    EmbeddingShardManager,
+    ShardHost,
+    ShardLookupResult,
+    ShardPolicy,
+)
+from repro.shard.supervisor import (
+    DEFAULT_RESTART_BACKOFF,
+    Incident,
+    ShardSupervisor,
+    SupervisorPolicy,
+)
+
+__all__ = [
+    "DEFAULT_RESTART_BACKOFF",
+    "EmbeddingShardManager",
+    "Incident",
+    "PartialResultError",
+    "STATUS_FRESH",
+    "STATUS_MISSING",
+    "STATUS_REPLICA",
+    "STATUS_STALE",
+    "ShardCrashError",
+    "ShardError",
+    "ShardHost",
+    "ShardHungError",
+    "ShardLookupResult",
+    "ShardPolicy",
+    "ShardRoutingTable",
+    "ShardSupervisor",
+    "ShardTimeoutError",
+    "SupervisorPolicy",
+    "entropy_aware_node_ranges",
+    "uniform_node_ranges",
+]

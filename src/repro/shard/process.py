@@ -1,0 +1,102 @@
+"""The shard process: one worker serving a contiguous embedding range.
+
+A shard process attaches a zero-copy view of its rows (the owner-side
+:class:`~repro.shard.store.ShardHost` creates the shared segment from
+the shard's durable checkpoint) and then loops on a job queue:
+
+- ``("lookup", req_id, node_ids)`` — gather the requested rows and ack
+  ``("ok", req_id, rows, version)``;
+- ``("version", req_id, version)`` — adopt a new table version (the
+  host refreshes rows in place through the shared segment; this message
+  just moves the version watermark the acks carry);
+- ``("crash", ...)`` — hard-exit without acking (an injected
+  ``shard_crash``);
+- ``("hang", seconds)`` — sleep without heartbeating or serving (an
+  injected ``shard_hang``);
+- ``("mute", ...)`` — stop heartbeating but keep serving (an injected
+  ``heartbeat_loss``, the supervisor's false-positive path);
+- ``None`` — clean shutdown.
+
+Liveness is a heartbeat counter (a shared ``Value``) bumped every loop
+iteration — while idle the queue-get timeout paces the bumps, so a
+healthy-but-quiet shard still beats, and a hung one visibly does not.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import time
+
+import numpy as np
+
+from repro.formats.csdb import SharedArraySpec, attach_shared_array
+
+#: Exit code of an injected shard crash (asserted by crash tests).
+SHARD_CRASH_EXIT_CODE = 23
+
+#: Default wall seconds between heartbeat bumps while idle.
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.02
+
+
+def shard_main(
+    shard_id: int,
+    spec: SharedArraySpec,
+    row_start: int,
+    version: int,
+    jobs,
+    results,
+    heartbeat,
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+) -> None:
+    """Entry point of one shard process (also used by replicas)."""
+    view, segment = attach_shared_array(spec)
+    muted = False
+    try:
+        while True:
+            if not muted:
+                with heartbeat.get_lock():
+                    heartbeat.value += 1
+            try:
+                job = jobs.get(timeout=heartbeat_interval_s)
+            except queue_module.Empty:
+                continue
+            if job is None:
+                return
+            kind = job[0]
+            if kind == "crash":
+                # Flush acks already queued (the feeder thread is
+                # asynchronous and os._exit would drop them), then die
+                # hard: the crash itself is never acked.
+                results.close()
+                results.join_thread()
+                os._exit(SHARD_CRASH_EXIT_CODE)
+            if kind == "hang":
+                time.sleep(float(job[1]))
+                continue
+            if kind == "mute":
+                muted = True
+                continue
+            if kind == "version":
+                _, req_id, version = job
+                results.put(("ok", req_id, None, version))
+                continue
+            # kind == "lookup"
+            _, req_id, node_ids = job
+            try:
+                ids = np.asarray(node_ids, dtype=np.int64) - row_start
+                rows = np.array(view[ids], copy=True)
+                results.put(("ok", req_id, rows, version))
+            except BaseException as exc:  # noqa: BLE001 - forwarded
+                try:
+                    results.put(
+                        ("error", req_id, f"{type(exc).__name__}: {exc}", version)
+                    )
+                except Exception:
+                    os._exit(1)
+    finally:
+        del view
+        try:
+            segment.close()
+        except BufferError:  # pragma: no cover - view still exported
+            pass

@@ -1,0 +1,154 @@
+"""Entropy-aware shard ranges and the scatter-gather routing table.
+
+The embedding table is split into contiguous *node-id* ranges (routing
+stays an O(log N) binary search) whose boundaries come from the same
+EaTA time model the SpMM allocator uses
+(:class:`~repro.core.eata.EntropyAwareAllocator`): each node's expected
+lookup cost is its degree derated by the Eq. 5 bandwidth-degradation
+factor ``g(z)`` plus a constant per-row term, and the prefix sums of
+that proxy are split into equal quantiles.  Hot, scattered regions of
+the graph therefore land on smaller shards, equalizing per-shard load
+the way EaTA equalizes per-thread completion times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+
+def entropy_aware_node_ranges(
+    degrees: np.ndarray,
+    n_shards: int,
+    beta: float = 0.41,
+    row_overhead_nnz: float = 2.0,
+) -> list[tuple[int, int]]:
+    """Contiguous node ranges equalizing the EaTA cost proxy.
+
+    Args:
+        degrees: per-node degree (natural node-id order).
+        n_shards: number of shards to cut.
+        beta: random/sequential bandwidth ratio of Eq. 5.
+        row_overhead_nnz: constant per-row cost term.
+
+    Returns exactly ``n_shards`` half-open ``(start, end)`` ranges
+    covering ``[0, len(degrees))``; trailing shards may be empty on
+    degenerate inputs.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if not 0.0 < beta <= 1.0:
+        raise ValueError(f"beta must be in (0, 1], got {beta}")
+    degrees = np.asarray(degrees, dtype=np.float64)
+    n_nodes = len(degrees)
+    if n_nodes == 0:
+        return [(0, 0)] * n_shards
+    total = float(degrees.sum())
+    log_v = float(np.log(max(n_nodes, 2)))
+    w_nominal = max(total / n_shards, 1.0)
+    # Each node's normalized-entropy window under a nominal shard load,
+    # exactly as EntropyAwareAllocator.allocate estimates it per row.
+    z = np.log(np.maximum(w_nominal / np.maximum(degrees, 1.0), 1.0))
+    z = np.minimum(z / log_v, 1.0)
+    g = 1.0 - z + beta * z
+    proxy = degrees / g + row_overhead_nnz
+    prefix = np.concatenate([[0.0], np.cumsum(proxy)])
+    targets = np.linspace(0.0, prefix[-1], n_shards + 1)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for shard in range(n_shards):
+        if shard == n_shards - 1:
+            end = n_nodes
+        else:
+            end = int(np.searchsorted(prefix, targets[shard + 1], side="left"))
+            end = min(max(end, start), n_nodes)
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def uniform_node_ranges(n_nodes: int, n_shards: int) -> list[tuple[int, int]]:
+    """Plain equal-row ranges (the RR baseline; no degree information)."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    bounds = np.linspace(0, n_nodes, n_shards + 1).astype(np.int64)
+    return [
+        (int(bounds[i]), int(bounds[i + 1])) for i in range(n_shards)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardRoutingTable:
+    """Maps node ids onto contiguous shard ranges.
+
+    Immutable and JSON-serializable, so the table travels with run
+    manifests and fault plans; lookups are vectorized binary searches.
+    """
+
+    ranges: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        ranges = tuple((int(a), int(b)) for a, b in self.ranges)
+        if not ranges:
+            raise ValueError("routing table needs at least one range")
+        cursor = 0
+        for index, (start, end) in enumerate(ranges):
+            if start != cursor or end < start:
+                raise ValueError(
+                    f"ranges must be contiguous from 0; range {index}"
+                    f" is [{start}, {end}) after cursor {cursor}"
+                )
+            cursor = end
+        object.__setattr__(self, "ranges", ranges)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.ranges)
+
+    @property
+    def n_nodes(self) -> int:
+        return self.ranges[-1][1]
+
+    def shard_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Owning shard of every node id (vectorized)."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if len(node_ids) and (
+            node_ids.min() < 0 or node_ids.max() >= self.n_nodes
+        ):
+            raise ValueError(
+                f"node ids outside [0, {self.n_nodes}):"
+                f" [{node_ids.min()}, {node_ids.max()}]"
+            )
+        boundaries = np.asarray(
+            [end for _, end in self.ranges], dtype=np.int64
+        )
+        return np.searchsorted(boundaries, node_ids, side="right")
+
+    def split(
+        self, node_ids: np.ndarray
+    ) -> dict[int, tuple[np.ndarray, np.ndarray]]:
+        """Group a lookup by shard: ``{shard: (positions, node_ids)}``.
+
+        ``positions`` index back into the original request order, so
+        gathered rows scatter straight into the caller's output buffer.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        owners = self.shard_of(node_ids)
+        out: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for shard in np.unique(owners):
+            mask = owners == shard
+            out[int(shard)] = (np.flatnonzero(mask), node_ids[mask])
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable form."""
+        return {"ranges": [list(r) for r in self.ranges]}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ShardRoutingTable":
+        """Rebuild a table from :meth:`to_dict` output."""
+        return cls(
+            ranges=tuple(tuple(r) for r in payload.get("ranges", []))
+        )

@@ -1,0 +1,761 @@
+"""Multi-process sharded embedding store with hedged scatter-gather.
+
+The embedding table is partitioned into contiguous node ranges (EaTA
+entropy-aware by default, :mod:`repro.shard.ranges`), each owned by a
+:class:`ShardHost`: a real OS process serving lookups from a
+shared-memory segment, heartbeating through a shared counter, and
+journaling its rows into a WAL-style
+:class:`~repro.memsim.persistence.StageCheckpointStore` on a simulated
+PM persistence domain.
+
+:class:`EmbeddingShardManager` keeps the authoritative table, routes
+lookups through a :class:`~repro.shard.ranges.ShardRoutingTable`, and
+scatter-gathers with a hedging ladder per shard::
+
+    primary process -> replica process -> stale checkpoint tier -> miss
+
+Every rung is typed: a dead primary raises
+:class:`~repro.shard.errors.ShardCrashError` internally, the checkpoint
+tier marks its rows stale (bounded staleness = authoritative version
+minus checkpoint version), and only when every rung fails does
+:class:`~repro.shard.errors.PartialResultError` escape to the caller —
+carrying exactly which node ranges went unserved so the serving ladder
+can degrade per shard rather than per table.
+
+Deterministic chaos: :meth:`EmbeddingShardManager.lookup` numbers every
+scatter-gather call and offers that sequence number to a
+:class:`~repro.faults.FaultInjector`, so a seeded
+:meth:`~repro.faults.FaultPlan.random_shard` plan kills, hangs, or mutes
+exactly the same shard at exactly the same lookup on every run.
+
+Simulated vs wall time: process death, heartbeats, and deadlines are
+*wall-clock* mechanics (they exercise real crash recovery); the cost a
+lookup reports (``sim_seconds``) is charged on the simulated cost model
+— DRAM random reads for fresh rows, PM random reads plus a hedge
+penalty for checkpoint-tier rows — so serve-level SLO math stays in the
+paper's device terms.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import secrets
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.faults import FaultEvent, FaultInjector
+from repro.formats.csdb import (
+    SharedArraySpec,
+    attach_shared_array,
+    create_shared_array,
+    unlink_segment,
+)
+from repro.memsim.costmodel import CostModel
+from repro.memsim.devices import (
+    AccessPattern,
+    Locality,
+    Operation,
+    dram_spec,
+    pm_spec,
+)
+from repro.memsim.persistence import PersistenceDomain, StageCheckpointStore
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.shared import _mp_context
+from repro.shard.errors import (
+    PartialResultError,
+    ShardCrashError,
+    ShardTimeoutError,
+)
+from repro.shard.process import (
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    shard_main,
+)
+from repro.shard.ranges import (
+    ShardRoutingTable,
+    entropy_aware_node_ranges,
+    uniform_node_ranges,
+)
+
+#: How rows were sourced for one shard of a scatter-gather.
+STATUS_FRESH = "fresh"
+STATUS_REPLICA = "replica"
+STATUS_STALE = "stale"
+STATUS_MISSING = "missing"
+
+#: Poll granularity while waiting on a shard ack (fast crash detection).
+_POLL_S = 0.02
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Configuration of the sharded store.
+
+    Attributes:
+        n_shards: shard (process) count.
+        n_replicas: extra lookup processes per shard sharing its
+            segment; the first hedge target.
+        partition: ``"entropy"`` (EaTA cost-proxy quantiles) or
+            ``"uniform"`` (equal rows).
+        beta: EaTA bandwidth-degradation ratio for entropy partitioning.
+        lookup_deadline_s: wall-clock deadline of one per-shard call.
+            Must sit below injected hang durations for deterministic
+            hedging, and far above a healthy roundtrip.
+        hedge_enabled: when False, shard failures propagate instead of
+            hedging (the unsupervised benchmark arm).
+        hedge_sim_penalty_s: simulated seconds charged per hedged shard
+            (the abandoned primary read plus coordination).
+        heartbeat_interval_s: idle heartbeat period of shard processes.
+    """
+
+    n_shards: int = 4
+    n_replicas: int = 0
+    partition: str = "entropy"
+    beta: float = 0.41
+    lookup_deadline_s: float = 0.25
+    hedge_enabled: bool = True
+    hedge_sim_penalty_s: float = 5e-4
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.n_replicas < 0:
+            raise ValueError(
+                f"n_replicas must be >= 0, got {self.n_replicas}"
+            )
+        if self.partition not in ("entropy", "uniform"):
+            raise ValueError(
+                f"partition must be 'entropy' or 'uniform',"
+                f" got {self.partition!r}"
+            )
+        if self.lookup_deadline_s <= 0:
+            raise ValueError(
+                f"lookup_deadline_s must be > 0, got {self.lookup_deadline_s}"
+            )
+
+
+@dataclass(frozen=True)
+class ShardLookupResult:
+    """Outcome of one scatter-gather lookup.
+
+    Attributes:
+        rows: gathered embedding rows, request order.
+        stale_rows: rows served from a stale source (checkpoint tier or
+            a restarted shard that has not caught up).
+        stale_ranges: ``(shard_id, row_start, row_end)`` node ranges the
+            stale rows came from.
+        statuses: per-shard source, ``{shard_id: STATUS_*}``.
+        sim_seconds: simulated cost of the gather.
+        seq: this lookup's 1-based sequence number (the coordinate
+            shard fault plans fire on).
+    """
+
+    rows: np.ndarray
+    stale_rows: int
+    stale_ranges: tuple[tuple[int, int, int], ...]
+    statuses: dict[int, str]
+    sim_seconds: float
+    seq: int
+
+
+class _ShardWorker:
+    """Owner-side handle of one shard process (primary or replica)."""
+
+    __slots__ = ("process", "jobs", "results", "heartbeat", "next_req")
+
+    def __init__(self, ctx, spec, shard_id, row_start, version, interval_s):
+        self.jobs = ctx.Queue()
+        self.results = ctx.Queue()
+        self.heartbeat = ctx.Value("Q", 0, lock=True)
+        self.next_req = 0
+        self.process = ctx.Process(
+            target=shard_main,
+            args=(
+                shard_id,
+                spec,
+                row_start,
+                version,
+                self.jobs,
+                self.results,
+                self.heartbeat,
+                interval_s,
+            ),
+            daemon=True,
+        )
+        self.process.start()
+
+    def stop(self, timeout: float = 2.0) -> None:
+        if self.process.is_alive():
+            try:
+                self.jobs.put(None)
+            except ValueError:  # pragma: no cover - queue already closed
+                pass
+            self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=timeout)
+        for channel in (self.jobs, self.results):
+            channel.close()
+            channel.join_thread()
+
+
+class ShardHost:
+    """Owner side of one shard: segment, processes, WAL checkpoints.
+
+    The host keeps the shard's rows in a named shared-memory segment
+    served by a primary process (plus optional replicas).  Durability is
+    modelled honestly: a restart never trusts the segment — it rebuilds
+    the rows from the last WAL checkpoint, so anything written after
+    that checkpoint comes back *stale* until :meth:`catch_up` replays it
+    from the manager's authoritative copy.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        rows: np.ndarray,
+        row_start: int,
+        policy: ShardPolicy,
+        ctx=None,
+        domain: PersistenceDomain | None = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.row_start = row_start
+        self.row_end = row_start + len(rows)
+        self.policy = policy
+        self.version = 0
+        self.checkpoint_version: int | None = None
+        self.generation = 0
+        self.restarts = 0
+        self.abandoned = False
+        self._ctx = ctx if ctx is not None else _mp_context()
+        token = secrets.token_hex(4)
+        self._name = f"shard-{os.getpid()}-{token}-{shard_id}"
+        self.spec = create_shared_array(np.asarray(rows, dtype=np.float64), self._name)
+        self._view, self._segment = attach_shared_array(self.spec)
+        domain = domain if domain is not None else PersistenceDomain(device=pm_spec())
+        self.domain = domain
+        self.checkpoints = StageCheckpointStore(domain)
+        self._workers: list[_ShardWorker] = []
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self, checkpoint: bool = True) -> None:
+        """Spawn the primary (+replicas) and cut the genesis checkpoint."""
+        if self._workers:
+            raise RuntimeError(f"shard {self.shard_id} already started")
+        if checkpoint:
+            self.checkpoint()
+        self._spawn_workers()
+
+    def _spawn_workers(self) -> None:
+        self._workers = [
+            _ShardWorker(
+                self._ctx,
+                self.spec,
+                self.shard_id,
+                self.row_start,
+                self.version,
+                self.policy.heartbeat_interval_s,
+            )
+            for _ in range(1 + self.policy.n_replicas)
+        ]
+
+    def close(self) -> None:
+        """Stop every process and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            worker.stop()
+        self._workers = []
+        del self._view
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - exported view
+            pass
+        unlink_segment(self._name)
+
+    def __enter__(self) -> "ShardHost":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- liveness --------------------------------------------------------
+
+    @property
+    def workers(self) -> list[_ShardWorker]:
+        return self._workers
+
+    def alive(self, replica: int = 0) -> bool:
+        """Whether worker ``replica`` (0 = primary) is running."""
+        if replica >= len(self._workers):
+            return False
+        return self._workers[replica].process.is_alive()
+
+    def heartbeat_value(self, replica: int = 0) -> int:
+        return int(self._workers[replica].heartbeat.value)
+
+    # -- durability ------------------------------------------------------
+
+    def checkpoint(self, crash: bool = False) -> int:
+        """Durably journal the shard's current rows.
+
+        Follows the WAL discipline of
+        :class:`~repro.memsim.persistence.StageCheckpointStore`: with
+        ``crash=True`` the record is lost
+        (:class:`~repro.memsim.persistence.CrashInjected` propagates)
+        but every earlier checkpoint stays durable.
+        """
+        sequence = self.checkpoints.append(
+            f"shard-{self.shard_id}",
+            {"rows": np.array(self._view, copy=True)},
+            {
+                "version": self.version,
+                "row_start": self.row_start,
+                "row_end": self.row_end,
+            },
+            crash=crash,
+        )
+        self.checkpoint_version = self.version
+        return sequence
+
+    def recover_rows(self, node_ids: np.ndarray) -> tuple[np.ndarray, int]:
+        """Stale-tier read straight from the last durable checkpoint.
+
+        Works with the shard's processes dead — this is the hedge of
+        last resort.  Returns the rows and the checkpoint's version.
+        """
+        record = self.checkpoints.last()
+        if record is None:
+            raise ShardCrashError(self.shard_id, "no durable checkpoint")
+        ids = np.asarray(node_ids, dtype=np.int64) - self.row_start
+        return (
+            np.array(record.arrays["rows"][ids], copy=True),
+            int(record.meta["version"]),
+        )
+
+    # -- mutation --------------------------------------------------------
+
+    def write_rows(self, node_ids: np.ndarray, rows: np.ndarray, version: int) -> None:
+        """Write-through update of live rows (not yet durable)."""
+        ids = np.asarray(node_ids, dtype=np.int64) - self.row_start
+        self._view[ids] = rows
+        self.version = version
+        self._broadcast_version()
+
+    def _broadcast_version(self) -> None:
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.next_req += 1
+                worker.jobs.put(("version", worker.next_req, self.version))
+
+    # -- recovery --------------------------------------------------------
+
+    def restart(self) -> int:
+        """Replace dead/hung processes, restoring rows from the WAL.
+
+        Process memory (and, as modelled, the segment contents) died
+        with the shard, so the segment is rebuilt from the last durable
+        checkpoint — the shard comes back at ``checkpoint_version``,
+        and the staleness it reopens with is returned
+        (``lost_versions = version_before_crash - checkpoint_version``).
+        """
+        for worker in self._workers:
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            for channel in (worker.jobs, worker.results):
+                channel.close()
+                channel.join_thread()
+        record = self.checkpoints.last()
+        if record is None:
+            raise ShardCrashError(self.shard_id, "no checkpoint to restart from")
+        lost = self.version - int(record.meta["version"])
+        self._view[:] = record.arrays["rows"]
+        self.version = int(record.meta["version"])
+        self.generation += 1
+        self.restarts += 1
+        self._spawn_workers()
+        return lost
+
+    def catch_up(self, rows: np.ndarray, version: int) -> None:
+        """Replay the authoritative rows and re-checkpoint.
+
+        After this the shard is bit-identical to a fresh load of the
+        manager's table at ``version``.
+        """
+        self._view[:] = rows
+        self.version = version
+        self._broadcast_version()
+        self.checkpoint()
+
+    # -- fault injection -------------------------------------------------
+
+    def inject_crash(self) -> None:
+        """Kill the primary deterministically (joined before return)."""
+        worker = self._workers[0]
+        if worker.process.is_alive():
+            worker.jobs.put(("crash",))
+            worker.process.join(timeout=5.0)
+            if worker.process.is_alive():  # pragma: no cover - slow exit
+                worker.process.terminate()
+                worker.process.join(timeout=5.0)
+
+    def inject_hang(self, seconds: float) -> None:
+        """Queue a sleep on the primary (next lookup hits the deadline)."""
+        worker = self._workers[0]
+        if worker.process.is_alive():
+            worker.jobs.put(("hang", float(seconds)))
+
+    def inject_mute(self) -> None:
+        """Stop the primary's heartbeat while it keeps serving."""
+        worker = self._workers[0]
+        if worker.process.is_alive():
+            worker.jobs.put(("mute",))
+
+    # -- lookups ---------------------------------------------------------
+
+    def lookup(
+        self,
+        node_ids: np.ndarray,
+        deadline_s: float | None = None,
+        replica: int = 0,
+    ) -> tuple[np.ndarray, int]:
+        """One live lookup against worker ``replica``.
+
+        Raises:
+            ShardCrashError: the worker is (or dies) unresponsive.
+            ShardTimeoutError: no ack within ``deadline_s``.
+        """
+        deadline_s = (
+            self.policy.lookup_deadline_s if deadline_s is None else deadline_s
+        )
+        if replica >= len(self._workers):
+            raise ShardCrashError(self.shard_id, f"no worker {replica}")
+        worker = self._workers[replica]
+        if not worker.process.is_alive():
+            raise ShardCrashError(
+                self.shard_id, f"worker {replica} dead (exit {worker.process.exitcode})"
+            )
+        worker.next_req += 1
+        req_id = worker.next_req
+        worker.jobs.put(("lookup", req_id, np.asarray(node_ids, dtype=np.int64)))
+        deadline_at = time.monotonic() + deadline_s
+        while True:
+            remaining = deadline_at - time.monotonic()
+            if remaining <= 0:
+                raise ShardTimeoutError(self.shard_id, deadline_s)
+            try:
+                message = worker.results.get(timeout=min(_POLL_S, remaining))
+            except queue_module.Empty:
+                if not worker.process.is_alive():
+                    raise ShardCrashError(
+                        self.shard_id,
+                        f"worker {replica} died mid-call"
+                        f" (exit {worker.process.exitcode})",
+                    ) from None
+                continue
+            status, rid, payload, version = message
+            if rid != req_id:
+                # A stale ack from a call that already timed out.
+                continue
+            if status != "ok":
+                raise ShardCrashError(self.shard_id, str(payload))
+            return payload, int(version)
+
+
+class EmbeddingShardManager:
+    """Scatter-gather front of the sharded store.
+
+    Owns the authoritative embedding table, the routing table, and one
+    :class:`ShardHost` per range.  ``lookup`` is the hot path:
+    fault-plan injection, per-shard deadlines, the hedging ladder, and
+    staleness accounting all live here.
+
+    Args:
+        embeddings: the authoritative ``(n_nodes, dim)`` table.
+        degrees: per-node degrees for entropy-aware partitioning
+            (``None`` falls back to uniform ranges).
+        policy: store configuration.
+        faults: deterministic shard-fault plan injector.
+        metrics: registry for ``shard.*`` counters (own one if omitted).
+        stream: optional live telemetry stream; shard incidents are
+            emitted as ``shard_event`` records.
+    """
+
+    def __init__(
+        self,
+        embeddings: np.ndarray,
+        degrees: np.ndarray | None = None,
+        policy: ShardPolicy = ShardPolicy(),
+        faults: FaultInjector | None = None,
+        metrics: MetricsRegistry | None = None,
+        stream=None,
+        cost_model: CostModel | None = None,
+    ) -> None:
+        self.table = np.ascontiguousarray(embeddings, dtype=np.float64)
+        if self.table.ndim != 2:
+            raise ValueError(
+                f"embeddings must be 2-D, got shape {self.table.shape}"
+            )
+        self.policy = policy
+        self.faults = faults
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stream = stream
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self._dram = dram_spec()
+        self._pm = pm_spec()
+        n_nodes = len(self.table)
+        if policy.partition == "entropy" and degrees is not None:
+            ranges = entropy_aware_node_ranges(
+                np.asarray(degrees, dtype=np.float64)[:n_nodes],
+                policy.n_shards,
+                beta=policy.beta,
+            )
+        else:
+            ranges = uniform_node_ranges(n_nodes, policy.n_shards)
+        self.routing = ShardRoutingTable(ranges=tuple(ranges))
+        self.version = 0
+        self.lookup_seq = 0
+        self.hosts: list[ShardHost] = []
+        self.on_failure: Callable[[int, Exception], None] | None = None
+        self._ctx = _mp_context()
+        self._started = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "EmbeddingShardManager":
+        """Spawn every shard and cut genesis checkpoints."""
+        if self._started:
+            return self
+        try:
+            for shard_id, (row_start, row_end) in enumerate(self.routing.ranges):
+                host = ShardHost(
+                    shard_id,
+                    self.table[row_start:row_end],
+                    row_start,
+                    self.policy,
+                    ctx=self._ctx,
+                )
+                self.hosts.append(host)
+                host.start()
+        except BaseException:
+            self.close()
+            raise
+        self._started = True
+        self._emit({"type": "shard_event", "event": "started",
+                    "n_shards": self.routing.n_shards,
+                    "ranges": [list(r) for r in self.routing.ranges]})
+        return self
+
+    def close(self) -> None:
+        """Stop every shard process and unlink segments (idempotent)."""
+        first: BaseException | None = None
+        for host in self.hosts:
+            try:
+                host.close()
+            except BaseException as exc:  # noqa: BLE001 - best effort
+                if first is None:
+                    first = exc
+        self.hosts = []
+        self._started = False
+        if first is not None:
+            raise first
+
+    def __enter__(self) -> "EmbeddingShardManager":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- telemetry -------------------------------------------------------
+
+    def _emit(self, record: dict[str, Any]) -> None:
+        if self.stream is not None:
+            self.stream.emit(record)
+
+    # -- mutation --------------------------------------------------------
+
+    def apply_update(self, node_ids: np.ndarray, rows: np.ndarray) -> int:
+        """Update rows in the authoritative table and write through.
+
+        Bumps the table version; the write is live in every shard
+        segment but *not yet durable* — rows updated after a shard's
+        last checkpoint are exactly what a crash loses.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        self.table[node_ids] = rows
+        self.version += 1
+        for shard, (_, ids) in self.routing.split(node_ids).items():
+            host = self.hosts[shard]
+            host.write_rows(ids, self.table[ids], self.version)
+        for host in self.hosts:
+            # Every shard advances to the table version, even untouched
+            # ones — staleness is measured against the whole table.
+            if host.version != self.version:
+                host.version = self.version
+        return self.version
+
+    def checkpoint_all(self) -> None:
+        """Cut a durable checkpoint on every shard."""
+        for host in self.hosts:
+            host.checkpoint()
+
+    def catch_up(self, shard_id: int) -> None:
+        """Replay authoritative rows into one shard and re-checkpoint."""
+        host = self.hosts[shard_id]
+        host.catch_up(
+            self.table[host.row_start : host.row_end], self.version
+        )
+        self._emit({"type": "shard_event", "event": "caught_up",
+                    "shard": shard_id, "version": self.version})
+
+    # -- fault application ----------------------------------------------
+
+    def _apply_shard_faults(self, seq: int) -> None:
+        if self.faults is None:
+            return
+        for shard_id, host in enumerate(self.hosts):
+            event: FaultEvent | None = self.faults.take_shard_fault(
+                f"shard.{shard_id}", seq
+            )
+            if event is None:
+                continue
+            if event.kind == "shard_crash":
+                host.inject_crash()
+            elif event.kind == "shard_hang":
+                host.inject_hang(event.seconds)
+            else:  # heartbeat_loss
+                host.inject_mute()
+            self._emit({"type": "shard_event", "event": "fault_injected",
+                        "kind": event.kind, "shard": shard_id, "seq": seq})
+
+    # -- the hot path ----------------------------------------------------
+
+    def lookup(self, node_ids: np.ndarray) -> ShardLookupResult:
+        """Scatter-gather one batch of rows across the shards.
+
+        Applies any due shard faults first (so the fault's lookup
+        sequence is the lookup that observes it), then walks the
+        hedging ladder per shard.  With hedging disabled, the first
+        shard failure propagates as-is.
+
+        Raises:
+            PartialResultError: hedging enabled but some shard had
+                neither a live worker nor a durable checkpoint.
+            ShardError: hedging disabled and a shard failed.
+        """
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        self.lookup_seq += 1
+        seq = self.lookup_seq
+        self._apply_shard_faults(seq)
+        dim = self.table.shape[1]
+        out = np.empty((len(node_ids), dim), dtype=np.float64)
+        statuses: dict[int, str] = {}
+        stale_rows = 0
+        stale_ranges: list[tuple[int, int, int]] = []
+        missing_ranges: list[tuple[int, int, int]] = []
+        sim_seconds = 0.0
+        self.metrics.counter("shard.lookups").inc()
+        for shard_id, (positions, ids) in self.routing.split(node_ids).items():
+            host = self.hosts[shard_id]
+            nbytes = float(ids.size * dim * 8)
+            rows, status, version = self._gather_one(host, ids)
+            if rows is None:
+                statuses[shard_id] = STATUS_MISSING
+                missing_ranges.append(
+                    (shard_id, int(ids.min()), int(ids.max()) + 1)
+                )
+                continue
+            out[positions] = rows
+            statuses[shard_id] = status
+            if status == STATUS_STALE or version < self.version:
+                stale = int(ids.size)
+                stale_rows += stale
+                stale_ranges.append(
+                    (shard_id, int(ids.min()), int(ids.max()) + 1)
+                )
+                self.metrics.counter("shard.stale_rows").inc(stale)
+                sim_seconds += self.cost_model.access_time(
+                    self._pm,
+                    Operation.READ,
+                    AccessPattern.RANDOM,
+                    Locality.LOCAL,
+                    nbytes,
+                )
+                if status == STATUS_STALE:
+                    sim_seconds += self.policy.hedge_sim_penalty_s
+            else:
+                sim_seconds += self.cost_model.access_time(
+                    self._dram,
+                    Operation.READ,
+                    AccessPattern.RANDOM,
+                    Locality.LOCAL,
+                    nbytes,
+                )
+        if missing_ranges:
+            self._emit({"type": "shard_event", "event": "partial",
+                        "seq": seq,
+                        "missing": [list(r) for r in missing_ranges]})
+            raise PartialResultError(
+                tuple(missing_ranges), tuple(stale_ranges)
+            )
+        return ShardLookupResult(
+            rows=out,
+            stale_rows=stale_rows,
+            stale_ranges=tuple(stale_ranges),
+            statuses=statuses,
+            sim_seconds=sim_seconds,
+            seq=seq,
+        )
+
+    def _gather_one(
+        self, host: ShardHost, ids: np.ndarray
+    ) -> tuple[np.ndarray | None, str, int]:
+        """The hedging ladder for one shard's slice of a lookup."""
+        primary_error: Exception | None = None
+        if not host.abandoned:
+            try:
+                rows, version = host.lookup(ids)
+                return rows, STATUS_FRESH, version
+            except (ShardCrashError, ShardTimeoutError) as exc:
+                primary_error = exc
+                self.metrics.counter(
+                    "shard.failures",
+                    shard=str(host.shard_id),
+                    kind=type(exc).__name__,
+                ).inc()
+                if self.on_failure is not None:
+                    self.on_failure(host.shard_id, exc)
+                if not self.policy.hedge_enabled:
+                    raise
+            # Hedge 1: replicas share the segment, so they are fresh.
+            for replica in range(1, 1 + self.policy.n_replicas):
+                try:
+                    rows, version = host.lookup(ids, replica=replica)
+                    self.metrics.counter(
+                        "shard.hedged", target="replica"
+                    ).inc()
+                    return rows, STATUS_REPLICA, version
+                except (ShardCrashError, ShardTimeoutError):
+                    continue
+        elif not self.policy.hedge_enabled:
+            raise ShardCrashError(host.shard_id, "shard abandoned")
+        # Hedge 2: the stale checkpoint tier.
+        try:
+            rows, _ = host.recover_rows(ids)
+            self.metrics.counter("shard.hedged", target="checkpoint").inc()
+            self._emit({"type": "shard_event", "event": "hedged",
+                        "shard": host.shard_id, "target": "checkpoint"})
+            return rows, STATUS_STALE, host.checkpoint_version or 0
+        except ShardCrashError:
+            # No live worker and no durable checkpoint: a genuine miss.
+            del primary_error
+            return None, STATUS_MISSING, -1

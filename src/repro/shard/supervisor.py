@@ -1,0 +1,216 @@
+"""The shard supervision tree: health checks, restarts, backoff.
+
+:class:`ShardSupervisor` watches every :class:`~repro.shard.store.ShardHost`
+two ways:
+
+- **Reactively** — the manager's scatter-gather path reports each typed
+  shard failure (:meth:`note_failure`), and the supervisor restarts the
+  shard immediately, so a crash detected *by* a lookup is repaired
+  before the next one.
+- **Proactively** — :meth:`check` sweeps liveness: a dead primary is a
+  crash; an alive primary whose heartbeat counter has not advanced for
+  ``heartbeat_timeout_s`` wall seconds is hung (or muted — the
+  ``heartbeat_loss`` fault makes a healthy shard look hung, and the
+  supervisor restarts it anyway: availability over thrift).
+
+Every restart restores the shard from its last durable WAL checkpoint
+(:meth:`~repro.shard.store.ShardHost.restart`), making the recovered
+rows **bounded-stale**: at most ``table_version - checkpoint_version``
+updates behind, a bound the supervisor reports per incident.  Restarts
+are budgeted (``max_restarts`` per shard); past the budget the shard is
+*abandoned* and the manager serves its range from the checkpoint tier
+only.  Each restart charges a full-jitter backoff delay from a seeded
+:class:`~repro.core.asl.RetryPolicy` — recorded, not slept, so chaos
+tests stay fast while the simulated account stays honest.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.asl import RetryPolicy
+from repro.obs.metrics import MetricsRegistry
+from repro.shard.errors import (
+    ShardCrashError,
+    ShardHungError,
+    ShardTimeoutError,
+)
+from repro.shard.store import EmbeddingShardManager, ShardHost
+
+#: Default restart backoff: full jitter, seeded, ~1 ms base.
+DEFAULT_RESTART_BACKOFF = RetryPolicy(
+    max_retries=8, base_delay_seconds=1e-3, jitter="full", jitter_seed=7
+)
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Supervision thresholds and budgets.
+
+    Attributes:
+        heartbeat_timeout_s: wall seconds without heartbeat progress
+            before an alive shard counts as hung.
+        max_restarts: restarts allowed per shard before abandonment.
+        restart_backoff: seeded (jittered) backoff schedule; each
+            restart's delay is *recorded* as simulated seconds.
+    """
+
+    heartbeat_timeout_s: float = 0.5
+    max_restarts: int = 8
+    restart_backoff: RetryPolicy = field(
+        default_factory=lambda: DEFAULT_RESTART_BACKOFF
+    )
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError(
+                "heartbeat_timeout_s must be > 0,"
+                f" got {self.heartbeat_timeout_s}"
+            )
+        if self.max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One supervision action (returned by :meth:`ShardSupervisor.check`).
+
+    Attributes:
+        shard_id: the shard acted on.
+        reason: ``"crash"`` / ``"hang"`` / ``"heartbeat"``.
+        action: ``"restart"`` or ``"abandon"``.
+        lost_versions: staleness the shard reopened with (restart only).
+        backoff_s: jittered backoff charged for this restart.
+    """
+
+    shard_id: int
+    reason: str
+    action: str
+    lost_versions: int = 0
+    backoff_s: float = 0.0
+
+
+class ShardSupervisor:
+    """Health-checks the shard fleet and restarts from checkpoints."""
+
+    def __init__(
+        self,
+        manager: EmbeddingShardManager,
+        policy: SupervisorPolicy = SupervisorPolicy(),
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.manager = manager
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else manager.metrics
+        self.incidents: list[Incident] = []
+        self.sim_backoff_seconds = 0.0
+        #: Heartbeat progress tracking: {(shard, generation): (value, wall_ts)}.
+        self._beats: dict[tuple[int, int], tuple[int, float]] = {}
+        manager.on_failure = self.note_failure
+
+    # -- reactive path ---------------------------------------------------
+
+    def note_failure(self, shard_id: int, exc: Exception) -> None:
+        """Repair a shard the scatter-gather path just saw fail."""
+        if isinstance(exc, ShardCrashError):
+            reason = "crash"
+        elif isinstance(exc, (ShardTimeoutError, ShardHungError)):
+            reason = "hang"
+        else:  # pragma: no cover - future failure types
+            reason = "unknown"
+        self._repair(self.manager.hosts[shard_id], reason)
+
+    # -- proactive path --------------------------------------------------
+
+    def check(self) -> list[Incident]:
+        """One supervision sweep; returns the incidents acted on."""
+        sweep: list[Incident] = []
+        now = time.monotonic()
+        for host in self.manager.hosts:
+            if host.abandoned:
+                continue
+            if not host.alive():
+                sweep.extend(self._repair(host, "crash"))
+                continue
+            key = (host.shard_id, host.generation)
+            value = host.heartbeat_value()
+            previous = self._beats.get(key)
+            if previous is None or value != previous[0]:
+                self._beats[key] = (value, now)
+                continue
+            if now - previous[1] >= self.policy.heartbeat_timeout_s:
+                self.metrics.counter(
+                    "shard.heartbeat_misses", shard=str(host.shard_id)
+                ).inc()
+                sweep.extend(self._repair(host, "heartbeat"))
+        return sweep
+
+    def wait_heartbeats(self, timeout_s: float = 2.0) -> bool:
+        """Block until every live shard has beaten at least once."""
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            if all(
+                not host.alive() or host.heartbeat_value() > 0
+                for host in self.manager.hosts
+            ):
+                return True
+            time.sleep(0.01)
+        return False
+
+    # -- repair ----------------------------------------------------------
+
+    def _repair(self, host: ShardHost, reason: str) -> list[Incident]:
+        if host.abandoned:
+            return []
+        if host.restarts >= self.policy.max_restarts:
+            host.abandoned = True
+            incident = Incident(
+                shard_id=host.shard_id, reason=reason, action="abandon"
+            )
+            self._record(incident)
+            return [incident]
+        backoff = self.policy.restart_backoff.delay(host.restarts)
+        self.sim_backoff_seconds += backoff
+        lost = host.restart()
+        self._beats.pop((host.shard_id, host.generation - 1), None)
+        incident = Incident(
+            shard_id=host.shard_id,
+            reason=reason,
+            action="restart",
+            lost_versions=lost,
+            backoff_s=backoff,
+        )
+        self._record(incident)
+        return [incident]
+
+    def _record(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+        if incident.action == "restart":
+            self.metrics.counter(
+                "shard.restarts",
+                shard=str(incident.shard_id),
+                reason=incident.reason,
+            ).inc()
+            self.metrics.histogram("shard.restart_backoff").observe(
+                incident.backoff_s
+            )
+        else:
+            self.metrics.counter(
+                "shard.abandoned", shard=str(incident.shard_id)
+            ).inc()
+        self._emit(incident)
+
+    def _emit(self, incident: Incident) -> None:
+        record: dict[str, Any] = {
+            "type": "shard_event",
+            "event": incident.action,
+            "shard": incident.shard_id,
+            "reason": incident.reason,
+            "lost_versions": incident.lost_versions,
+            "backoff_s": incident.backoff_s,
+        }
+        self.manager._emit(record)

@@ -169,3 +169,82 @@ class TestStreamPlan:
     def test_invalid_bandwidth(self):
         with pytest.raises(ValueError, match="bandwidth"):
             StreamingLoader(0.0)
+
+
+class TestRetryJitter:
+    """Full-jitter backoff: seeded, bounded, and off by default."""
+
+    def _policy(self, **overrides):
+        from repro.core.asl import RetryPolicy
+
+        overrides.setdefault("jitter", "full")
+        overrides.setdefault("jitter_seed", 11)
+        return RetryPolicy(
+            max_retries=5, base_delay_seconds=1e-3, **overrides
+        )
+
+    def test_default_is_pure_exponential(self):
+        from repro.core.asl import DEFAULT_RETRY_POLICY, RetryPolicy
+
+        policy = RetryPolicy(base_delay_seconds=1e-3, multiplier=2.0)
+        assert policy.jitter == "none"
+        assert [policy.delay(a) for a in range(3)] == [1e-3, 2e-3, 4e-3]
+        assert DEFAULT_RETRY_POLICY.jitter == "none"
+
+    def test_full_jitter_bounded_by_exponential_cap(self):
+        policy = self._policy()
+        for attempt in range(6):
+            cap = 1e-3 * 2.0**attempt
+            assert 0.0 <= policy.delay(attempt) <= cap
+
+    def test_seeded_sequence_replayable(self):
+        one = [self._policy().delay(a) for a in range(6)]
+        two = [self._policy().delay(a) for a in range(6)]
+        assert one == two
+        # Different seeds decorrelate the retry storm.
+        other = [self._policy(jitter_seed=12).delay(a) for a in range(6)]
+        assert one != other
+
+    def test_jitter_mode_validated(self):
+        from repro.core.asl import RetryPolicy
+
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter="equal")
+
+    def test_retry_delay_histogram_recorded(self):
+        from repro.core.asl import RetryPolicy, StreamPlan
+        from repro.faults import ASL_LOAD_SITE, FaultEvent, FaultInjector, FaultPlan
+        from repro.obs.metrics import MetricsRegistry
+
+        loader = StreamingLoader(pm_seq_read_bandwidth=1e9)
+        faults = FaultInjector(
+            FaultPlan(
+                events=(
+                    FaultEvent("transient_load", ASL_LOAD_SITE, count=2),
+                )
+            )
+        )
+        metrics = MetricsRegistry()
+        policy = RetryPolicy(
+            max_retries=3,
+            base_delay_seconds=1e-3,
+            jitter="full",
+            jitter_seed=11,
+        )
+        plan = StreamPlan(
+            n_partitions=4, batch_bytes=1024.0, total_load_seconds=0.4
+        )
+        outcome = loader.load(
+            plan, 0.4, metrics=metrics, faults=faults, retry=policy
+        )
+        assert outcome.attempts == 3
+        histogram = metrics.histogram("asl.retry_delay", jitter="full")
+        assert histogram.count == 2
+        # The recorded delays are exactly the seeded replay.
+        twin = RetryPolicy(
+            max_retries=3,
+            base_delay_seconds=1e-3,
+            jitter="full",
+            jitter_seed=11,
+        )
+        assert histogram.sum == pytest.approx(twin.delay(0) + twin.delay(1))

@@ -226,3 +226,94 @@ class TestParallelConfig:
             ParallelConfig(n_workers=0)
         with pytest.raises(ValueError, match="chunk_budget_bytes"):
             ParallelConfig(chunk_budget_bytes=1)
+
+
+class TestReleaseSweep:
+    """Teardown must unlink every owned segment even on a double fault."""
+
+    class _Stub:
+        def __init__(self, log, name, fail=False):
+            self.log, self.name, self.fail = log, name, fail
+
+        def _touch(self):
+            if self.fail:
+                raise RuntimeError(f"{self.name} refused to close")
+            self.log.append(self.name)
+
+        def close(self):
+            self._touch()
+
+        def release(self):
+            self._touch()
+
+    def _loaded_executor(self, log, failing: str):
+        executor = SharedMemoryExecutor(n_workers=1)
+        stub = lambda name: self._Stub(log, name, fail=(name == failing))
+        executor._matrices = {
+            1: (lambda: None, stub("matrix-a")),
+            2: (lambda: None, stub("matrix-b")),
+        }
+        executor._scratch = {"dense": stub("scratch-dense")}
+        return executor
+
+    def test_one_failure_does_not_stop_the_sweep(self, monkeypatch):
+        import repro.parallel.shared as shared_module
+
+        log: list[str] = []
+        executor = self._loaded_executor(log, failing="matrix-a")
+        executor._retired = ["retired-a", "retired-b"]
+        unlinked: list[str] = []
+        monkeypatch.setattr(
+            shared_module, "unlink_segment", unlinked.append
+        )
+        with pytest.raises(RuntimeError, match="matrix-a refused"):
+            executor.close()
+        # Every other segment was still released and unlinked...
+        assert log == ["matrix-b", "scratch-dense"]
+        assert unlinked == ["retired-a", "retired-b"]
+        # ...and the bookkeeping is empty, so a retry cannot double-free.
+        assert executor._matrices == {}
+        assert executor._scratch == {}
+        assert executor._retired == []
+
+    def test_first_failure_wins(self, monkeypatch):
+        import repro.parallel.shared as shared_module
+
+        log: list[str] = []
+        executor = self._loaded_executor(log, failing="matrix-a")
+        executor._scratch["out"] = self._Stub(
+            log, "scratch-out", fail=True
+        )
+        monkeypatch.setattr(
+            shared_module, "unlink_segment", lambda name: None
+        )
+        with pytest.raises(RuntimeError, match="matrix-a refused"):
+            executor.close()
+
+    def test_fail_path_keeps_the_worker_crash_error(self):
+        log: list[str] = []
+        executor = self._loaded_executor(log, failing="matrix-a")
+        executor._retired = []
+        error = executor._fail("worker died")
+        # The release failure is swept, not allowed to mask the crash.
+        assert isinstance(error, WorkerCrashError)
+        assert log == ["matrix-b", "scratch-dense"]
+        assert executor.closed
+
+    def test_clean_close_leaves_no_segments(self):
+        matrix = _rmat_csdb(6, seed=5)
+        dense = np.ones((matrix.n_cols, 2))
+        executor = SharedMemoryExecutor(n_workers=1)
+        ranges = ((0, matrix.n_rows),)
+        out = np.empty((matrix.n_rows, 2))
+        executor.run_partitions(matrix, dense, ranges, out)
+        names = [executor._prefix]
+        names += [seg.segment.name for seg in executor._scratch.values()]
+        executor.close()
+        import pathlib
+
+        leaked = [
+            p.name
+            for p in pathlib.Path("/dev/shm").glob(f"*{executor._prefix}*")
+        ]
+        assert leaked == []
