@@ -124,6 +124,12 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="stream telemetry incrementally to a JSONL file while the"
         " run is in flight (tail it with 'repro top PATH')",
     )
+    parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="with --live: also tail the stream in this terminal,"
+        " printing stages and shard events as they complete",
+    )
 
 
 def _parallel_from_args(args: argparse.Namespace) -> ParallelConfig:
@@ -222,6 +228,60 @@ def _telemetry_session(
     return session
 
 
+class _StreamFollowPrinter:
+    """Tail this process's own ``--live`` stream and print progress.
+
+    A daemon thread polls the stream file with
+    :class:`~repro.obs.live.StreamFollower` and prints one line per
+    progress-worthy record (completed stages, shard events), so a long
+    embed/compare run shows its pipeline advancing without a second
+    terminal running ``repro top``.
+    """
+
+    def __init__(self, path: str) -> None:
+        import threading
+
+        self.path = path
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_StreamFollowPrinter":
+        print(f"following live stream {self.path}")
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+
+    def _run(self) -> None:
+        import time
+
+        from repro.obs.live import StreamFollower, progress_line
+
+        follower = StreamFollower(self.path)
+        while True:
+            for record in follower.poll():
+                line = progress_line(record)
+                if line is not None:
+                    print(line, flush=True)
+            if follower.closed or self._stop.is_set():
+                return
+            time.sleep(0.2)
+
+
+def _follow_stream(args: argparse.Namespace):
+    """The active ``--follow`` printer, or a no-op context manager."""
+    import contextlib
+
+    if getattr(args, "follow", False):
+        live = getattr(args, "live", None)
+        if not live:
+            raise SystemExit("--follow requires --live PATH")
+        return _StreamFollowPrinter(live)
+    return contextlib.nullcontext()
+
+
 def _save_telemetry(session: TelemetrySession | None, path: str | None) -> None:
     if session is None:
         return
@@ -306,20 +366,23 @@ def cmd_embed(args: argparse.Namespace) -> int:
         tracer=session.tracer if session else None,
         metrics=session.metrics if session else None,
     )
-    if args.faults:
-        result = _embed_under_faults(args, embedder, edges, n_nodes, session)
-        if result is None:
-            _save_telemetry(session, args.telemetry_out)
-            return 1
-    elif args.slo:
-        # Route through the checkpointing layer so the run pays (and
-        # accounts, as checkpoint.sim_seconds) realistic persistence
-        # overhead — the numerator of the overhead-fraction objective.
-        result = CheckpointedEmbedder(embedder).embed_with_checkpoints(
-            edges, n_nodes
-        )
-    else:
-        result = embedder.embed_edges(edges, n_nodes)
+    with _follow_stream(args):
+        if args.faults:
+            result = _embed_under_faults(
+                args, embedder, edges, n_nodes, session
+            )
+            if result is None:
+                _save_telemetry(session, args.telemetry_out)
+                return 1
+        elif args.slo:
+            # Route through the checkpointing layer so the run pays (and
+            # accounts, as checkpoint.sim_seconds) realistic persistence
+            # overhead — the numerator of the overhead-fraction objective.
+            result = CheckpointedEmbedder(embedder).embed_with_checkpoints(
+                edges, n_nodes
+            )
+        else:
+            result = embedder.embed_edges(edges, n_nodes)
     print(
         f"{name}: embedded {n_nodes:,} nodes in"
         f" {format_seconds(result.sim_seconds)} simulated"
@@ -424,6 +487,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         _load_run(args.run_b),
         threshold=args.threshold,
         include_profile=args.profile,
+        include_placement=args.shard_placement,
     )
     print(render_diff(report))
     return 1 if report.regressions else 0
@@ -676,10 +740,15 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
             # AND no hedging, so a lost shard range is visibly lost.
             shard_policy=ShardPolicy(
                 n_shards=args.shards,
+                n_replicas=args.replicas,
                 hedge_enabled=not args.no_supervisor,
+                checkpoint_interval=args.checkpoint_interval,
+                staleness_bound=args.staleness_bound,
             ),
             supervisor_policy=(
-                None if args.no_supervisor else SupervisorPolicy()
+                None
+                if args.no_supervisor
+                else SupervisorPolicy(reshard_imbalance=args.reshard)
             ),
             faults=injector,
             metrics=metrics,
@@ -752,6 +821,15 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         rows += [
             ["shards", str(shard_info["n_shards"]), ""],
             ["shard restarts", str(shard_info["restarts"]), ""],
+            ["shard promotions", str(shard_info["promotions"]), ""],
+            ["bg checkpoints", str(shard_info["bg_checkpoints"]), ""],
+            ["max staleness", str(shard_info["staleness_max"]), ""],
+            ["reshard epoch", str(shard_info["reshard_epoch"]), ""],
+            [
+                "quarantined checkpoints",
+                str(shard_info["corrupt_checkpoints"]),
+                "",
+            ],
             ["shard stale rows", str(shard_info["stale_rows"]), ""],
             [
                 "shard hedged",
@@ -808,7 +886,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.graph)
     plan = FaultPlan.load(args.faults) if args.faults else None
     session = None
-    if args.telemetry_out:
+    if args.telemetry_out or args.live:
         session = TelemetrySession(
             meta={
                 "command": "compare",
@@ -818,6 +896,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
                 "faults": args.faults,
             }
         )
+        if args.live:
+            session.stream_to(args.live)
     if session is not None and plan is not None:
         session.event(
             "fault_plan", path=args.faults, seed=plan.seed,
@@ -825,31 +905,34 @@ def cmd_compare(args: argparse.Namespace) -> int:
         )
     parallel = _parallel_from_args(args)
     rows = []
-    for arm in standard_arms(n_threads=args.threads, dim=args.dim):
-        arm = replace(arm, config=arm.config.with_overrides(parallel=parallel))
-        result = run_arm(
-            arm,
-            dataset,
-            tracer=session.tracer if session else None,
-            metrics=session.metrics if session else None,
-            faults=plan,
-        )
-        if session is not None:
-            session.event(
-                "arm", system=arm.name, status=result.status,
-                sim_seconds=result.sim_seconds,
+    with _follow_stream(args):
+        for arm in standard_arms(n_threads=args.threads, dim=args.dim):
+            arm = replace(
+                arm, config=arm.config.with_overrides(parallel=parallel)
             )
-            if result.result is not None:
-                session.add_cost_trace(arm.name, result.result.trace)
-        rows.append(
-            [
-                arm.name,
-                result.status,
-                format_seconds(
-                    project_full_scale(result.sim_seconds, dataset.scale)
-                ),
-            ]
-        )
+            result = run_arm(
+                arm,
+                dataset,
+                tracer=session.tracer if session else None,
+                metrics=session.metrics if session else None,
+                faults=plan,
+            )
+            if session is not None:
+                session.event(
+                    "arm", system=arm.name, status=result.status,
+                    sim_seconds=result.sim_seconds,
+                )
+                if result.result is not None:
+                    session.add_cost_trace(arm.name, result.result.trace)
+            rows.append(
+                [
+                    arm.name,
+                    result.status,
+                    format_seconds(
+                        project_full_scale(result.sim_seconds, dataset.scale)
+                    ),
+                ]
+            )
     print(
         format_table(
             ["system", "status", "projected time"],
@@ -930,6 +1013,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="export per-arm spans, metrics and cost ledgers as JSONL",
     )
+    compare.add_argument(
+        "--live", metavar="PATH",
+        help="stream per-arm telemetry incrementally to a JSONL file"
+        " while the arms run (tail it with 'repro top PATH')",
+    )
+    compare.add_argument(
+        "--follow", action="store_true",
+        help="with --live: also tail the stream in this terminal,"
+        " printing arms and stages as they complete",
+    )
 
     report = sub.add_parser(
         "report", help="render a telemetry JSONL file as breakdown tables"
@@ -955,6 +1048,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="also diff per-node simulated self seconds of the folded"
         " profiles (threshold-gated like the stage series)",
+    )
+    diff.add_argument(
+        "--shard-placement", action="store_true",
+        help="also diff the shard.placement.* gauges: real per-shard"
+        " rows/nnz and balance/edge-cut vs the DistDGL and DistGER"
+        " partitioning cost models",
     )
 
     profile = sub.add_parser(
@@ -1107,6 +1206,26 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-supervisor", action="store_true",
         help="disable the shard supervisor (crashed shards stay down)",
+    )
+    serve.add_argument(
+        "--checkpoint-interval", type=int, default=0, metavar="N",
+        help="background-checkpoint each shard every N lookups"
+        " (staggered across shards; 0 = no cadence)",
+    )
+    serve.add_argument(
+        "--staleness-bound", type=int, default=0, metavar="V",
+        help="force a background checkpoint whenever a shard falls V"
+        " table versions behind (0 = unbounded)",
+    )
+    serve.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="N warm standby replicas per shard; the supervisor promotes"
+        " one on primary death instead of replaying the WAL",
+    )
+    serve.add_argument(
+        "--reshard", type=float, default=0.0, metavar="RATIO",
+        help="split the hottest shard online when served-row load"
+        " imbalance (max/mean) exceeds RATIO (0 = never reshard)",
     )
     _add_engine_arguments(serve)
 

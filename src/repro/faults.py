@@ -58,8 +58,22 @@ SERVE_FAULT_KINDS = ("backend_stall", "request_burst")
 #: event fires, so a seeded chaos run kills a shard at a deterministic
 #: point mid-serve.
 SHARD_FAULT_KINDS = ("shard_crash", "shard_hang", "heartbeat_loss")
+#: Checkpoint-media fault kinds (:mod:`repro.shard`): the simulated PM
+#: device returns bad data — a ``checkpoint_corrupt`` flips bytes inside
+#: a shard's newest durable checkpoint record (its CRC no longer
+#: matches), a ``checkpoint_torn`` truncates the record's payload (a
+#: torn write).  Recovery must *verify* what it reads: the shard walks
+#: back to the newest checkpoint whose CRC holds and quarantines the
+#: damaged ones.  Like the shard kinds, ``site`` is ``"shard.<i>"`` and
+#: ``count`` is the 1-based lookup sequence number at which the media
+#: damage lands.
+CHECKPOINT_FAULT_KINDS = ("checkpoint_corrupt", "checkpoint_torn")
+#: Every shard-site kind (fires on lookup sequence numbers).
+SHARD_SITE_KINDS = SHARD_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
 #: Every kind a :class:`FaultEvent` accepts.
-ALL_FAULT_KINDS = FAULT_KINDS + SERVE_FAULT_KINDS + SHARD_FAULT_KINDS
+ALL_FAULT_KINDS = (
+    FAULT_KINDS + SERVE_FAULT_KINDS + SHARD_FAULT_KINDS + CHECKPOINT_FAULT_KINDS
+)
 #: Crash phases relative to a stage's WAL commit.
 CRASH_PHASES = ("after_commit", "before_commit")
 #: Default injection site of transient streaming-load failures.
@@ -161,7 +175,7 @@ class FaultEvent:
             raise ValueError("backend_stall events need seconds > 0")
         if self.kind == "shard_hang" and self.seconds == 0.0:
             raise ValueError("shard_hang events need seconds > 0")
-        if self.kind in SHARD_FAULT_KINDS and not self.site.startswith(
+        if self.kind in SHARD_SITE_KINDS and not self.site.startswith(
             "shard."
         ):
             raise ValueError(
@@ -346,6 +360,73 @@ class FaultPlan:
                 events.append(FaultEvent(kind, site, count=at))
         return cls(events=tuple(events), seed=seed)
 
+    @classmethod
+    def random_resilience(
+        cls,
+        seed: int,
+        scenario: str,
+        n_shards: int = 4,
+        max_lookup: int = 30,
+    ) -> "FaultPlan":
+        """Seeded online-resilience plan for one chaos-matrix scenario.
+
+        Scenarios (the CI chaos-matrix axes):
+
+        - ``"promotion"`` — primary kills only (``shard_crash``), so a
+          replica-backed fleet must fail over by promotion;
+        - ``"reshard"`` — a kill plus a hang, landing while the
+          supervisor is splitting/merging ranges under load imbalance;
+        - ``"corruption"`` — checkpoint media damage
+          (``checkpoint_corrupt`` / ``checkpoint_torn``) followed by a
+          kill of the same shard, forcing verified walk-back recovery.
+
+        The same ``(seed, scenario)`` always yields the same plan.
+        """
+        import numpy as np
+
+        scenarios = ("promotion", "reshard", "corruption")
+        if scenario not in scenarios:
+            raise ValueError(
+                f"scenario must be one of {scenarios}, got {scenario!r}"
+            )
+        rng = np.random.default_rng(seed)
+        events: list[FaultEvent] = []
+        if scenario == "promotion":
+            for _ in range(2):
+                site = f"shard.{int(rng.integers(n_shards))}"
+                at = int(rng.integers(2, max_lookup + 1))
+                events.append(FaultEvent("shard_crash", site, count=at))
+        elif scenario == "reshard":
+            site = f"shard.{int(rng.integers(n_shards))}"
+            events.append(
+                FaultEvent(
+                    "shard_crash",
+                    site,
+                    count=int(rng.integers(2, max_lookup + 1)),
+                )
+            )
+            events.append(
+                FaultEvent(
+                    "shard_hang",
+                    f"shard.{int(rng.integers(n_shards))}",
+                    count=int(rng.integers(2, max_lookup + 1)),
+                    seconds=float(rng.uniform(0.5, 1.5)),
+                )
+            )
+        else:  # corruption
+            shard = int(rng.integers(n_shards))
+            damage = CHECKPOINT_FAULT_KINDS[int(rng.integers(2))]
+            at = int(rng.integers(2, max(3, max_lookup // 2)))
+            events.append(FaultEvent(damage, f"shard.{shard}", count=at))
+            events.append(
+                FaultEvent(
+                    "shard_crash",
+                    f"shard.{shard}",
+                    count=int(rng.integers(at + 1, max_lookup + 2)),
+                )
+            )
+        return cls(events=tuple(events), seed=seed)
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-serializable form."""
         return {
@@ -477,14 +558,16 @@ class FaultInjector:
     def take_shard_fault(self, site: str, seq: int) -> FaultEvent | None:
         """Consume one armed shard fault at ``site`` due by lookup ``seq``.
 
-        Shard events interpret ``count`` as the 1-based scatter-gather
-        lookup sequence number at which they fire; each event fires
-        exactly once, at the first lookup whose sequence reaches it.
+        Shard events (including the checkpoint-media kinds) interpret
+        ``count`` as the 1-based scatter-gather lookup sequence number
+        at which they fire; each event fires exactly once, at the first
+        lookup whose sequence reaches it.  Call repeatedly to drain
+        multiple events due at the same sequence number.
         """
         for entry in self._remaining:
             event, remaining = entry
             if (
-                event.kind in SHARD_FAULT_KINDS
+                event.kind in SHARD_SITE_KINDS
                 and event.site == site
                 and remaining > 0
                 and seq >= event.count

@@ -26,6 +26,7 @@ semantics exactly.
 from __future__ import annotations
 
 import json
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -177,14 +178,37 @@ class ShadowCommit:
         return version.sequence
 
 
+def record_checksum(arrays: dict[str, np.ndarray], meta: dict) -> int:
+    """CRC32 of a checkpoint record's payload (arrays + meta).
+
+    Covers each array's name, shape, dtype, and raw bytes plus the
+    canonical-JSON meta, so any bit flip, truncation, or reshape of the
+    stored payload fails verification.
+    """
+    crc = 0
+    for name in sorted(arrays):
+        array = np.ascontiguousarray(arrays[name])
+        header = f"{name}:{array.dtype.str}:{array.shape}".encode()
+        crc = zlib.crc32(header, crc)
+        crc = zlib.crc32(array.tobytes(), crc)
+    crc = zlib.crc32(json.dumps(meta, sort_keys=True).encode(), crc)
+    return crc
+
+
 @dataclass
 class StageRecord:
-    """One durable WAL entry: a completed pipeline stage's checkpoint."""
+    """One durable WAL entry: a completed pipeline stage's checkpoint.
+
+    ``crc`` is the checksum computed at commit time; it is *not*
+    recomputed when the media is damaged, so
+    :meth:`StageCheckpointStore.verify` detects corrupt or torn records.
+    """
 
     stage: str
     arrays: dict[str, np.ndarray]
     meta: dict
     sequence: int
+    crc: int = 0
 
 
 class StageCheckpointStore:
@@ -195,6 +219,11 @@ class StageCheckpointStore:
     injected before the flip (``crash=True``) loses only that record —
     every earlier stage stays durable, which is exactly what
     :meth:`CheckpointedEmbedder.resume` recovers.
+
+    Every record carries a CRC32 over its payload
+    (:func:`record_checksum`); readers that must not trust the media
+    (:class:`repro.shard.ShardHost` recovery) verify before use and walk
+    back past damaged records.
     """
 
     def __init__(self, domain: PersistenceDomain) -> None:
@@ -234,12 +263,14 @@ class StageCheckpointStore:
         self.domain.flush()
         self.domain.fence()
         self._sequence += 1
+        stored_meta = json.loads(json.dumps(meta))
         self._records.append(
             StageRecord(
                 stage=stage,
                 arrays=stored,
-                meta=json.loads(json.dumps(meta)),
+                meta=stored_meta,
                 sequence=self._sequence,
+                crc=record_checksum(stored, stored_meta),
             )
         )
         return self._sequence
@@ -247,6 +278,51 @@ class StageCheckpointStore:
     def last(self) -> StageRecord | None:
         """The most recent durable record (what a restart recovers)."""
         return self._records[-1] if self._records else None
+
+    @property
+    def records(self) -> list[StageRecord]:
+        """Every durable record, commit order (newest last)."""
+        return list(self._records)
+
+    @staticmethod
+    def verify(record: StageRecord) -> bool:
+        """Whether a record's payload still matches its commit-time CRC."""
+        return record_checksum(record.arrays, record.meta) == record.crc
+
+    def quarantine(self, record: StageRecord) -> None:
+        """Drop a damaged record from the log (it never serves again)."""
+        self._records = [r for r in self._records if r is not record]
+
+    def damage_last(self, mode: str = "corrupt") -> StageRecord | None:
+        """Simulate media damage on the newest record (fault injection).
+
+        ``"corrupt"`` flips bytes inside the largest stored array;
+        ``"torn"`` truncates it (a torn write).  The record's CRC is
+        left at its commit-time value, so :meth:`verify` fails.  Returns
+        the damaged record, or ``None`` when the log is empty or the
+        newest record has no array payload to damage.
+        """
+        if mode not in ("corrupt", "torn"):
+            raise ValueError(f"mode must be 'corrupt' or 'torn', got {mode!r}")
+        if not self._records:
+            return None
+        record = self._records[-1]
+        if not record.arrays:
+            return None
+        name = max(record.arrays, key=lambda n: record.arrays[n].nbytes)
+        array = record.arrays[name]
+        if mode == "corrupt":
+            damaged = np.array(array, copy=True)
+            flat = damaged.view(np.uint8).reshape(-1)
+            flat[: max(1, len(flat) // 64)] ^= 0xFF
+            record.arrays[name] = damaged
+        else:
+            flat = np.ascontiguousarray(array).reshape(-1)
+            record.arrays[name] = np.array(
+                flat[: max(0, len(flat) - max(1, len(flat) // 2))],
+                copy=True,
+            )
+        return record
 
     @property
     def stages(self) -> list[str]:

@@ -447,6 +447,47 @@ def load_records(path: str | Path) -> list[dict[str, Any]]:
     return read_jsonl(path)
 
 
+def progress_line(record: dict[str, Any]) -> str | None:
+    """One human-readable progress line for a live-stream record.
+
+    The ``--follow`` mode of ``repro embed`` / ``repro compare`` tails
+    its own ``--live`` stream and prints these as the run advances:
+    completed pipeline stages (coarse spans only — worker partition
+    spans would flood the terminal), shard events from the resilience
+    layer, and run-level events.  Returns ``None`` for records that
+    carry no progress signal.
+    """
+    kind = record.get("type")
+    if kind == "span":
+        depth = int(record.get("depth", 0) or 0)
+        if depth > 2 or record.get("name") == "spmm_partition":
+            return None
+        sim = float(record.get("sim_seconds", 0.0) or 0.0)
+        status = record.get("status", "ok")
+        suffix = "" if status == "ok" else f" [{status}]"
+        return f"  stage {record.get('name')}: {sim:.4g}s sim{suffix}"
+    if kind == "shard_event":
+        event = record.get("event")
+        shard = record.get("shard")
+        detail = ", ".join(
+            f"{key}={record[key]}"
+            for key in ("reason", "version", "lag_closed", "lost_versions")
+            if record.get(key) not in (None, "", 0)
+        )
+        return f"  shard {shard}: {event}" + (f" ({detail})" if detail else "")
+    if kind == "event":
+        name = record.get("name")
+        if name == "arm":
+            return (
+                f"  arm {record.get('system')}: {record.get('status')}"
+                f" ({float(record.get('sim_seconds', 0.0) or 0.0):.4g}s sim)"
+            )
+        return f"  event {name}"
+    if kind == CLOSED_RECORD_TYPE:
+        return "  stream closed"
+    return None
+
+
 # ---------------------------------------------------------------------------
 # Serving snapshots and the ops view
 # ---------------------------------------------------------------------------

@@ -29,6 +29,7 @@ from repro.obs.observatory.manifest import RunManifest, manifest_from_records
 GROUP_STAGES = "stage"
 GROUP_COSTS = "cost"
 GROUP_PROFILE = "profile"
+GROUP_PLACEMENT = "placement"
 GROUP_METRICS = "metric"
 
 #: Row statuses.
@@ -142,6 +143,37 @@ def extract_profile_self_seconds(
     return out
 
 
+def extract_placement_values(
+    records: list[dict[str, Any]],
+) -> dict[str, float]:
+    """Shard-placement gauges: real vs simulated partitioner quality.
+
+    Collects the ``shard.placement.*`` family the sharded backend
+    publishes at warmup — per-shard ``rows`` / ``nnz`` and the
+    ``balance`` / ``edge_cut`` scores of the real placement next to the
+    DistDGL (random hash) and DistGER (workload-balanced) cost models —
+    the ``repro diff --shard-placement`` view.  Balance and edge-cut are
+    *lower-is-better* ratios, so the group is threshold-gated like the
+    time series.
+    """
+    out: dict[str, float] = {}
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        name = record.get("name")
+        if not isinstance(name, str) or not name.startswith(
+            "shard.placement."
+        ):
+            continue
+        labels = record.get("labels") or {}
+        suffix = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+        key = name[len("shard.placement."):]
+        if suffix:
+            key = f"{key}[{suffix}]"
+        out[key] = float(record.get("value", 0.0) or 0.0)
+    return out
+
+
 def extract_metric_values(
     records: list[dict[str, Any]],
 ) -> dict[str, float]:
@@ -192,12 +224,15 @@ def diff_runs(
     records_b: list[dict[str, Any]],
     threshold: float = 0.05,
     include_profile: bool = False,
+    include_placement: bool = False,
 ) -> DiffReport:
     """Compare two telemetry exports; ``records_a`` is the baseline.
 
     With ``include_profile``, the hierarchical profiles are compared
     too: per-node simulated self-time deltas, threshold-gated like the
-    stage series.
+    stage series.  With ``include_placement``, the shard-placement
+    gauges (real distribution vs the DistDGL/DistGER cost models) get
+    their own gated group.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
@@ -230,6 +265,16 @@ def diff_runs(
                 GROUP_PROFILE,
                 extract_profile_self_seconds(records_a),
                 extract_profile_self_seconds(records_b),
+                threshold,
+                gated=True,
+            )
+        )
+    if include_placement:
+        report.rows.extend(
+            _diff_series(
+                GROUP_PLACEMENT,
+                extract_placement_values(records_a),
+                extract_placement_values(records_b),
                 threshold,
                 gated=True,
             )
@@ -278,6 +323,11 @@ def render_diff(report: DiffReport) -> str:
         (GROUP_STAGES, "Per-stage simulated seconds", True),
         (GROUP_COSTS, "Cost-ledger categories", True),
         (GROUP_PROFILE, "Profile-node simulated self seconds", True),
+        (
+            GROUP_PLACEMENT,
+            "Shard placement vs DistDGL/DistGER cost models",
+            True,
+        ),
         (GROUP_METRICS, "Metrics (context only, not gated)", False),
     ):
         rows = [r for r in report.rows if r.group == group]

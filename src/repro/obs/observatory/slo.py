@@ -36,6 +36,12 @@ Kinds:
   simulated seconds (``checkpoint.sim_seconds``) as a fraction of the
   embedding pipeline's (``embed.sim_seconds``) must stay at or below
   ``target``; burn is fraction / target.
+- ``staleness_bound`` — the worst checkpoint staleness any lookup
+  observed (the ``shard.staleness_max`` gauge the background
+  checkpointer maintains, in table versions) must stay at or below
+  ``target``; burn is observed / target.  This is the objective the
+  online-resilience layer's background checkpoint refresh exists to
+  hold.
 
 Burn rates above 1.0 mean the objective's budget is exhausted — the
 pass/fail flag and the burn rate always agree on which side of the
@@ -60,6 +66,7 @@ SLO_KINDS = (
     "breaker_trips",
     "stage_seconds",
     "checkpoint_overhead_fraction",
+    "staleness_bound",
 )
 
 
@@ -424,6 +431,38 @@ def _evaluate_checkpoint_overhead(
     )
 
 
+def _evaluate_staleness_bound(
+    objective: SLOObjective, records: list[dict[str, Any]]
+) -> ObjectiveResult:
+    observed: float | None = None
+    for record in _metric_records(records):
+        if record.get("name") != "shard.staleness_max":
+            continue
+        if record.get("kind") not in ("counter", "gauge"):
+            continue
+        value = float(record.get("value", 0.0) or 0.0)
+        observed = value if observed is None else max(observed, value)
+    if observed is None:
+        return ObjectiveResult(
+            objective=objective,
+            value=math.nan,
+            passed=True,
+            burn_rate=0.0,
+            detail="no shard.staleness_max recorded",
+        )
+    if objective.target > 0:
+        burn = observed / objective.target
+    else:
+        burn = 0.0 if observed == 0 else math.inf
+    return ObjectiveResult(
+        objective=objective,
+        value=observed,
+        passed=observed <= objective.target,
+        burn_rate=burn,
+        detail=f"max lag {observed:.0f} version(s)",
+    )
+
+
 _EVALUATORS = {
     "latency_quantile": _evaluate_latency,
     "served_fraction": _evaluate_served_fraction,
@@ -431,6 +470,7 @@ _EVALUATORS = {
     "breaker_trips": _evaluate_breaker_trips,
     "stage_seconds": _evaluate_stage_seconds,
     "checkpoint_overhead_fraction": _evaluate_checkpoint_overhead,
+    "staleness_bound": _evaluate_staleness_bound,
 }
 
 
@@ -458,8 +498,12 @@ def render_slo(report: SLOReport) -> str:
                 else "-"
             )
             target = format_seconds(objective.target)
-        elif objective.kind == "breaker_trips":
-            value = f"{result.value:.0f}"
+        elif objective.kind in ("breaker_trips", "staleness_bound"):
+            value = (
+                f"{result.value:.0f}"
+                if not math.isnan(result.value)
+                else "-"
+            )
             target = f"{objective.target:.0f}"
         else:
             value = (

@@ -25,6 +25,12 @@ import numpy as np
 
 from repro.core.embedding import OMeGaEmbedder
 from repro.faults import BackendStallError, FaultInjector
+from repro.graphs.partition import (
+    balanced_edge_partition,
+    edge_cut_fraction,
+    hash_partition,
+    partition_load_balance,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.backend import (
     FIDELITY_FULL,
@@ -67,6 +73,7 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
         self.stream = stream
         self.shards: EmbeddingShardManager | None = None
         self.supervisor: ShardSupervisor | None = None
+        self.placement: dict | None = None
         self._serve_seq = 0
 
     # -- warmup ----------------------------------------------------------
@@ -101,7 +108,60 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
         self.warmup_sim_seconds += sum(
             host.domain.sim_seconds for host in self.shards.hosts
         )
+        self.placement = self._measure_placement(degrees)
         return self.warmup_sim_seconds
+
+    def _measure_placement(self, degrees: np.ndarray) -> dict:
+        """Real shard placement vs the DistDGL / DistGER cost models.
+
+        The store's actual node->shard assignment (entropy-aware ranges
+        or the consistent-hash ring) is scored with the same balance and
+        edge-cut measures as two simulated baselines: DistDGL-style
+        random hashing (``hash_partition``) and DistGER-style
+        workload-balanced chunking (``balanced_edge_partition``).
+        Published as ``shard.placement.*`` gauges so ``repro diff
+        --shard-placement`` can compare runs.
+        """
+        n_shards = self.shards.routing.n_shards
+        all_ids = np.arange(self.n_nodes, dtype=np.int64)
+        real = self.shards.routing.shard_of(all_ids)
+        weights = degrees.astype(np.float64)
+        edges = np.asarray(self.edges, dtype=np.int64)
+        models = {
+            "real": real,
+            "distdgl": hash_partition(self.n_nodes, n_shards),
+            "distger": balanced_edge_partition(weights, n_shards),
+        }
+        placement: dict = {
+            "n_shards": n_shards,
+            "rows": [int((real == s).sum()) for s in range(n_shards)],
+            "nnz": [
+                float(weights[real == s].sum()) for s in range(n_shards)
+            ],
+            "models": {},
+        }
+        for model, assignment in models.items():
+            balance = partition_load_balance(assignment, weights=weights)
+            cut = edge_cut_fraction(edges, assignment)
+            placement["models"][model] = {
+                "balance": balance, "edge_cut": cut
+            }
+            self.metrics.gauge(
+                "shard.placement.balance", model=model
+            ).set(balance)
+            self.metrics.gauge(
+                "shard.placement.edge_cut", model=model
+            ).set(cut)
+        for shard, (rows, nnz) in enumerate(
+            zip(placement["rows"], placement["nnz"])
+        ):
+            self.metrics.gauge(
+                "shard.placement.rows", shard=str(shard)
+            ).set(float(rows))
+            self.metrics.gauge(
+                "shard.placement.nnz", shard=str(shard)
+            ).set(nnz)
+        return placement
 
     def close(self) -> None:
         """Stop every shard process and unlink their segments."""
@@ -176,14 +236,39 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
         """Headline shard-fleet numbers for reports and the CLI."""
         if self.shards is None:
             return {"n_shards": 0}
-        restarts = sum(host.restarts for host in self.shards.hosts)
+        shards = self.shards
+        restarts = sum(host.restarts for host in shards.hosts)
+        refresher = shards.refresher
         return {
-            "n_shards": self.shards.routing.n_shards,
-            "ranges": [list(r) for r in self.shards.routing.ranges],
-            "lookups": self.shards.lookup_seq,
+            "n_shards": shards.routing.n_shards,
+            "ranges": shards.routing.range_summaries(),
+            "lookups": shards.lookup_seq,
+            "rows_served": list(shards.rows_served),
+            "load_imbalance": shards.load_imbalance(),
             "restarts": restarts,
+            "promotions": sum(host.promotions for host in shards.hosts),
             "abandoned": sum(
-                1 for host in self.shards.hosts if host.abandoned
+                1 for host in shards.hosts if host.abandoned
+            ),
+            "reshard_epoch": shards.reshard_epoch,
+            "resharded_ranges": int(
+                self.metrics.value("shard.resharded_ranges")
+            ),
+            "corrupt_checkpoints": sum(
+                host.quarantined for host in shards.hosts
+            ),
+            "bg_checkpoints": (
+                refresher.bg_checkpoints if refresher is not None else 0
+            ),
+            "staleness_max": (
+                refresher.max_observed_staleness
+                if refresher is not None
+                else 0
+            ),
+            "refresh_sim_seconds": (
+                refresher.sim_refresh_seconds
+                if refresher is not None
+                else 0.0
             ),
             "stale_rows": int(self.metrics.value("shard.stale_rows")),
             "hedged_checkpoint": int(
@@ -192,6 +277,7 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
             "hedged_replica": int(
                 self.metrics.value("shard.hedged", target="replica")
             ),
+            "placement": self.placement,
             "incidents": (
                 [
                     {
@@ -199,6 +285,7 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
                         "reason": i.reason,
                         "action": i.action,
                         "lost_versions": i.lost_versions,
+                        "recovery_s": i.recovery_s,
                     }
                     for i in self.supervisor.incidents
                 ]

@@ -1,14 +1,18 @@
 """repro.shard — fault-tolerant multi-process sharded embedding store.
 
 The embedding table is partitioned into entropy-aware contiguous
-ranges, each served by a real shard process over shared memory and
-journaled into a WAL checkpoint store; a supervisor restarts crashed or
-hung shards from their checkpoints with bounded staleness, and the
-scatter-gather front hedges failed shards through replicas and the
-stale-checkpoint tier instead of failing whole requests.
+ranges (or a consistent-hash ring), each served by a real shard process
+over shared memory and journaled into a CRC-checksummed WAL checkpoint
+store; a supervisor promotes warm replicas or restarts crashed shards
+from their newest *verified* checkpoint, re-checkpoints stale shards in
+the background to bound staleness, elastically splits hot shards
+online, and the scatter-gather front hedges failed shards through
+replicas and the stale-checkpoint tier instead of failing whole
+requests.
 """
 
 from repro.shard.errors import (
+    CheckpointCorruptionError,
     PartialResultError,
     ShardCrashError,
     ShardError,
@@ -16,10 +20,12 @@ from repro.shard.errors import (
     ShardTimeoutError,
 )
 from repro.shard.ranges import (
+    HashRoutingTable,
     ShardRoutingTable,
     entropy_aware_node_ranges,
     uniform_node_ranges,
 )
+from repro.shard.refresh import BackgroundCheckpointer
 from repro.shard.store import (
     STATUS_FRESH,
     STATUS_MISSING,
@@ -38,8 +44,11 @@ from repro.shard.supervisor import (
 )
 
 __all__ = [
+    "BackgroundCheckpointer",
+    "CheckpointCorruptionError",
     "DEFAULT_RESTART_BACKOFF",
     "EmbeddingShardManager",
+    "HashRoutingTable",
     "Incident",
     "PartialResultError",
     "STATUS_FRESH",

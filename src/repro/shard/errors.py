@@ -24,6 +24,23 @@ class ShardCrashError(ShardError):
         self.detail = detail
 
 
+class CheckpointCorruptionError(ShardCrashError):
+    """No verified checkpoint survives for a shard.
+
+    Raised when recovery walks the shard's WAL from newest to oldest and
+    every record fails CRC verification (all quarantined).  Subclasses
+    :class:`ShardCrashError` so the hedging ladder treats it as the
+    checkpoint tier being unavailable rather than crashing the caller.
+    """
+
+    def __init__(self, shard_id: int, quarantined: int) -> None:
+        super().__init__(
+            shard_id,
+            f"no verified checkpoint ({quarantined} quarantined)",
+        )
+        self.quarantined = quarantined
+
+
 class ShardHungError(ShardError):
     """A shard process is alive but stopped making progress."""
 

@@ -49,8 +49,19 @@ def shard_main(
     heartbeat,
     heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
 ) -> None:
-    """Entry point of one shard process (also used by replicas)."""
+    """Entry point of one shard process (also used by replicas).
+
+    ``row_start`` is the shard's index base: an ``int`` offset for
+    contiguous range routing, or a sorted ``np.ndarray`` of owned node
+    ids under consistent-hash routing (local slot found by binary
+    search).
+    """
     view, segment = attach_shared_array(spec)
+    owned_ids = (
+        np.asarray(row_start, dtype=np.int64)
+        if isinstance(row_start, np.ndarray)
+        else None
+    )
     muted = False
     try:
         while True:
@@ -84,7 +95,11 @@ def shard_main(
             # kind == "lookup"
             _, req_id, node_ids = job
             try:
-                ids = np.asarray(node_ids, dtype=np.int64) - row_start
+                ids = np.asarray(node_ids, dtype=np.int64)
+                if owned_ids is not None:
+                    ids = np.searchsorted(owned_ids, ids)
+                else:
+                    ids = ids - row_start
                 rows = np.array(view[ids], copy=True)
                 results.put(("ok", req_id, rows, version))
             except BaseException as exc:  # noqa: BLE001 - forwarded

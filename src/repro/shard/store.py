@@ -66,6 +66,7 @@ from repro.memsim.persistence import PersistenceDomain, StageCheckpointStore
 from repro.obs.metrics import MetricsRegistry
 from repro.parallel.shared import _mp_context
 from repro.shard.errors import (
+    CheckpointCorruptionError,
     PartialResultError,
     ShardCrashError,
     ShardTimeoutError,
@@ -75,6 +76,7 @@ from repro.shard.process import (
     shard_main,
 )
 from repro.shard.ranges import (
+    HashRoutingTable,
     ShardRoutingTable,
     entropy_aware_node_ranges,
     uniform_node_ranges,
@@ -97,9 +99,11 @@ class ShardPolicy:
     Attributes:
         n_shards: shard (process) count.
         n_replicas: extra lookup processes per shard sharing its
-            segment; the first hedge target.
-        partition: ``"entropy"`` (EaTA cost-proxy quantiles) or
-            ``"uniform"`` (equal rows).
+            segment; the first hedge target, and the promotion pool the
+            supervisor fails over to on primary death.
+        partition: ``"entropy"`` (EaTA cost-proxy quantiles),
+            ``"uniform"`` (equal rows), or ``"hash"`` (consistent-hash
+            ring; shards own scattered node-id sets).
         beta: EaTA bandwidth-degradation ratio for entropy partitioning.
         lookup_deadline_s: wall-clock deadline of one per-shard call.
             Must sit below injected hang durations for deterministic
@@ -109,6 +113,11 @@ class ShardPolicy:
         hedge_sim_penalty_s: simulated seconds charged per hedged shard
             (the abandoned primary read plus coordination).
         heartbeat_interval_s: idle heartbeat period of shard processes.
+        checkpoint_interval: background checkpoint cadence in lookups
+            (staggered per shard); 0 disables cadence-driven refresh.
+        staleness_bound: refresh a shard as soon as
+            ``table_version - checkpoint_version`` reaches this bound;
+            0 disables the bound trigger.
     """
 
     n_shards: int = 4
@@ -119,6 +128,8 @@ class ShardPolicy:
     hedge_enabled: bool = True
     hedge_sim_penalty_s: float = 5e-4
     heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S
+    checkpoint_interval: int = 0
+    staleness_bound: int = 0
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -127,15 +138,29 @@ class ShardPolicy:
             raise ValueError(
                 f"n_replicas must be >= 0, got {self.n_replicas}"
             )
-        if self.partition not in ("entropy", "uniform"):
+        if self.partition not in ("entropy", "uniform", "hash"):
             raise ValueError(
-                f"partition must be 'entropy' or 'uniform',"
+                f"partition must be 'entropy', 'uniform' or 'hash',"
                 f" got {self.partition!r}"
             )
         if self.lookup_deadline_s <= 0:
             raise ValueError(
                 f"lookup_deadline_s must be > 0, got {self.lookup_deadline_s}"
             )
+        if self.checkpoint_interval < 0:
+            raise ValueError(
+                f"checkpoint_interval must be >= 0,"
+                f" got {self.checkpoint_interval}"
+            )
+        if self.staleness_bound < 0:
+            raise ValueError(
+                f"staleness_bound must be >= 0, got {self.staleness_bound}"
+            )
+
+    @property
+    def refresh_enabled(self) -> bool:
+        """Whether any background-refresh trigger is configured."""
+        return self.checkpoint_interval > 0 or self.staleness_bound > 0
 
 
 @dataclass(frozen=True)
@@ -163,7 +188,12 @@ class ShardLookupResult:
 
 
 class _ShardWorker:
-    """Owner-side handle of one shard process (primary or replica)."""
+    """Owner-side handle of one shard process (primary or replica).
+
+    ``row_start`` is the worker's index base: an int offset for
+    contiguous ranges, or the shard's sorted owned-id array for
+    consistent-hash ownership (the process maps via searchsorted).
+    """
 
     __slots__ = ("process", "jobs", "results", "heartbeat", "next_req")
 
@@ -222,16 +252,37 @@ class ShardHost:
         policy: ShardPolicy,
         ctx=None,
         domain: PersistenceDomain | None = None,
+        node_ids: np.ndarray | None = None,
     ) -> None:
         self.shard_id = shard_id
-        self.row_start = row_start
-        self.row_end = row_start + len(rows)
+        if node_ids is not None:
+            self.node_ids: np.ndarray | None = np.sort(
+                np.asarray(node_ids, dtype=np.int64)
+            )
+            if len(self.node_ids) != len(rows):
+                raise ValueError(
+                    f"{len(self.node_ids)} node ids for {len(rows)} rows"
+                )
+            self.row_start = int(self.node_ids[0]) if len(self.node_ids) else 0
+            self.row_end = (
+                int(self.node_ids[-1]) + 1 if len(self.node_ids) else 0
+            )
+        else:
+            self.node_ids = None
+            self.row_start = row_start
+            self.row_end = row_start + len(rows)
         self.policy = policy
         self.version = 0
         self.checkpoint_version: int | None = None
         self.generation = 0
         self.restarts = 0
+        self.promotions = 0
+        self.quarantined = 0
         self.abandoned = False
+        self.recovery_sim_seconds = 0.0
+        #: Called with (shard_id, sequence, reason) when a damaged
+        #: checkpoint record is quarantined (set by the manager).
+        self.on_quarantine: Callable[[int, int, str], None] | None = None
         self._ctx = ctx if ctx is not None else _mp_context()
         token = secrets.token_hex(4)
         self._name = f"shard-{os.getpid()}-{token}-{shard_id}"
@@ -242,6 +293,21 @@ class ShardHost:
         self.checkpoints = StageCheckpointStore(domain)
         self._workers: list[_ShardWorker] = []
         self._closed = False
+
+    def _index_base(self):
+        """What workers use to map global node ids to local slots."""
+        return self.node_ids if self.node_ids is not None else self.row_start
+
+    def _local(self, node_ids: np.ndarray) -> np.ndarray:
+        """Owner-side global-id → local-slot mapping."""
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if self.node_ids is None:
+            return ids - self.row_start
+        return np.searchsorted(self.node_ids, ids)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self._view)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -255,16 +321,18 @@ class ShardHost:
 
     def _spawn_workers(self) -> None:
         self._workers = [
-            _ShardWorker(
-                self._ctx,
-                self.spec,
-                self.shard_id,
-                self.row_start,
-                self.version,
-                self.policy.heartbeat_interval_s,
-            )
-            for _ in range(1 + self.policy.n_replicas)
+            self._spawn_worker() for _ in range(1 + self.policy.n_replicas)
         ]
+
+    def _spawn_worker(self) -> _ShardWorker:
+        return _ShardWorker(
+            self._ctx,
+            self.spec,
+            self.shard_id,
+            self._index_base(),
+            self.version,
+            self.policy.heartbeat_interval_s,
+        )
 
     def close(self) -> None:
         """Stop every process and unlink the segment (idempotent)."""
@@ -320,22 +388,53 @@ class ShardHost:
                 "version": self.version,
                 "row_start": self.row_start,
                 "row_end": self.row_end,
+                "n_rows": self.n_rows,
             },
             crash=crash,
         )
         self.checkpoint_version = self.version
         return sequence
 
+    def last_verified_record(self):
+        """Newest checkpoint whose CRC verifies, quarantining bad ones.
+
+        Recovery never trusts the simulated PM media: records are
+        walked newest-to-oldest, each verified against its commit-time
+        checksum; damaged records (``checkpoint_corrupt`` /
+        ``checkpoint_torn`` faults) are quarantined — dropped from the
+        log and reported via :attr:`on_quarantine` — instead of being
+        served or crashing the shard.
+
+        Raises:
+            CheckpointCorruptionError: every record failed verification.
+            ShardCrashError: the log is empty.
+        """
+        records = self.checkpoints.records
+        if not records:
+            raise ShardCrashError(self.shard_id, "no checkpoint to restore")
+        for record in reversed(records):
+            if self.checkpoints.verify(record):
+                if self.checkpoint_version is not None:
+                    # Walk-back may land on an older checkpoint: the
+                    # staleness bound must report the truth.
+                    self.checkpoint_version = int(record.meta["version"])
+                return record
+            self.checkpoints.quarantine(record)
+            self.quarantined += 1
+            if self.on_quarantine is not None:
+                self.on_quarantine(
+                    self.shard_id, record.sequence, "crc_mismatch"
+                )
+        raise CheckpointCorruptionError(self.shard_id, self.quarantined)
+
     def recover_rows(self, node_ids: np.ndarray) -> tuple[np.ndarray, int]:
-        """Stale-tier read straight from the last durable checkpoint.
+        """Stale-tier read from the newest *verified* checkpoint.
 
         Works with the shard's processes dead — this is the hedge of
         last resort.  Returns the rows and the checkpoint's version.
         """
-        record = self.checkpoints.last()
-        if record is None:
-            raise ShardCrashError(self.shard_id, "no durable checkpoint")
-        ids = np.asarray(node_ids, dtype=np.int64) - self.row_start
+        record = self.last_verified_record()
+        ids = self._local(node_ids)
         return (
             np.array(record.arrays["rows"][ids], copy=True),
             int(record.meta["version"]),
@@ -345,8 +444,7 @@ class ShardHost:
 
     def write_rows(self, node_ids: np.ndarray, rows: np.ndarray, version: int) -> None:
         """Write-through update of live rows (not yet durable)."""
-        ids = np.asarray(node_ids, dtype=np.int64) - self.row_start
-        self._view[ids] = rows
+        self._view[self._local(node_ids)] = rows
         self.version = version
         self._broadcast_version()
 
@@ -358,32 +456,102 @@ class ShardHost:
 
     # -- recovery --------------------------------------------------------
 
+    def _bill_recovery_read(self, nbytes: float) -> None:
+        """Charge a PM sequential read to the recovery sim-clock bill."""
+        self.recovery_sim_seconds += self.domain.cost_model.access_time(
+            self.domain.device,
+            Operation.READ,
+            AccessPattern.SEQUENTIAL,
+            Locality.LOCAL,
+            float(nbytes),
+        )
+
+    def _retire_worker(self, worker: _ShardWorker) -> None:
+        if worker.process.is_alive():
+            worker.process.terminate()
+            worker.process.join(timeout=2.0)
+        for channel in (worker.jobs, worker.results):
+            channel.close()
+            channel.join_thread()
+
     def restart(self) -> int:
         """Replace dead/hung processes, restoring rows from the WAL.
 
         Process memory (and, as modelled, the segment contents) died
-        with the shard, so the segment is rebuilt from the last durable
-        checkpoint — the shard comes back at ``checkpoint_version``,
-        and the staleness it reopens with is returned
+        with the shard, so the segment is rebuilt from the newest
+        *verified* checkpoint — the shard comes back at that record's
+        version, and the staleness it reopens with is returned
         (``lost_versions = version_before_crash - checkpoint_version``).
+        The full WAL replay (a PM sequential read of the shard's rows)
+        is billed to :attr:`recovery_sim_seconds` — the downtime the
+        promotion path avoids.
         """
         for worker in self._workers:
-            if worker.process.is_alive():
-                worker.process.terminate()
-                worker.process.join(timeout=2.0)
-            for channel in (worker.jobs, worker.results):
-                channel.close()
-                channel.join_thread()
-        record = self.checkpoints.last()
-        if record is None:
-            raise ShardCrashError(self.shard_id, "no checkpoint to restart from")
+            self._retire_worker(worker)
+        record = self.last_verified_record()
         lost = self.version - int(record.meta["version"])
         self._view[:] = record.arrays["rows"]
+        self._bill_recovery_read(record.arrays["rows"].nbytes)
         self.version = int(record.meta["version"])
+        self.checkpoint_version = self.version
         self.generation += 1
         self.restarts += 1
         self._spawn_workers()
         return lost
+
+    def has_fresh_replica(self) -> bool:
+        """Whether a live replica could take over without WAL replay.
+
+        Replicas share the primary's segment and receive every version
+        broadcast, so a live replica is exactly as fresh as the owner's
+        view — the promotion precondition.
+        """
+        return any(
+            worker.process.is_alive() for worker in self._workers[1:]
+        )
+
+    def promote_replica(self) -> int:
+        """Fail over to a live replica without touching the WAL.
+
+        The first live replica becomes the primary; the dead (or stuck)
+        old primary is retired and a fresh replacement replica is
+        spawned, restoring the replica budget.  No rows are lost
+        (``lost_versions == 0`` by construction: the replica serves the
+        same shared segment at the same version) and no checkpoint is
+        read — only a coordination penalty is billed to
+        :attr:`recovery_sim_seconds`, which is what makes failover
+        sub-checkpoint-interval.
+
+        Returns the worker index that was promoted.
+
+        Raises:
+            ShardCrashError: no live replica to promote.
+        """
+        candidate = next(
+            (
+                idx
+                for idx in range(1, len(self._workers))
+                if self._workers[idx].process.is_alive()
+            ),
+            None,
+        )
+        if candidate is None:
+            raise ShardCrashError(self.shard_id, "no live replica to promote")
+        replica = self._workers[candidate]
+        retired = [
+            worker
+            for idx, worker in enumerate(self._workers)
+            if idx != candidate
+        ]
+        standbys = [w for w in retired[1:] if w.process.is_alive()]
+        for worker in retired:
+            if worker not in standbys:
+                self._retire_worker(worker)
+        self._workers = [replica, *standbys, self._spawn_worker()]
+        self.recovery_sim_seconds += self.policy.hedge_sim_penalty_s
+        self.generation += 1
+        self.promotions += 1
+        return candidate
 
     def catch_up(self, rows: np.ndarray, version: int) -> None:
         """Replay the authoritative rows and re-checkpoint.
@@ -419,6 +587,17 @@ class ShardHost:
         worker = self._workers[0]
         if worker.process.is_alive():
             worker.jobs.put(("mute",))
+
+    def inject_checkpoint_fault(self, kind: str) -> bool:
+        """Damage the newest WAL record (``checkpoint_corrupt``/``_torn``).
+
+        Models the simulated PM device returning bad data: the payload
+        is mutated while the commit-time CRC is left in place, so
+        verification fails and recovery must walk back.  Returns whether
+        a record was actually damaged.
+        """
+        mode = "corrupt" if kind == "checkpoint_corrupt" else "torn"
+        return self.checkpoints.damage_last(mode) is not None
 
     # -- lookups ---------------------------------------------------------
 
@@ -513,52 +692,115 @@ class EmbeddingShardManager:
         self._dram = dram_spec()
         self._pm = pm_spec()
         n_nodes = len(self.table)
-        if policy.partition == "entropy" and degrees is not None:
-            ranges = entropy_aware_node_ranges(
-                np.asarray(degrees, dtype=np.float64)[:n_nodes],
-                policy.n_shards,
-                beta=policy.beta,
+        self.degrees = (
+            np.asarray(degrees, dtype=np.float64)[:n_nodes]
+            if degrees is not None
+            else None
+        )
+        if policy.partition == "hash":
+            self.routing: ShardRoutingTable | HashRoutingTable = (
+                HashRoutingTable(n_nodes=n_nodes, n_shards=policy.n_shards)
+            )
+        elif policy.partition == "entropy" and self.degrees is not None:
+            self.routing = ShardRoutingTable(
+                ranges=tuple(
+                    entropy_aware_node_ranges(
+                        self.degrees, policy.n_shards, beta=policy.beta
+                    )
+                )
             )
         else:
-            ranges = uniform_node_ranges(n_nodes, policy.n_shards)
-        self.routing = ShardRoutingTable(ranges=tuple(ranges))
+            self.routing = ShardRoutingTable(
+                ranges=tuple(uniform_node_ranges(n_nodes, policy.n_shards))
+            )
         self.version = 0
         self.lookup_seq = 0
         self.hosts: list[ShardHost] = []
+        self.rows_served: list[int] = [0] * self.routing.n_shards
         self.on_failure: Callable[[int, Exception], None] | None = None
+        self.refresher = None
+        #: Bumped on every finished reshard (routing-table swap), so
+        #: observers (the supervisor's heartbeat map) can invalidate
+        #: shard-id-keyed state.
+        self.reshard_epoch = 0
+        self._migration: dict[str, Any] | None = None
         self._ctx = _mp_context()
         self._started = False
 
     # -- lifecycle -------------------------------------------------------
+
+    def _new_host(
+        self,
+        shard_id: int,
+        row_start: int,
+        row_end: int,
+        node_ids: np.ndarray | None = None,
+    ) -> ShardHost:
+        rows = (
+            self.table[node_ids]
+            if node_ids is not None
+            else self.table[row_start:row_end]
+        )
+        host = ShardHost(
+            shard_id,
+            rows,
+            row_start,
+            self.policy,
+            ctx=self._ctx,
+            node_ids=node_ids,
+        )
+        host.version = self.version
+        host.on_quarantine = self._note_quarantine
+        return host
+
+    def _note_quarantine(self, shard_id: int, sequence: int, reason: str) -> None:
+        self.metrics.counter(
+            "shard.corrupt_checkpoints", shard=str(shard_id)
+        ).inc()
+        self._emit({"type": "shard_event", "event": "checkpoint_quarantined",
+                    "shard": shard_id, "sequence": sequence,
+                    "reason": reason})
 
     def start(self) -> "EmbeddingShardManager":
         """Spawn every shard and cut genesis checkpoints."""
         if self._started:
             return self
         try:
-            for shard_id, (row_start, row_end) in enumerate(self.routing.ranges):
-                host = ShardHost(
-                    shard_id,
-                    self.table[row_start:row_end],
-                    row_start,
-                    self.policy,
-                    ctx=self._ctx,
-                )
-                self.hosts.append(host)
-                host.start()
+            if isinstance(self.routing, HashRoutingTable):
+                for shard_id in range(self.routing.n_shards):
+                    members = self.routing.members(shard_id)
+                    host = self._new_host(shard_id, 0, 0, node_ids=members)
+                    self.hosts.append(host)
+                    host.start()
+            else:
+                for shard_id, (row_start, row_end) in enumerate(
+                    self.routing.ranges
+                ):
+                    host = self._new_host(shard_id, row_start, row_end)
+                    self.hosts.append(host)
+                    host.start()
         except BaseException:
             self.close()
             raise
+        if self.policy.refresh_enabled:
+            from repro.shard.refresh import BackgroundCheckpointer
+
+            self.refresher = BackgroundCheckpointer(self)
         self._started = True
         self._emit({"type": "shard_event", "event": "started",
                     "n_shards": self.routing.n_shards,
-                    "ranges": [list(r) for r in self.routing.ranges]})
+                    "partition": self.policy.partition,
+                    "ranges": self.routing.range_summaries()})
         return self
 
     def close(self) -> None:
         """Stop every shard process and unlink segments (idempotent)."""
         first: BaseException | None = None
-        for host in self.hosts:
+        pending = (
+            list(self._migration["hosts"]) if self._migration is not None else []
+        )
+        self._migration = None
+        for host in [*self.hosts, *pending]:
             try:
                 host.close()
             except BaseException as exc:  # noqa: BLE001 - best effort
@@ -583,12 +825,21 @@ class EmbeddingShardManager:
 
     # -- mutation --------------------------------------------------------
 
+    def rows_for(self, host: ShardHost) -> np.ndarray:
+        """The authoritative table slice a host owns, in host order."""
+        if host.node_ids is not None:
+            return self.table[host.node_ids]
+        return self.table[host.row_start : host.row_end]
+
     def apply_update(self, node_ids: np.ndarray, rows: np.ndarray) -> int:
         """Update rows in the authoritative table and write through.
 
         Bumps the table version; the write is live in every shard
         segment but *not yet durable* — rows updated after a shard's
-        last checkpoint are exactly what a crash loses.
+        last checkpoint are exactly what a crash loses.  During an
+        online reshard the write is dual-routed: the migrating range's
+        old host *and* its replacement hosts both apply it, so the
+        atomic table swap loses nothing.
         """
         node_ids = np.asarray(node_ids, dtype=np.int64)
         self.table[node_ids] = rows
@@ -596,11 +847,30 @@ class EmbeddingShardManager:
         for shard, (_, ids) in self.routing.split(node_ids).items():
             host = self.hosts[shard]
             host.write_rows(ids, self.table[ids], self.version)
+        if self._migration is not None:
+            for host in self._migration["hosts"]:
+                mask = (
+                    np.isin(node_ids, host.node_ids)
+                    if host.node_ids is not None
+                    else (node_ids >= host.row_start)
+                    & (node_ids < host.row_end)
+                )
+                ids = node_ids[mask]
+                if len(ids):
+                    host.write_rows(ids, self.table[ids], self.version)
         for host in self.hosts:
             # Every shard advances to the table version, even untouched
-            # ones — staleness is measured against the whole table.
+            # ones — staleness is measured against the whole table, and
+            # the workers' ack watermark must move with it or untouched
+            # shards would read as stale.
             if host.version != self.version:
                 host.version = self.version
+                host._broadcast_version()
+        if self._migration is not None:
+            for host in self._migration["hosts"]:
+                if host.version != self.version:
+                    host.version = self.version
+                    host._broadcast_version()
         return self.version
 
     def checkpoint_all(self) -> None:
@@ -611,11 +881,176 @@ class EmbeddingShardManager:
     def catch_up(self, shard_id: int) -> None:
         """Replay authoritative rows into one shard and re-checkpoint."""
         host = self.hosts[shard_id]
-        host.catch_up(
-            self.table[host.row_start : host.row_end], self.version
-        )
+        host.catch_up(self.rows_for(host), self.version)
         self._emit({"type": "shard_event", "event": "caught_up",
                     "shard": shard_id, "version": self.version})
+
+    # -- elastic reshard -------------------------------------------------
+
+    @property
+    def migrating(self) -> bool:
+        """Whether an online split/merge is in flight."""
+        return self._migration is not None
+
+    def load_imbalance(self) -> float:
+        """Max served-rows share over mean share (1.0 = perfectly even)."""
+        served = np.asarray(self.rows_served, dtype=np.float64)
+        if served.sum() == 0:
+            return 1.0
+        mean = served.mean()
+        return float(served.max() / mean) if mean > 0 else 1.0
+
+    def _require_range_routing(self, op: str) -> ShardRoutingTable:
+        if not isinstance(self.routing, ShardRoutingTable):
+            raise ValueError(
+                f"online {op} needs contiguous-range routing; the"
+                " consistent-hash table rebalances by construction"
+            )
+        return self.routing
+
+    def _split_point(self, row_start: int, row_end: int) -> int:
+        """Degree-mass midpoint of a range (row midpoint without degrees)."""
+        if self.degrees is not None and row_end - row_start > 1:
+            mass = np.cumsum(self.degrees[row_start:row_end] + 1.0)
+            at = row_start + int(np.searchsorted(mass, mass[-1] / 2.0)) + 1
+            return min(max(at, row_start + 1), row_end - 1)
+        return (row_start + row_end) // 2
+
+    def begin_split(self, shard_id: int, at: int | None = None) -> None:
+        """Start migrating one hot shard's range onto two new hosts.
+
+        The protocol is dual-route: until :meth:`finish_migration`
+        swaps the routing table, reads keep hitting the old host while
+        writes land on *both* the old host and the warming replacements
+        — so the swap is atomic and lossless.  ``at`` overrides the
+        degree-mass split point.
+        """
+        routing = self._require_range_routing("split")
+        if self._migration is not None:
+            raise RuntimeError("a reshard migration is already in flight")
+        row_start, row_end = routing.ranges[shard_id]
+        if row_end - row_start < 2:
+            raise ValueError(
+                f"shard {shard_id} range [{row_start}, {row_end}) is too"
+                " small to split"
+            )
+        at = self._split_point(row_start, row_end) if at is None else int(at)
+        if not row_start < at < row_end:
+            raise ValueError(
+                f"split point {at} outside ({row_start}, {row_end})"
+            )
+        hosts = []
+        try:
+            for lo, hi in ((row_start, at), (at, row_end)):
+                host = self._new_host(-1, lo, hi)
+                hosts.append(host)
+                host.start()
+        except BaseException:
+            for host in hosts:
+                host.close()
+            raise
+        self._migration = {
+            "kind": "split",
+            "old": [shard_id],
+            "hosts": hosts,
+            "since_seq": self.lookup_seq,
+        }
+        self._emit({"type": "shard_event", "event": "reshard_begun",
+                    "kind": "split", "shard": shard_id,
+                    "ranges": [[row_start, at], [at, row_end]],
+                    "seq": self.lookup_seq})
+
+    def begin_merge(self, shard_id: int) -> None:
+        """Start merging two adjacent cold shards onto one new host.
+
+        Merges ``shard_id`` with ``shard_id + 1`` under the same
+        dual-route discipline as :meth:`begin_split`.
+        """
+        routing = self._require_range_routing("merge")
+        if self._migration is not None:
+            raise RuntimeError("a reshard migration is already in flight")
+        if shard_id + 1 >= routing.n_shards:
+            raise ValueError(
+                f"shard {shard_id} has no right neighbour to merge with"
+            )
+        row_start = routing.ranges[shard_id][0]
+        row_end = routing.ranges[shard_id + 1][1]
+        host = self._new_host(-1, row_start, row_end)
+        try:
+            host.start()
+        except BaseException:
+            host.close()
+            raise
+        self._migration = {
+            "kind": "merge",
+            "old": [shard_id, shard_id + 1],
+            "hosts": [host],
+            "since_seq": self.lookup_seq,
+        }
+        self._emit({"type": "shard_event", "event": "reshard_begun",
+                    "kind": "merge", "shard": shard_id,
+                    "ranges": [[row_start, row_end]],
+                    "seq": self.lookup_seq})
+
+    def migration_ready(self) -> bool:
+        """Whether every warming host is live and has heartbeaten."""
+        if self._migration is None:
+            return False
+        return all(
+            host.alive() and host.heartbeat_value() > 0
+            for host in self._migration["hosts"]
+        )
+
+    def maybe_advance_migration(self) -> bool:
+        """Finish the in-flight migration once the new hosts are warm."""
+        if self._migration is None or not self.migration_ready():
+            return False
+        self.finish_migration()
+        return True
+
+    def finish_migration(self) -> None:
+        """Atomically swap the routing table and drain the old hosts.
+
+        The new hosts carried every dual-routed write, so the swap
+        changes *where* rows are served from, never their values; the
+        drained hosts close after the swap, and served-row accounting is
+        re-based onto the new shard ids.
+        """
+        if self._migration is None:
+            raise RuntimeError("no reshard migration in flight")
+        migration = self._migration
+        routing = self._require_range_routing("reshard")
+        old_ids = migration["old"]
+        new_hosts = migration["hosts"]
+        first_old = old_ids[0]
+        ranges = list(routing.ranges)
+        ranges[first_old : old_ids[-1] + 1] = [
+            (host.row_start, host.row_end) for host in new_hosts
+        ]
+        drained = self.hosts[first_old : old_ids[-1] + 1]
+        hosts = list(self.hosts)
+        hosts[first_old : old_ids[-1] + 1] = new_hosts
+        served = list(self.rows_served)
+        moved = sum(served[i] for i in old_ids)
+        served[first_old : old_ids[-1] + 1] = [
+            moved // len(new_hosts)
+        ] * len(new_hosts)
+        # The swap itself: routing, hosts, and accounting move together.
+        self.routing = ShardRoutingTable(ranges=tuple(ranges))
+        self.hosts = hosts
+        self.rows_served = served
+        for shard_id, host in enumerate(self.hosts):
+            host.shard_id = shard_id
+        self._migration = None
+        self.reshard_epoch += 1
+        self.metrics.counter("shard.resharded_ranges").inc(len(new_hosts))
+        self._emit({"type": "shard_event", "event": "resharded",
+                    "kind": migration["kind"],
+                    "n_shards": self.routing.n_shards,
+                    "ranges": self.routing.range_summaries(),
+                    "seq": self.lookup_seq})
+        for host in drained:
+            host.close()
 
     # -- fault application ----------------------------------------------
 
@@ -623,19 +1058,26 @@ class EmbeddingShardManager:
         if self.faults is None:
             return
         for shard_id, host in enumerate(self.hosts):
-            event: FaultEvent | None = self.faults.take_shard_fault(
-                f"shard.{shard_id}", seq
-            )
-            if event is None:
-                continue
-            if event.kind == "shard_crash":
-                host.inject_crash()
-            elif event.kind == "shard_hang":
-                host.inject_hang(event.seconds)
-            else:  # heartbeat_loss
-                host.inject_mute()
-            self._emit({"type": "shard_event", "event": "fault_injected",
-                        "kind": event.kind, "shard": shard_id, "seq": seq})
+            while True:
+                # Drain every event due at this sequence number, so
+                # combined faults (e.g. a hang plus a heartbeat loss on
+                # the same shard) land in one sweep.
+                event: FaultEvent | None = self.faults.take_shard_fault(
+                    f"shard.{shard_id}", seq
+                )
+                if event is None:
+                    break
+                if event.kind == "shard_crash":
+                    host.inject_crash()
+                elif event.kind == "shard_hang":
+                    host.inject_hang(event.seconds)
+                elif event.kind == "heartbeat_loss":
+                    host.inject_mute()
+                else:  # checkpoint_corrupt / checkpoint_torn
+                    host.inject_checkpoint_fault(event.kind)
+                self._emit({"type": "shard_event", "event": "fault_injected",
+                            "kind": event.kind, "shard": shard_id,
+                            "seq": seq})
 
     # -- the hot path ----------------------------------------------------
 
@@ -656,6 +1098,11 @@ class EmbeddingShardManager:
         self.lookup_seq += 1
         seq = self.lookup_seq
         self._apply_shard_faults(seq)
+        if self.refresher is not None:
+            # Background maintenance rides the request loop: due shards
+            # re-checkpoint (staggered, billed to the sim clock) before
+            # this gather observes their staleness.
+            self.refresher.tick(seq)
         dim = self.table.shape[1]
         out = np.empty((len(node_ids), dim), dtype=np.float64)
         statuses: dict[int, str] = {}
@@ -666,6 +1113,7 @@ class EmbeddingShardManager:
         self.metrics.counter("shard.lookups").inc()
         for shard_id, (positions, ids) in self.routing.split(node_ids).items():
             host = self.hosts[shard_id]
+            self.rows_served[shard_id] += int(ids.size)
             nbytes = float(ids.size * dim * 8)
             rows, status, version = self._gather_one(host, ids)
             if rows is None:
@@ -720,34 +1168,47 @@ class EmbeddingShardManager:
         self, host: ShardHost, ids: np.ndarray
     ) -> tuple[np.ndarray | None, str, int]:
         """The hedging ladder for one shard's slice of a lookup."""
-        primary_error: Exception | None = None
-        if not host.abandoned:
+        if host.abandoned:
+            # Short-circuit: an abandoned shard is a settled fact, not a
+            # fresh failure — go straight to the stale-checkpoint rung
+            # without failure counters, supervisor callbacks, or
+            # per-request hedge events (the one-time ``shard_abandoned``
+            # record already told the live bus).
+            if not self.policy.hedge_enabled:
+                raise ShardCrashError(host.shard_id, "shard abandoned")
+            self.metrics.counter(
+                "shard.abandoned_reads", shard=str(host.shard_id)
+            ).inc()
             try:
-                rows, version = host.lookup(ids)
-                return rows, STATUS_FRESH, version
-            except (ShardCrashError, ShardTimeoutError) as exc:
-                primary_error = exc
+                rows, _ = host.recover_rows(ids)
+                return rows, STATUS_STALE, host.checkpoint_version or 0
+            except ShardCrashError:
+                return None, STATUS_MISSING, -1
+        primary_error: Exception | None = None
+        try:
+            rows, version = host.lookup(ids)
+            return rows, STATUS_FRESH, version
+        except (ShardCrashError, ShardTimeoutError) as exc:
+            primary_error = exc
+            self.metrics.counter(
+                "shard.failures",
+                shard=str(host.shard_id),
+                kind=type(exc).__name__,
+            ).inc()
+            if self.on_failure is not None:
+                self.on_failure(host.shard_id, exc)
+            if not self.policy.hedge_enabled:
+                raise
+        # Hedge 1: replicas share the segment, so they are fresh.
+        for replica in range(1, 1 + self.policy.n_replicas):
+            try:
+                rows, version = host.lookup(ids, replica=replica)
                 self.metrics.counter(
-                    "shard.failures",
-                    shard=str(host.shard_id),
-                    kind=type(exc).__name__,
+                    "shard.hedged", target="replica"
                 ).inc()
-                if self.on_failure is not None:
-                    self.on_failure(host.shard_id, exc)
-                if not self.policy.hedge_enabled:
-                    raise
-            # Hedge 1: replicas share the segment, so they are fresh.
-            for replica in range(1, 1 + self.policy.n_replicas):
-                try:
-                    rows, version = host.lookup(ids, replica=replica)
-                    self.metrics.counter(
-                        "shard.hedged", target="replica"
-                    ).inc()
-                    return rows, STATUS_REPLICA, version
-                except (ShardCrashError, ShardTimeoutError):
-                    continue
-        elif not self.policy.hedge_enabled:
-            raise ShardCrashError(host.shard_id, "shard abandoned")
+                return rows, STATUS_REPLICA, version
+            except (ShardCrashError, ShardTimeoutError):
+                continue
         # Hedge 2: the stale checkpoint tier.
         try:
             rows, _ = host.recover_rows(ids)
@@ -756,6 +1217,6 @@ class EmbeddingShardManager:
                         "shard": host.shard_id, "target": "checkpoint"})
             return rows, STATUS_STALE, host.checkpoint_version or 0
         except ShardCrashError:
-            # No live worker and no durable checkpoint: a genuine miss.
+            # No live worker and no verified checkpoint: a genuine miss.
             del primary_error
             return None, STATUS_MISSING, -1

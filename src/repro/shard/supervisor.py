@@ -13,15 +13,27 @@ two ways:
   ``heartbeat_loss`` fault makes a healthy shard look hung, and the
   supervisor restarts it anyway: availability over thrift).
 
-Every restart restores the shard from its last durable WAL checkpoint
-(:meth:`~repro.shard.store.ShardHost.restart`), making the recovered
-rows **bounded-stale**: at most ``table_version - checkpoint_version``
-updates behind, a bound the supervisor reports per incident.  Restarts
-are budgeted (``max_restarts`` per shard); past the budget the shard is
-*abandoned* and the manager serves its range from the checkpoint tier
-only.  Each restart charges a full-jitter backoff delay from a seeded
+Repair prefers **promotion over replay**: when the shard has a live
+replica tracking the table version (a warm standby on the same shared
+segment), the supervisor promotes it to primary
+(:meth:`~repro.shard.store.ShardHost.promote_replica`) — zero WAL
+replay, zero lost versions, simulated downtime of one hedge penalty.
+Only when no fresh replica survives does it fall back to a WAL restart
+(:meth:`~repro.shard.store.ShardHost.restart`), which restores the
+newest *CRC-verified* checkpoint and reopens **bounded-stale**: at most
+``table_version - checkpoint_version`` updates behind, a bound the
+supervisor reports per incident.  Restarts are budgeted
+(``max_restarts`` per shard); past the budget the shard is *abandoned*
+and the manager serves its range from the checkpoint tier only.  Each
+restart charges a full-jitter backoff delay from a seeded
 :class:`~repro.core.asl.RetryPolicy` — recorded, not slept, so chaos
 tests stay fast while the simulated account stays honest.
+
+The supervisor is also the *elastic reshard* driver: when
+``reshard_imbalance`` is set and per-shard served-row counts diverge
+past it, :meth:`check` begins an online split of the hottest shard and
+advances the in-flight migration each sweep until the warmed hosts are
+drained in and the routing table swaps atomically.
 """
 
 from __future__ import annotations
@@ -55,6 +67,12 @@ class SupervisorPolicy:
         max_restarts: restarts allowed per shard before abandonment.
         restart_backoff: seeded (jittered) backoff schedule; each
             restart's delay is *recorded* as simulated seconds.
+        reshard_imbalance: served-row load-imbalance ratio
+            (max/mean over :attr:`EmbeddingShardManager.rows_served`)
+            past which :meth:`ShardSupervisor.check` begins an online
+            split of the hottest shard; ``0`` disables resharding.
+        reshard_min_lookups: lookups that must have been served before
+            imbalance is trusted (early traffic is too noisy to act on).
     """
 
     heartbeat_timeout_s: float = 0.5
@@ -62,6 +80,8 @@ class SupervisorPolicy:
     restart_backoff: RetryPolicy = field(
         default_factory=lambda: DEFAULT_RESTART_BACKOFF
     )
+    reshard_imbalance: float = 0.0
+    reshard_min_lookups: int = 20
 
     def __post_init__(self) -> None:
         if self.heartbeat_timeout_s <= 0:
@@ -73,6 +93,16 @@ class SupervisorPolicy:
             raise ValueError(
                 f"max_restarts must be >= 0, got {self.max_restarts}"
             )
+        if self.reshard_imbalance < 0:
+            raise ValueError(
+                "reshard_imbalance must be >= 0,"
+                f" got {self.reshard_imbalance}"
+            )
+        if self.reshard_min_lookups < 0:
+            raise ValueError(
+                "reshard_min_lookups must be >= 0,"
+                f" got {self.reshard_min_lookups}"
+            )
 
 
 @dataclass(frozen=True)
@@ -81,10 +111,16 @@ class Incident:
 
     Attributes:
         shard_id: the shard acted on.
-        reason: ``"crash"`` / ``"hang"`` / ``"heartbeat"``.
-        action: ``"restart"`` or ``"abandon"``.
-        lost_versions: staleness the shard reopened with (restart only).
+        reason: ``"crash"`` / ``"hang"`` / ``"heartbeat"`` /
+            ``"imbalance"``.
+        action: ``"promote"``, ``"restart"``, ``"abandon"``, or
+            ``"reshard"``.
+        lost_versions: staleness the shard reopened with (restart only;
+            a promotion always reopens at the live version, i.e. 0).
         backoff_s: jittered backoff charged for this restart.
+        recovery_s: simulated seconds the repair itself cost (the PM
+            checkpoint read of a WAL restart, or the hedge penalty of a
+            promotion).
     """
 
     shard_id: int
@@ -92,6 +128,7 @@ class Incident:
     action: str
     lost_versions: int = 0
     backoff_s: float = 0.0
+    recovery_s: float = 0.0
 
 
 class ShardSupervisor:
@@ -110,6 +147,9 @@ class ShardSupervisor:
         self.sim_backoff_seconds = 0.0
         #: Heartbeat progress tracking: {(shard, generation): (value, wall_ts)}.
         self._beats: dict[tuple[int, int], tuple[int, float]] = {}
+        #: Routing epoch last seen; a bump invalidates every beat key
+        #: (shard ids are renumbered by a finished migration).
+        self._reshard_epoch = manager.reshard_epoch
         manager.on_failure = self.note_failure
 
     # -- reactive path ---------------------------------------------------
@@ -129,6 +169,7 @@ class ShardSupervisor:
     def check(self) -> list[Incident]:
         """One supervision sweep; returns the incidents acted on."""
         sweep: list[Incident] = []
+        self._check_reshard(sweep)
         now = time.monotonic()
         for host in self.manager.hosts:
             if host.abandoned:
@@ -161,11 +202,65 @@ class ShardSupervisor:
             time.sleep(0.01)
         return False
 
+    # -- elastic reshard -------------------------------------------------
+
+    def _check_reshard(self, sweep: list[Incident]) -> None:
+        """Advance an in-flight migration, or begin one on imbalance."""
+        manager = self.manager
+        if manager.reshard_epoch != self._reshard_epoch:
+            self._beats.clear()
+            self._reshard_epoch = manager.reshard_epoch
+        if manager.migrating:
+            if manager.maybe_advance_migration():
+                self._beats.clear()
+                self._reshard_epoch = manager.reshard_epoch
+            return
+        policy = self.policy
+        if policy.reshard_imbalance <= 0:
+            return
+        if manager.lookup_seq < policy.reshard_min_lookups:
+            return
+        if not hasattr(manager.routing, "ranges"):
+            return  # hash routing: ownership is already scattered
+        if manager.load_imbalance() < policy.reshard_imbalance:
+            return
+        served = manager.rows_served
+        hottest = max(range(len(served)), key=lambda i: served[i])
+        start, end = manager.routing.ranges[hottest]
+        if end - start < 2 or manager.hosts[hottest].abandoned:
+            return
+        manager.begin_split(hottest)
+        incident = Incident(
+            shard_id=hottest, reason="imbalance", action="reshard"
+        )
+        self._record(incident)
+        sweep.append(incident)
+
     # -- repair ----------------------------------------------------------
 
     def _repair(self, host: ShardHost, reason: str) -> list[Incident]:
         if host.abandoned:
             return []
+        # Promotion first: a warm standby already tracks the live
+        # version, so failover costs one hedge penalty and replays
+        # nothing.  WAL restart is the no-fresh-replica fallback.
+        if host.policy.n_replicas > 0 and host.has_fresh_replica():
+            before = host.recovery_sim_seconds
+            try:
+                host.promote_replica()
+            except ShardCrashError:
+                pass  # replica died under us: fall through to restart
+            else:
+                self._beats.pop((host.shard_id, host.generation - 1), None)
+                incident = Incident(
+                    shard_id=host.shard_id,
+                    reason=reason,
+                    action="promote",
+                    lost_versions=0,
+                    recovery_s=host.recovery_sim_seconds - before,
+                )
+                self._record(incident)
+                return [incident]
         if host.restarts >= self.policy.max_restarts:
             host.abandoned = True
             incident = Incident(
@@ -175,7 +270,18 @@ class ShardSupervisor:
             return [incident]
         backoff = self.policy.restart_backoff.delay(host.restarts)
         self.sim_backoff_seconds += backoff
-        lost = host.restart()
+        before = host.recovery_sim_seconds
+        try:
+            lost = host.restart()
+        except ShardCrashError:
+            # No verified checkpoint survives (all quarantined): the
+            # shard cannot reopen with trusted rows, so abandon it.
+            host.abandoned = True
+            incident = Incident(
+                shard_id=host.shard_id, reason=reason, action="abandon"
+            )
+            self._record(incident)
+            return [incident]
         self._beats.pop((host.shard_id, host.generation - 1), None)
         incident = Incident(
             shard_id=host.shard_id,
@@ -183,6 +289,7 @@ class ShardSupervisor:
             action="restart",
             lost_versions=lost,
             backoff_s=backoff,
+            recovery_s=host.recovery_sim_seconds - before,
         )
         self._record(incident)
         return [incident]
@@ -198,6 +305,14 @@ class ShardSupervisor:
             self.metrics.histogram("shard.restart_backoff").observe(
                 incident.backoff_s
             )
+        elif incident.action == "promote":
+            self.metrics.counter(
+                "shard.promotions", shard=str(incident.shard_id)
+            ).inc()
+        elif incident.action == "reshard":
+            self.metrics.counter(
+                "shard.reshards", shard=str(incident.shard_id)
+            ).inc()
         else:
             self.metrics.counter(
                 "shard.abandoned", shard=str(incident.shard_id)
@@ -205,12 +320,18 @@ class ShardSupervisor:
         self._emit(incident)
 
     def _emit(self, incident: Incident) -> None:
+        event = (
+            "shard_abandoned"
+            if incident.action == "abandon"
+            else incident.action
+        )
         record: dict[str, Any] = {
             "type": "shard_event",
-            "event": incident.action,
+            "event": event,
             "shard": incident.shard_id,
             "reason": incident.reason,
             "lost_versions": incident.lost_versions,
             "backoff_s": incident.backoff_s,
+            "recovery_s": incident.recovery_s,
         }
         self.manager._emit(record)

@@ -153,9 +153,13 @@ class TestPolicyValidation:
         with pytest.raises(ValueError, match="n_replicas"):
             ShardPolicy(n_replicas=-1)
         with pytest.raises(ValueError, match="partition"):
-            ShardPolicy(partition="hash")
+            ShardPolicy(partition="random")
         with pytest.raises(ValueError, match="lookup_deadline_s"):
             ShardPolicy(lookup_deadline_s=0.0)
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            ShardPolicy(checkpoint_interval=-1)
+        with pytest.raises(ValueError, match="staleness_bound"):
+            ShardPolicy(staleness_bound=-1)
 
     def test_supervisor_policy(self):
         with pytest.raises(ValueError, match="heartbeat_timeout_s"):
