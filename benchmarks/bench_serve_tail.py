@@ -22,11 +22,21 @@ Both arms are additionally scored against the declarative SLO spec in
 --slo`` takes): the resilient arm must meet every objective while the
 naive arm blows the interactive p99 objective — the observatory's
 burn-rate view of the same Fig. 13-style tail separation.
+
+Each arm also runs with a live telemetry stream
+(``benchmarks/results/serve_tail.<arm>.live.jsonl``), so every request
+leaves a forensic causal tree behind.  The bench then plays auditor:
+for the slowest 1% of completed requests it reconstructs the full tree
+from the stream (the ``repro why`` path) and asserts the critical-path
+invariant — per-request blame sums exactly to the simulated latency —
+across *all* requests, with the fault plan active.
 """
 
+import math
 from pathlib import Path
 
 from common import (  # noqa: F401
+    RESULTS_DIR,
     dataset,
     run_once,
     save_telemetry,
@@ -39,6 +49,8 @@ from repro.core import OMeGaConfig, OMeGaEmbedder
 from repro.faults import FaultInjector, FaultPlan
 from repro.memsim.clock import VirtualClock
 from repro.obs import MetricsRegistry
+from repro.obs.forensics import SUM_REL_TOL, fold_stream
+from repro.obs.live import TelemetryStream, load_records
 from repro.obs.observatory import SLOSpec, evaluate_slo
 from repro.obs.observatory.slo import render_slo
 from repro.serve import (
@@ -61,7 +73,7 @@ COMPLETED = ("served", "deadline_exceeded")
 SLO_SPEC_PATH = Path(__file__).parent / "serve_tail.slo.json"
 
 
-def _run_arm(graph, resilient: bool):
+def _run_arm(graph, label: str, resilient: bool):
     metrics = MetricsRegistry()
     embedder = OMeGaEmbedder(
         OMeGaConfig(
@@ -85,13 +97,51 @@ def _run_arm(graph, resilient: bool):
         shedding_enabled=resilient,
         deadline_aware=resilient,
     )
+    RESULTS_DIR.mkdir(exist_ok=True)
+    stream_path = RESULTS_DIR / f"serve_tail.{label}.live.jsonl"
+    stream = TelemetryStream(stream_path)
     server = EmbeddingServer(
-        backend, policy, clock=VirtualClock(), metrics=metrics
+        backend, policy, clock=VirtualClock(), metrics=metrics,
+        stream=stream,
     )
-    report = server.run_trace(trace)
+    try:
+        report = server.run_trace(trace)
+    finally:
+        stream.close()
     assert report.balanced, "accounting invariant broken"
     assert metrics.value("serve.unhandled_exceptions") == 0
+    _verify_forensics(stream_path, report)
     return report, server
+
+
+def _verify_forensics(stream_path, report):
+    """The ``repro why`` acceptance check, inline.
+
+    Every request in the stream must fold into a tree whose blame sums
+    to its simulated latency, and the slowest 1% must come back as
+    *full* causal trees (root with children), reconstructable purely
+    from the stream.
+    """
+    forensics = fold_stream(load_records(stream_path), worst_k=32)
+    assert forensics.n_requests == report.submitted
+    violations = forensics.verify()
+    assert not violations, f"blame-sum invariant violated: {violations[:3]}"
+    completed = sorted(
+        (r for r in report.responses if r.latency_s is not None),
+        key=lambda r: r.latency_s,
+        reverse=True,
+    )
+    slowest = completed[: max(1, len(completed) // 100)]
+    for response in slowest:
+        tree = forensics.find(response.trace_id)
+        assert tree is not None, f"no tree for p99 request {response.trace_id}"
+        assert tree.root.children, "tail tree has no causal nodes"
+        assert math.isclose(
+            sum(tree.blame.values()),
+            response.latency_s,
+            rel_tol=SUM_REL_TOL,
+            abs_tol=1e-15,
+        )
 
 
 def _experiment(graph):
@@ -99,7 +149,7 @@ def _experiment(graph):
     spec = SLOSpec.load(SLO_SPEC_PATH)
     arms = {}
     for label, resilient in (("resilient", True), ("naive", False)):
-        report, server = _run_arm(graph, resilient)
+        report, server = _run_arm(graph, label, resilient)
         slo = evaluate_slo(server.metrics.to_records(), spec)
         arms[label] = (report, server, slo)
         session.event(

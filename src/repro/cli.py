@@ -27,8 +27,17 @@ Commands:
   stream file and render req/s, shed/deadline rates, breaker state,
   rung occupancy, SpMM throughput and SLO burn (``--once`` renders a
   single frame; ``--format prom`` emits Prometheus exposition text);
+- ``why``               — per-request tail-latency forensics: rebuild a
+  request's causal tree from a ``--live`` stream and render it as a
+  waterfall with per-category blame fractions (queue / breaker /
+  shard-hedge / stale-fallback / kernel), incident-linked; without a
+  trace id, renders the slowest ``--worst N`` retained exemplars;
+- ``attribute``         — fold a ``--live`` stream into the aggregate
+  per-class blame table (``--check`` exits nonzero when any request's
+  blame fails to sum to its simulated latency);
 - ``trend``             — per-series trajectories over the
-  ``BENCH_omega.json`` perf history, with sparklines;
+  ``BENCH_omega.json`` perf history, with sparklines (perf-gate points
+  contribute ``attribution.*`` blame-fraction series);
 - ``baselines``         — inspect the baseline store: ``list`` refs,
   ``show`` a payload, ``gc`` unreferenced objects (dry-run default).
 
@@ -488,6 +497,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         threshold=args.threshold,
         include_profile=args.profile,
         include_placement=args.shard_placement,
+        include_attribution=args.attribution,
     )
     print(render_diff(report))
     return 1 if report.regressions else 0
@@ -637,6 +647,98 @@ def cmd_trend(args: argparse.Namespace) -> int:
         print(f"no trajectory at {path}")
         return 0
     print(render_trend(points, prefix=args.prefix))
+    return 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    from repro.obs.forensics import fold_stream, render_waterfall
+    from repro.obs.live import load_records
+
+    if not Path(args.stream).is_file():
+        raise SystemExit(f"{args.stream}: no such stream file")
+    keep = (args.trace_id,) if args.trace_id else ()
+    report = fold_stream(
+        load_records(args.stream),
+        worst_k=max(args.worst, 8),
+        keep=keep,
+    )
+    if args.trace_id:
+        tree = report.find(args.trace_id)
+        if tree is None:
+            raise SystemExit(
+                f"{args.trace_id}: no forensic tree in {args.stream}"
+                " (was the server run with --live?)"
+            )
+        trees = [tree]
+    else:
+        trees = report.worst(args.worst, klass=args.klass)
+        if not trees:
+            print("no completed requests with forensic trees in stream")
+            return 0
+    print(
+        f"{report.n_requests} requests in {args.stream}"
+        f" ({len(report.incidents)} incidents,"
+        f" {len(report.trees)} exemplar trees retained)"
+    )
+    for tree in trees:
+        print()
+        print(render_waterfall(tree))
+    return 0
+
+
+def cmd_attribute(args: argparse.Namespace) -> int:
+    from repro.obs.forensics import fold_stream
+    from repro.obs.forensics.blame import ordered_categories
+    from repro.obs.live import load_records
+
+    if not Path(args.stream).is_file():
+        raise SystemExit(f"{args.stream}: no such stream file")
+    report = fold_stream(load_records(args.stream))
+    violations = report.verify()
+    if args.format == "json":
+        import json
+
+        payload = report.to_payload()
+        payload["violations"] = violations
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        fractions = report.fractions()
+        rows = []
+        for klass in sorted(report.attribution):
+            blame = report.attribution[klass]
+            for category in ordered_categories(blame):
+                rows.append(
+                    [
+                        klass,
+                        category,
+                        format_seconds(blame[category]),
+                        f"{fractions[klass].get(category, 0.0) * 100:5.1f}%",
+                    ]
+                )
+        print(
+            format_table(
+                ["class", "category", "seconds", "fraction"],
+                rows,
+                title=(
+                    f"tail-latency blame over {report.n_requests} requests"
+                    f" ({len(report.incidents)} incidents)"
+                ),
+            )
+        )
+        for klass, overlap in sorted(report.refresh_overlap.items()):
+            print(
+                f"checkpointer overlap ({klass}):"
+                f" {format_seconds(overlap)} — off the request clock"
+            )
+    if violations:
+        print(
+            f"INVARIANT VIOLATED: {len(violations)} request(s) whose blame"
+            " does not sum to their simulated latency:", file=sys.stderr,
+        )
+        for violation in violations[:10]:
+            print(f"  {violation}", file=sys.stderr)
+        if args.check:
+            return 2
     return 0
 
 
@@ -1055,6 +1157,12 @@ def build_parser() -> argparse.ArgumentParser:
         " rows/nnz and balance/edge-cut vs the DistDGL and DistGER"
         " partitioning cost models",
     )
+    diff.add_argument(
+        "--attribution", action="store_true",
+        help="also diff the per-class tail-latency blame fractions"
+        " (serve.blame_seconds), gated — a latency mix shifting toward"
+        " queue/hedge blame fails even when totals look flat",
+    )
 
     profile = sub.add_parser(
         "profile",
@@ -1256,6 +1364,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON SLO spec to evaluate per frame (burn-rate column)",
     )
 
+    why = sub.add_parser(
+        "why",
+        help="per-request tail-latency forensics: render the causal tree"
+        " of a request (or the slowest N) from a --live stream",
+    )
+    why.add_argument("stream", help="path to a --live stream JSONL file")
+    why.add_argument(
+        "trace_id", nargs="?", default=None,
+        help="render this request's tree (default: the slowest --worst N)",
+    )
+    why.add_argument(
+        "--worst", type=int, default=3, metavar="N",
+        help="without a trace id: render the N slowest retained"
+        " exemplars (default 3)",
+    )
+    why.add_argument(
+        "--klass", metavar="CLASS",
+        help="restrict --worst to one request class"
+        " (e.g. interactive, batch)",
+    )
+
+    attribute = sub.add_parser(
+        "attribute",
+        help="fold a --live stream into the per-class tail-latency"
+        " blame table (queue/breaker/shard-hedge/stale/kernel)",
+    )
+    attribute.add_argument(
+        "stream", help="path to a --live stream JSONL file"
+    )
+    attribute.add_argument(
+        "--format", choices=("table", "json"), default="table",
+        help="human table or the JSON payload CI consumes",
+    )
+    attribute.add_argument(
+        "--check", action="store_true",
+        help="exit 2 if any request's blame does not sum to its"
+        " simulated latency (the critical-path invariant)",
+    )
+
     trend = sub.add_parser(
         "trend",
         help="per-series perf trajectories over BENCH_omega.json",
@@ -1332,6 +1479,8 @@ COMMANDS = {
     "profile": cmd_profile,
     "perf-gate": cmd_perf_gate,
     "top": cmd_top,
+    "why": cmd_why,
+    "attribute": cmd_attribute,
     "trend": cmd_trend,
     "baselines": cmd_baselines,
 }

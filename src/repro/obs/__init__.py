@@ -15,6 +15,11 @@ adds the *where* and *when*:
   streaming JSONL (:class:`TelemetryStream`), cross-process trace
   propagation (:class:`TraceContext`, worker partition spans),
   multi-stream merging and the ``repro top`` ops view;
+- :mod:`repro.obs.forensics` — per-request tail-latency forensics:
+  causal trees on the live bus, critical-path blame attribution whose
+  categories sum exactly to the simulated latency, bounded exemplar
+  reservoirs and incident linkage (``repro why`` / ``repro
+  attribute``);
 - :mod:`repro.obs.report` — renders a telemetry file back into the
   Fig. 7(a)-style breakdown tables (``repro report``);
 - :mod:`repro.obs.observatory` — cross-run analysis: run manifests, the
@@ -28,6 +33,13 @@ from repro.obs.export import (
     TELEMETRY_VERSION,
     TelemetrySession,
     read_jsonl,
+)
+from repro.obs.forensics import (
+    ExemplarReservoir,
+    ForensicsReport,
+    RequestTree,
+    fold_stream,
+    render_waterfall,
 )
 from repro.obs.live import (
     StreamFollower,
@@ -76,6 +88,11 @@ __all__ = [
     "manifest_from_records",
     "Counter",
     "DEFAULT_BUCKETS",
+    "ExemplarReservoir",
+    "ForensicsReport",
+    "RequestTree",
+    "fold_stream",
+    "render_waterfall",
     "Gauge",
     "Histogram",
     "JsonlSink",

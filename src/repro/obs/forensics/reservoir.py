@@ -1,0 +1,81 @@
+"""Bounded exemplar retention: slowest-k per class + a seeded sample.
+
+A stream can carry hundreds of thousands of request trees; ``repro
+why`` only ever renders a handful.  The reservoir decides *online* which
+full trees to keep: the ``worst_k`` slowest per request class (the tail
+exemplars) plus a seeded uniform sample of ``sample_k`` completed
+requests (Vitter's algorithm R — the honest baseline the tail is
+compared against).  Everything else keeps only its root summary, so the
+fold's memory stays bounded by ``O(classes * worst_k + sample_k)``
+trees regardless of stream length.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+
+
+class ExemplarReservoir:
+    """Online retention policy over (trace_id, class, latency) offers."""
+
+    def __init__(
+        self, worst_k: int = 8, sample_k: int = 8, seed: int = 0
+    ) -> None:
+        if worst_k < 0 or sample_k < 0:
+            raise ValueError(
+                f"worst_k/sample_k must be >= 0, got {worst_k}/{sample_k}"
+            )
+        self.worst_k = worst_k
+        self.sample_k = sample_k
+        self._rng = random.Random(seed)
+        #: Per-class min-heaps of (latency, tiebreak, trace_id): the heap
+        #: root is the *fastest* retained exemplar, evicted first.
+        self._worst: dict[str, list[tuple[float, int, str]]] = {}
+        self._sample: list[str] = []
+        self._offers = 0
+
+    def offer(self, trace_id: str, klass: str, latency_s: float) -> None:
+        """Consider one completed request for retention."""
+        if self.worst_k > 0:
+            heap = self._worst.setdefault(klass, [])
+            entry = (float(latency_s), self._offers, trace_id)
+            if len(heap) < self.worst_k:
+                heapq.heappush(heap, entry)
+            elif entry > heap[0]:
+                heapq.heapreplace(heap, entry)
+        if self.sample_k > 0:
+            if len(self._sample) < self.sample_k:
+                self._sample.append(trace_id)
+            else:
+                j = self._rng.randrange(self._offers + 1)
+                if j < self.sample_k:
+                    self._sample[j] = trace_id
+        self._offers += 1
+
+    @property
+    def offers(self) -> int:
+        """Completed requests considered so far."""
+        return self._offers
+
+    def retained(self) -> set[str]:
+        """Trace ids whose full trees must currently be kept."""
+        keep = set(self._sample)
+        for heap in self._worst.values():
+            keep.update(trace_id for _, _, trace_id in heap)
+        return keep
+
+    def worst(self, klass: str | None = None) -> list[str]:
+        """Retained tail exemplars, slowest first."""
+        heaps = (
+            [self._worst.get(klass, [])]
+            if klass is not None
+            else list(self._worst.values())
+        )
+        entries = [entry for heap in heaps for entry in heap]
+        entries.sort(reverse=True)
+        return [trace_id for _, _, trace_id in entries]
+
+    def sampled(self) -> list[str]:
+        """The seeded uniform sample, slot order."""
+        return list(self._sample)

@@ -97,6 +97,7 @@ def partition_span_payload(
     status: str = "ok",
     uid: str | None = None,
     worker_pid: int | None = None,
+    request_trace_id: str | None = None,
 ) -> dict[str, Any]:
     """The wire shape of one partition's worker span.
 
@@ -104,11 +105,16 @@ def partition_span_payload(
     :meth:`SpanTracer.attach` adopts on the coordinator side.  Worker
     spans are wall-clock only — ``sim_seconds`` is zero so the profile
     tree's sim self-time invariant is untouched.
+
+    ``request_trace_id`` stamps the span with the *serving request* it
+    executed for (distinct from ``ctx.trace_id``, the run's trace), so
+    tail forensics can graft executor partitions into that request's
+    causal tree.
     """
     pid = os.getpid() if worker_pid is None else int(worker_pid)
     kernel_wall_s = max(0.0, float(kernel_wall_s))
     scatter_wall_s = max(0.0, float(scatter_wall_s))
-    return {
+    payload = {
         "type": "span",
         "name": "spmm_partition",
         "trace_id": ctx.trace_id,
@@ -129,6 +135,9 @@ def partition_span_payload(
             "queue_wait_s": max(0.0, float(queue_wait_s)),
         },
     }
+    if request_trace_id is not None:
+        payload["attributes"]["request_trace_id"] = str(request_trace_id)
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -320,11 +329,14 @@ def merge_streams(path: str | Path) -> list[dict[str, Any]]:
     base, _ = read_stream(path)
     grouped: dict[str, list[dict[str, Any]]] = {t: [] for t in _CANONICAL_TYPES}
     passthrough: list[dict[str, Any]] = []
+    forensic_uids: set[str] = set()
     for record in base:
         kind = record.get("type")
         if kind in grouped:
             grouped[kind].append(record)
         else:
+            if kind == "forensic_span" and record.get("uid") is not None:
+                forensic_uids.add(str(record["uid"]))
             passthrough.append(record)
 
     spans = sorted(
@@ -349,6 +361,18 @@ def merge_streams(path: str | Path) -> list[dict[str, Any]]:
     for worker_path in worker_stream_paths(path):
         worker_records, _ = read_stream(worker_path)
         for record in worker_records:
+            if record.get("type") == "forensic_span":
+                # Forensic nodes dedup on their top-level uid, exactly
+                # like worker spans dedup on attributes.uid: a node
+                # shipped to the coordinator *and* written by the
+                # worker's own stream must count once.
+                fuid = record.get("uid")
+                if fuid is not None and str(fuid) in forensic_uids:
+                    continue
+                if fuid is not None:
+                    forensic_uids.add(str(fuid))
+                passthrough.append(dict(record))
+                continue
             if record.get("type") != "span":
                 continue
             uid = (record.get("attributes") or {}).get("uid")
@@ -762,6 +786,20 @@ def _prom_labels(labels: dict[str, Any]) -> str:
     return "{" + inner + "}"
 
 
+def _prom_exemplar(exemplars: dict[str, Any], index: int) -> str:
+    """OpenMetrics exemplar suffix for one bucket line (or "").
+
+    Histogram records carry ``{bucket_index: [[value, trace_id], ...]}``
+    newest-first; the newest exemplar is the one exposed, as
+    ``... # {trace_id="req-..."} 0.00123``.
+    """
+    pairs = exemplars.get(str(index)) or []
+    if not pairs:
+        return ""
+    value, trace_id = pairs[0][0], pairs[0][1]
+    return f' # {{trace_id="{trace_id}"}} {float(value):g}'
+
+
 def render_prom(metric_records: list[dict[str, Any]]) -> str:
     """Prometheus text exposition of a set of metric records.
 
@@ -802,13 +840,15 @@ def render_prom(metric_records: list[dict[str, Any]]) -> str:
                 seen_types.add(name)
             bounds = list(record.get("bounds") or [])
             counts = list(record.get("bucket_counts") or [])
+            exemplars = record.get("exemplars") or {}
             cumulative = 0.0
-            for bound, count in zip(bounds, counts):
+            for i, (bound, count) in enumerate(zip(bounds, counts)):
                 cumulative += float(count)
                 le_labels = dict(labels)
                 le_labels["le"] = f"{float(bound):g}"
                 lines.append(
                     f"{name}_bucket{_prom_labels(le_labels)} {cumulative:g}"
+                    + _prom_exemplar(exemplars, i)
                 )
             # Trailing counts beyond the bounds are the +inf overflow.
             cumulative += sum(float(c) for c in counts[len(bounds):])
@@ -816,6 +856,7 @@ def render_prom(metric_records: list[dict[str, Any]]) -> str:
             inf_labels["le"] = "+Inf"
             lines.append(
                 f"{name}_bucket{_prom_labels(inf_labels)} {cumulative:g}"
+                + _prom_exemplar(exemplars, len(bounds))
             )
             lines.append(
                 f"{name}_sum{_prom_labels(labels)}"

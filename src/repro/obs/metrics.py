@@ -78,9 +78,20 @@ class Gauge(Counter):
 #: seconds (1 us .. hours) and dimensionless ratios.
 DEFAULT_BUCKETS = tuple(10.0**e for e in range(-6, 7))
 
+#: Exemplars retained per histogram bucket (newest win), following the
+#: OpenMetrics convention of a small bounded set per series.
+EXEMPLARS_PER_BUCKET = 4
+
 
 class Histogram:
-    """Fixed-bucket histogram with cumulative bucket counts."""
+    """Fixed-bucket histogram with cumulative bucket counts.
+
+    Observations may carry an *exemplar* — a trace id pinned to the
+    bucket the value landed in, so an operator reading a p99 bucket in
+    the Prometheus exposition can jump straight to ``repro why
+    <trace_id>`` for that request's causal tree.  At most
+    :data:`EXEMPLARS_PER_BUCKET` are retained per bucket, newest first.
+    """
 
     kind = "histogram"
 
@@ -103,19 +114,27 @@ class Histogram:
         self.sum = 0.0
         self.min = math.inf
         self.max = -math.inf
+        #: ``{bucket_index: [(value, trace_id), ...]}`` — newest first,
+        #: bounded; only buckets that ever saw an exemplar have a key.
+        self.exemplars: dict[int, list[tuple[float, str]]] = {}
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation, optionally pinning a trace exemplar."""
         value = float(value)
         self.count += 1
         self.sum += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        index = len(self.bounds)  # +inf overflow unless a bound fits
         for i, bound in enumerate(self.bounds):
             if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        if exemplar is not None:
+            bucket = self.exemplars.setdefault(index, [])
+            bucket.insert(0, (value, str(exemplar)))
+            del bucket[EXEMPLARS_PER_BUCKET:]
 
     @property
     def mean(self) -> float:
@@ -180,8 +199,13 @@ class Histogram:
         return (self.count - within) / self.count
 
     def to_record(self) -> dict[str, Any]:
-        """Serialize to a plain dict (the JSONL metric record payload)."""
-        return {
+        """Serialize to a plain dict (the JSONL metric record payload).
+
+        The ``exemplars`` key only appears when an exemplar was ever
+        observed, so records written by this version load unchanged in
+        older readers and vice versa.
+        """
+        record = {
             "type": "metric",
             "kind": self.kind,
             "name": self.name,
@@ -193,6 +217,12 @@ class Histogram:
             "bounds": list(self.bounds),
             "bucket_counts": list(self.bucket_counts),
         }
+        if self.exemplars:
+            record["exemplars"] = {
+                str(index): [[value, trace_id] for value, trace_id in pairs]
+                for index, pairs in sorted(self.exemplars.items())
+            }
+        return record
 
 
 class MetricsRegistry:

@@ -30,6 +30,7 @@ GROUP_STAGES = "stage"
 GROUP_COSTS = "cost"
 GROUP_PROFILE = "profile"
 GROUP_PLACEMENT = "placement"
+GROUP_ATTRIBUTION = "attribution"
 GROUP_METRICS = "metric"
 
 #: Row statuses.
@@ -174,6 +175,44 @@ def extract_placement_values(
     return out
 
 
+def extract_attribution_values(
+    records: list[dict[str, Any]],
+) -> dict[str, float]:
+    """Per-class tail-latency blame fractions from a telemetry export.
+
+    Folds the ``serve.blame_seconds`` counter family (one series per
+    request class x blame category, maintained by the serving loop even
+    when no live stream is attached) into fractions of each class's
+    total attributed seconds — the same numbers ``repro attribute``
+    prints from a stream.  Keys look like ``interactive/queue``.
+    Fractions rather than raw seconds, so two runs of different length
+    still compare; a class whose latency *composition* shifts (say
+    queue blame doubling at the expense of kernel) is what the
+    ``repro diff --attribution`` gate catches.
+    """
+    seconds: dict[str, dict[str, float]] = {}
+    for record in records:
+        if record.get("type") != "metric":
+            continue
+        if record.get("name") != "serve.blame_seconds":
+            continue
+        labels = record.get("labels") or {}
+        klass = str(labels.get("klass", "?"))
+        category = str(labels.get("category", "?"))
+        value = float(record.get("value", 0.0) or 0.0)
+        seconds.setdefault(klass, {})[category] = (
+            seconds.get(klass, {}).get(category, 0.0) + value
+        )
+    out: dict[str, float] = {}
+    for klass, blame in seconds.items():
+        total = sum(blame.values())
+        if total <= 0.0:
+            continue
+        for category, value in blame.items():
+            out[f"{klass}/{category}"] = value / total
+    return out
+
+
 def extract_metric_values(
     records: list[dict[str, Any]],
 ) -> dict[str, float]:
@@ -225,6 +264,7 @@ def diff_runs(
     threshold: float = 0.05,
     include_profile: bool = False,
     include_placement: bool = False,
+    include_attribution: bool = False,
 ) -> DiffReport:
     """Compare two telemetry exports; ``records_a`` is the baseline.
 
@@ -232,7 +272,10 @@ def diff_runs(
     too: per-node simulated self-time deltas, threshold-gated like the
     stage series.  With ``include_placement``, the shard-placement
     gauges (real distribution vs the DistDGL/DistGER cost models) get
-    their own gated group.
+    their own gated group.  With ``include_attribution``, the per-class
+    tail-latency blame fractions (``serve.blame_seconds``) get a gated
+    group — a latency mix shifting toward queue or hedge blame fails
+    the diff even when the totals look flat.
     """
     if threshold < 0:
         raise ValueError(f"threshold must be >= 0, got {threshold}")
@@ -275,6 +318,16 @@ def diff_runs(
                 GROUP_PLACEMENT,
                 extract_placement_values(records_a),
                 extract_placement_values(records_b),
+                threshold,
+                gated=True,
+            )
+        )
+    if include_attribution:
+        report.rows.extend(
+            _diff_series(
+                GROUP_ATTRIBUTION,
+                extract_attribution_values(records_a),
+                extract_attribution_values(records_b),
                 threshold,
                 gated=True,
             )
@@ -326,6 +379,11 @@ def render_diff(report: DiffReport) -> str:
         (
             GROUP_PLACEMENT,
             "Shard placement vs DistDGL/DistGER cost models",
+            True,
+        ),
+        (
+            GROUP_ATTRIBUTION,
+            "Tail-latency blame fractions (class/category)",
             True,
         ),
         (GROUP_METRICS, "Metrics (context only, not gated)", False),

@@ -58,6 +58,11 @@ class GateRun:
 
     session: TelemetrySession
     stages: dict[str, float]
+    #: Per-class tail-latency blame fractions from the serve stage
+    #: (``{"interactive/queue": 0.83, ...}``) — published to the
+    #: trajectory as ``attribution.*`` series, not gated (the stage
+    #: seconds already gate the totals; the mix is for trend plots).
+    attribution: dict[str, float] = field(default_factory=dict)
 
     @property
     def manifest(self) -> RunManifest:
@@ -68,11 +73,16 @@ class GateRun:
     def payload(self) -> dict[str, Any]:
         """The store/trajectory payload (deterministic fields only)."""
         manifest = self.manifest
-        return {
+        payload: dict[str, Any] = {
             "suite": "perf_gate",
             "config_hash": manifest.config_hash,
             "stages": {k: float(v) for k, v in sorted(self.stages.items())},
         }
+        if self.attribution:
+            payload["attribution"] = {
+                k: float(v) for k, v in sorted(self.attribution.items())
+            }
+        return payload
 
 
 def run_suite(
@@ -187,10 +197,13 @@ def run_suite(
     stages["serve.p99_latency"] = report.latency_percentile(
         99, ("served", "deadline_exceeded")
     )
+    from repro.obs.observatory.diff import extract_attribution_values
+
+    attribution = extract_attribution_values(session.metrics.to_records())
     session.event("perf_gate_stages", **stages)
     if session.stream is not None:
         session.close_stream()
-    return GateRun(session=session, stages=stages)
+    return GateRun(session=session, stages=stages, attribution=attribution)
 
 
 @dataclass
@@ -277,17 +290,19 @@ def append_trajectory(
 ) -> None:
     """Append one perf-gate point to ``BENCH_omega.json``."""
     manifest = run.manifest
-    append_trajectory_point(
-        path,
-        {
-            "run_id": manifest.run_id,
-            "git_sha": manifest.git_sha,
-            "config_hash": manifest.config_hash,
-            "baseline_key": baseline_key,
-            "ok": ok,
-            "stages": {k: float(v) for k, v in sorted(run.stages.items())},
-        },
-    )
+    point: dict[str, Any] = {
+        "run_id": manifest.run_id,
+        "git_sha": manifest.git_sha,
+        "config_hash": manifest.config_hash,
+        "baseline_key": baseline_key,
+        "ok": ok,
+        "stages": {k: float(v) for k, v in sorted(run.stages.items())},
+    }
+    if run.attribution:
+        point["attribution"] = {
+            k: float(v) for k, v in sorted(run.attribution.items())
+        }
+    append_trajectory_point(path, point)
 
 
 def run_perf_gate(

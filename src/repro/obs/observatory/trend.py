@@ -38,8 +38,10 @@ def load_trajectory(path: str | Path) -> list[dict[str, Any]]:
 def extract_point_series(point: dict[str, Any]) -> dict[str, float]:
     """Flatten one trajectory point into named numeric series.
 
-    Perf-gate points contribute ``stages.<name>``; benchmark points with
-    a nested ``points`` list (``bench_parallel_scaling``) contribute
+    Perf-gate points contribute ``stages.<name>`` plus
+    ``attribution.<class/category>`` (the serve stage's tail-latency
+    blame fractions); benchmark points with a nested ``points`` list
+    (``bench_parallel_scaling``) contribute
     ``<suite>.<backend>.w<workers>.<field>``.  Anything unrecognized is
     skipped.
     """
@@ -49,6 +51,11 @@ def extract_point_series(point: dict[str, Any]) -> dict[str, float]:
         for name, value in stages.items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 out[f"stages.{name}"] = float(value)
+    attribution = point.get("attribution")
+    if isinstance(attribution, dict):
+        for name, value in attribution.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                out[f"attribution.{name}"] = float(value)
     inner = point.get("points")
     if isinstance(inner, list):
         suite = point.get("suite") or "bench"

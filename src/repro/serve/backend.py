@@ -35,6 +35,11 @@ from repro.memsim.devices import (
     Operation,
 )
 from repro.memsim.persistence import CheckpointedEmbedder
+from repro.obs.forensics.records import (
+    BLAME_BREAKER,
+    BLAME_KERNEL,
+    BLAME_STALE_FALLBACK,
+)
 from repro.obs.metrics import MetricsRegistry
 
 #: Fidelity levels, best first (the degradation ladder's rungs).
@@ -50,9 +55,26 @@ class BackendResponse:
     ``stale_rows`` / ``stale_ranges`` carry per-shard staleness when the
     rows came from a sharded store that hedged part of the gather to its
     checkpoint tier (zero/empty for the monolithic backend).
+
+    ``breakdown`` itemizes ``sim_seconds`` by blame category (see
+    :mod:`repro.obs.forensics`); its values sum exactly to
+    ``sim_seconds`` because the dominant (kernel) share is built as the
+    residual.  ``shard_details`` / ``lookup_seq`` /
+    ``refresh_overlap_s`` pass the sharded store's per-gather
+    itemization through to the server's forensics collector.
     """
 
-    __slots__ = ("rows", "fidelity", "sim_seconds", "stale_rows", "stale_ranges")
+    __slots__ = (
+        "rows",
+        "fidelity",
+        "sim_seconds",
+        "stale_rows",
+        "stale_ranges",
+        "breakdown",
+        "shard_details",
+        "lookup_seq",
+        "refresh_overlap_s",
+    )
 
     def __init__(
         self,
@@ -61,12 +83,20 @@ class BackendResponse:
         sim_seconds: float,
         stale_rows: int = 0,
         stale_ranges: tuple[tuple[int, int, int], ...] = (),
+        breakdown: dict[str, float] | None = None,
+        shard_details: tuple[dict, ...] = (),
+        lookup_seq: int | None = None,
+        refresh_overlap_s: float = 0.0,
     ) -> None:
         self.rows = rows
         self.fidelity = fidelity
         self.sim_seconds = sim_seconds
         self.stale_rows = stale_rows
         self.stale_ranges = stale_ranges
+        self.breakdown = breakdown
+        self.shard_details = shard_details
+        self.lookup_seq = lookup_seq
+        self.refresh_overlap_s = refresh_overlap_s
 
 
 class EmbeddingBackend:
@@ -161,15 +191,24 @@ class EmbeddingBackend:
         return source[ids]
 
     def serve(
-        self, n_nodes: int, fidelity: str, stall_budget_s: float
+        self,
+        n_nodes: int,
+        fidelity: str,
+        stall_budget_s: float,
+        sim_now: float | None = None,
     ) -> BackendResponse:
         """One compute-tier call (``full`` or ``propagation_only``).
+
+        ``sim_now`` is the caller's simulated clock position — unused
+        by the monolithic backend, consumed by the sharded one to stamp
+        supervisor incidents for forensic joining.
 
         Raises:
             BackendStallError: an injected stall outlived
                 ``stall_budget_s`` — the caller paid the budget and
                 abandoned the call (a circuit-breaker failure).
         """
+        del sim_now
         self._require_warm()
         if fidelity not in (FIDELITY_FULL, FIDELITY_PROPAGATION):
             raise ValueError(
@@ -177,6 +216,7 @@ class EmbeddingBackend:
                 f" {FIDELITY_PROPAGATION!r}, got {fidelity!r}"
             )
         seconds = self.compute_cost(n_nodes, fidelity)
+        absorbed_stall = 0.0
         if self.faults is not None:
             seconds /= self.faults.pm_derate()
             stall = self.faults.take_backend_stall()
@@ -184,7 +224,8 @@ class EmbeddingBackend:
                 self.metrics.counter("serve.backend.stalls").inc()
                 if stall.seconds > stall_budget_s:
                     raise BackendStallError(stall.site, stall_budget_s)
-                seconds += stall.seconds
+                absorbed_stall = stall.seconds
+                seconds += absorbed_stall
         source = (
             self._full if fidelity == FIDELITY_FULL else self._propagation
         )
@@ -192,7 +233,17 @@ class EmbeddingBackend:
         self.metrics.counter(
             "serve.backend.sim_seconds", fidelity=fidelity
         ).inc(seconds)
-        return BackendResponse(self._rows(source, n_nodes), fidelity, seconds)
+        breakdown = {BLAME_KERNEL: seconds - absorbed_stall}
+        if absorbed_stall > 0.0:
+            # A stall that fit inside the budget still cost real time:
+            # charged to the breaker bucket (the budget it burned).
+            breakdown[BLAME_BREAKER] = absorbed_stall
+        return BackendResponse(
+            self._rows(source, n_nodes),
+            fidelity,
+            seconds,
+            breakdown=breakdown,
+        )
 
     def serve_cached(self, n_nodes: int) -> BackendResponse:
         """The stale tier: checkpointed rows at PM read cost, fault-free."""
@@ -208,5 +259,8 @@ class EmbeddingBackend:
             "serve.backend.sim_seconds", fidelity=FIDELITY_STALE
         ).inc(seconds)
         return BackendResponse(
-            self._rows(cached, n_nodes), FIDELITY_STALE, seconds
+            self._rows(cached, n_nodes),
+            FIDELITY_STALE,
+            seconds,
+            breakdown={BLAME_STALE_FALLBACK: seconds},
         )

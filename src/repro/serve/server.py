@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.faults import BackendStallError, FaultInjector
 from repro.memsim.clock import VirtualClock
+from repro.obs.forensics.records import RequestForensics
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, SpanTracer
 from repro.serve.backend import (
@@ -175,6 +176,15 @@ class ServeResponse:
     #: included), so every served/shed/failed request is queryable in
     #: the telemetry stream.
     trace_id: str | None = None
+    #: Admission-queue wait vs execution breakdown of the latency
+    #: (both zero for shed requests, which never dequeue).
+    queue_wait_s: float = 0.0
+    exec_s: float = 0.0
+    #: Degradation rung whose backend call actually produced the rows —
+    #: unlike ``fidelity``, it survives late completion (a
+    #: ``deadline_exceeded`` response nulls ``fidelity`` but keeps the
+    #: rung it burned its budget on).
+    rung: str | None = None
 
     @property
     def latency_s(self) -> float | None:
@@ -295,6 +305,17 @@ class EmbeddingServer:
         #: ``serve_request`` event per response plus a ``serve_snapshot``
         #: every ``snapshot_every`` responses (what ``repro top`` tails).
         self.stream = stream
+        if stream is not None:
+            # Incident (`shard_event`) records must land on the same
+            # stream as the request forensics so `repro why` can join
+            # them; propagate to a sharded backend that was built
+            # without one.  The shard manager reads its stream at emit
+            # time, so this works even after warm_up.
+            if getattr(backend, "stream", False) is None:
+                backend.stream = stream
+            shards = getattr(backend, "shards", None)
+            if shards is not None and shards.stream is None:
+                shards.stream = stream
         self.snapshot_every = snapshot_every
         self.breaker = CircuitBreaker(
             self.policy.breaker,
@@ -454,6 +475,20 @@ class EmbeddingServer:
 
     def _handle(self, request: ServeRequest, report: ServeReport) -> None:
         deadline_at = request.arrival_s + request.deadline_s
+        # Everything from arrival to this dequeue moment is admission
+        # wait; everything after it is execution.  The forensics
+        # collector shadows each clock advance the request pays for, so
+        # its blame buckets sum to the end-to-end simulated latency.
+        handled_at = self.clock.now
+        queue_wait = max(0.0, handled_at - request.arrival_s)
+        forensics = RequestForensics(
+            request_id=request.request_id,
+            klass=request.klass,
+            arrival_s=request.arrival_s,
+            deadline_s=request.deadline_s,
+            n_nodes=request.n_nodes,
+        )
+        forensics.begin_handling(handled_at)
         if self.clock.now >= deadline_at:
             # The budget died in the queue: reject before spending any
             # service on it (the shedding path's cheaper sibling).
@@ -471,10 +506,14 @@ class EmbeddingServer:
                     arrival_s=request.arrival_s,
                     completed_s=self.clock.now,
                     error=type(error).__name__,
+                    queue_wait_s=queue_wait,
                 ),
+                forensics=forensics,
             )
             return
-        fidelity, stale_rows = self._serve_ladder(request, deadline_at)
+        fidelity, stale_rows = self._serve_ladder(
+            request, deadline_at, forensics
+        )
         if fidelity is None:
             self._respond(
                 report,
@@ -485,7 +524,10 @@ class EmbeddingServer:
                     arrival_s=request.arrival_s,
                     completed_s=self.clock.now,
                     error=BackendStallError.__name__,
+                    queue_wait_s=queue_wait,
+                    exec_s=self.clock.now - handled_at,
                 ),
+                forensics=forensics,
             )
             return
         completed = self.clock.now
@@ -501,16 +543,24 @@ class EmbeddingServer:
                 completed_s=completed,
                 error=DeadlineExceededError.__name__ if late else None,
                 stale_rows=stale_rows,
+                queue_wait_s=queue_wait,
+                exec_s=completed - handled_at,
+                rung=fidelity,
             ),
+            forensics=forensics,
         )
 
     def _serve_ladder(
-        self, request: ServeRequest, deadline_at: float
+        self,
+        request: ServeRequest,
+        deadline_at: float,
+        forensics: RequestForensics,
     ) -> tuple[str | None, int]:
         """Walk the class ladder; returns (served fidelity, stale rows)."""
         for rung in self.policy.ladder_for(request.klass):
             if rung == FIDELITY_STALE:
                 response = self.backend.serve_cached(request.n_nodes)
+                forensics.record_backend(rung, response, self.clock.now)
                 self.clock.advance(response.sim_seconds)
                 return rung, response.stale_rows
             if self.policy.deadline_aware:
@@ -519,19 +569,25 @@ class EmbeddingServer:
                     self.metrics.counter(
                         "serve.degraded", reason="deadline"
                     ).inc()
+                    forensics.record_skip(rung, "deadline", self.clock.now)
                     continue
             if self.policy.breaker_enabled and not self.breaker.allow():
                 self.metrics.counter(
                     "serve.degraded", reason="breaker_open"
                 ).inc()
+                forensics.record_skip(rung, "breaker_open", self.clock.now)
                 continue
             try:
                 response = self.backend.serve(
-                    request.n_nodes, rung, self.policy.stall_budget_s
+                    request.n_nodes,
+                    rung,
+                    self.policy.stall_budget_s,
+                    sim_now=self.clock.now,
                 )
             except BackendStallError as stall:
                 # The call hung; we waited out the stall budget, then
                 # abandoned it and fell one rung down the ladder.
+                forensics.record_stall(rung, stall.seconds, self.clock.now)
                 self.clock.advance(stall.seconds)
                 self.breaker.record_failure()
                 self.metrics.counter(
@@ -546,7 +602,9 @@ class EmbeddingServer:
                 self.metrics.counter(
                     "serve.degraded", reason="shard_partial"
                 ).inc()
+                forensics.record_skip(rung, "shard_partial", self.clock.now)
                 continue
+            forensics.record_backend(rung, response, self.clock.now)
             self.clock.advance(response.sim_seconds)
             self.breaker.record_success()
             if response.stale_rows > 0:
@@ -579,7 +637,12 @@ class EmbeddingServer:
         )
         self.stream.flush()
 
-    def _respond(self, report: ServeReport, response: ServeResponse) -> None:
+    def _respond(
+        self,
+        report: ServeReport,
+        response: ServeResponse,
+        forensics: RequestForensics | None = None,
+    ) -> None:
         trace_id = self._trace_ids.pop(response.request_id, None)
         if trace_id is None:
             trace_id = self._next_trace_id()
@@ -596,8 +659,35 @@ class EmbeddingServer:
         if latency is not None:
             self.metrics.histogram(
                 "serve.latency", klass=response.klass
-            ).observe(latency)
+            ).observe(latency, exemplar=trace_id)
+        if forensics is not None:
+            # Blame seconds are counted even without a stream attached:
+            # they are what `repro diff` gates and perf-gate publishes.
+            for category, seconds in forensics.blame.items():
+                self.metrics.counter(
+                    "serve.blame_seconds",
+                    klass=response.klass,
+                    category=category,
+                ).inc(max(0.0, seconds))
         if self.stream is not None:
+            if forensics is None:
+                # Shed (or handler-torn) requests still leave a root
+                # node, so every submitted request is reconstructable.
+                forensics = RequestForensics(
+                    request_id=response.request_id,
+                    klass=response.klass,
+                    arrival_s=response.arrival_s,
+                    deadline_s=0.0,
+                )
+                if response.status == STATUS_FAILED:
+                    forensics.partial = True
+            for record in forensics.to_records(
+                trace_id,
+                response.status,
+                response.fidelity,
+                response.completed_s,
+            ):
+                self.stream.emit(record)
             self.stream.emit(
                 {
                     "type": "serve_request",
@@ -609,6 +699,9 @@ class EmbeddingServer:
                     "latency_s": latency,
                     "stale_rows": response.stale_rows,
                     "sim_now_s": self.clock.now,
+                    "queue_wait_s": response.queue_wait_s,
+                    "exec_s": response.exec_s,
+                    "rung": response.rung,
                 }
             )
             if len(report.responses) % self.snapshot_every == 0:

@@ -31,6 +31,11 @@ from repro.graphs.partition import (
     hash_partition,
     partition_load_balance,
 )
+from repro.obs.forensics.records import (
+    BLAME_BREAKER,
+    BLAME_KERNEL,
+    BLAME_SHARD_HEDGE,
+)
 from repro.obs.metrics import MetricsRegistry
 from repro.serve.backend import (
     FIDELITY_FULL,
@@ -191,7 +196,11 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
         return (offset + np.arange(n_nodes, dtype=np.int64) * stride) % total
 
     def serve(
-        self, n_nodes: int, fidelity: str, stall_budget_s: float
+        self,
+        n_nodes: int,
+        fidelity: str,
+        stall_budget_s: float,
+        sim_now: float | None = None,
     ) -> BackendResponse:
         """One compute-tier call; the full tier gathers from the shards.
 
@@ -202,12 +211,16 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
         """
         self._require_warm()
         if fidelity != FIDELITY_FULL:
-            return super().serve(n_nodes, fidelity, stall_budget_s)
+            return super().serve(n_nodes, fidelity, stall_budget_s, sim_now)
         if self.supervisor is not None:
             # The health-check loop runs between requests: crashed or
             # hung shards restart from checkpoints before this gather.
-            self.supervisor.check()
+            # The caller's clock position stamps any incident raised
+            # here (or reactively during the gather below), so `repro
+            # why` can join it onto overlapping request deadlines.
+            self.supervisor.check(sim_now=sim_now)
         seconds = self.compute_cost(n_nodes, fidelity)
+        absorbed_stall = 0.0
         if self.faults is not None:
             seconds /= self.faults.pm_derate()
             stall = self.faults.take_backend_stall()
@@ -215,19 +228,36 @@ class ShardedEmbeddingBackend(EmbeddingBackend):
                 self.metrics.counter("serve.backend.stalls").inc()
                 if stall.seconds > stall_budget_s:
                     raise BackendStallError(stall.site, stall_budget_s)
-                seconds += stall.seconds
+                absorbed_stall = stall.seconds
+                seconds += absorbed_stall
         self._serve_seq += 1
         result = self.shards.lookup(self._request_ids(n_nodes))
         self.metrics.counter("serve.backend.calls", fidelity=fidelity).inc()
         self.metrics.counter(
             "serve.backend.sim_seconds", fidelity=fidelity
         ).inc(seconds + result.sim_seconds)
+        total = seconds + result.sim_seconds
+        hedge_s = sum(
+            d["sim_seconds"] for d in result.shard_details if d["stale"]
+        )
+        # Kernel is the residual, so the breakdown sums to the total
+        # exactly: compute + fresh DRAM gathers vs the hedged PM reads
+        # (+ penalties) vs the absorbed stall.
+        breakdown = {BLAME_KERNEL: total - absorbed_stall - hedge_s}
+        if absorbed_stall > 0.0:
+            breakdown[BLAME_BREAKER] = absorbed_stall
+        if hedge_s > 0.0:
+            breakdown[BLAME_SHARD_HEDGE] = hedge_s
         return BackendResponse(
             result.rows,
             fidelity,
-            seconds + result.sim_seconds,
+            total,
             stale_rows=result.stale_rows,
             stale_ranges=result.stale_ranges,
+            breakdown=breakdown,
+            shard_details=result.shard_details,
+            lookup_seq=result.seq,
+            refresh_overlap_s=result.refresh_sim_seconds,
         )
 
     # -- introspection ---------------------------------------------------

@@ -177,6 +177,13 @@ class ShardLookupResult:
         sim_seconds: simulated cost of the gather.
         seq: this lookup's 1-based sequence number (the coordinate
             shard fault plans fire on).
+        shard_details: per-shard cost itemization for forensics — one
+            ``{shard, status, rows, sim_seconds, hedge_penalty_s,
+            stale}`` dict per gathered shard, whose ``sim_seconds``
+            sum exactly to :attr:`sim_seconds`.
+        refresh_sim_seconds: background-checkpointer seconds billed
+            during this lookup's refresh tick.  Off the request clock
+            by design; forensics records it as overlap, not latency.
     """
 
     rows: np.ndarray
@@ -185,6 +192,8 @@ class ShardLookupResult:
     statuses: dict[int, str]
     sim_seconds: float
     seq: int
+    shard_details: tuple[dict, ...] = ()
+    refresh_sim_seconds: float = 0.0
 
 
 class _ShardWorker:
@@ -1098,17 +1107,23 @@ class EmbeddingShardManager:
         self.lookup_seq += 1
         seq = self.lookup_seq
         self._apply_shard_faults(seq)
+        refresh_sim_seconds = 0.0
         if self.refresher is not None:
             # Background maintenance rides the request loop: due shards
             # re-checkpoint (staggered, billed to the sim clock) before
             # this gather observes their staleness.
+            refresh_before = self.refresher.sim_refresh_seconds
             self.refresher.tick(seq)
+            refresh_sim_seconds = (
+                self.refresher.sim_refresh_seconds - refresh_before
+            )
         dim = self.table.shape[1]
         out = np.empty((len(node_ids), dim), dtype=np.float64)
         statuses: dict[int, str] = {}
         stale_rows = 0
         stale_ranges: list[tuple[int, int, int]] = []
         missing_ranges: list[tuple[int, int, int]] = []
+        shard_details: list[dict] = []
         sim_seconds = 0.0
         self.metrics.counter("shard.lookups").inc()
         for shard_id, (positions, ids) in self.routing.split(node_ids).items():
@@ -1131,23 +1146,48 @@ class EmbeddingShardManager:
                     (shard_id, int(ids.min()), int(ids.max()) + 1)
                 )
                 self.metrics.counter("shard.stale_rows").inc(stale)
-                sim_seconds += self.cost_model.access_time(
+                shard_cost = self.cost_model.access_time(
                     self._pm,
                     Operation.READ,
                     AccessPattern.RANDOM,
                     Locality.LOCAL,
                     nbytes,
                 )
-                if status == STATUS_STALE:
-                    sim_seconds += self.policy.hedge_sim_penalty_s
+                penalty = (
+                    self.policy.hedge_sim_penalty_s
+                    if status == STATUS_STALE
+                    else 0.0
+                )
+                shard_cost += penalty
+                shard_details.append(
+                    {
+                        "shard": shard_id,
+                        "status": status,
+                        "rows": int(ids.size),
+                        "sim_seconds": shard_cost,
+                        "hedge_penalty_s": penalty,
+                        "stale": True,
+                    }
+                )
             else:
-                sim_seconds += self.cost_model.access_time(
+                shard_cost = self.cost_model.access_time(
                     self._dram,
                     Operation.READ,
                     AccessPattern.RANDOM,
                     Locality.LOCAL,
                     nbytes,
                 )
+                shard_details.append(
+                    {
+                        "shard": shard_id,
+                        "status": status,
+                        "rows": int(ids.size),
+                        "sim_seconds": shard_cost,
+                        "hedge_penalty_s": 0.0,
+                        "stale": False,
+                    }
+                )
+            sim_seconds += shard_cost
         if missing_ranges:
             self._emit({"type": "shard_event", "event": "partial",
                         "seq": seq,
@@ -1162,6 +1202,8 @@ class EmbeddingShardManager:
             statuses=statuses,
             sim_seconds=sim_seconds,
             seq=seq,
+            shard_details=tuple(shard_details),
+            refresh_sim_seconds=refresh_sim_seconds,
         )
 
     def _gather_one(

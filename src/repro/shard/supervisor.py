@@ -121,6 +121,12 @@ class Incident:
         recovery_s: simulated seconds the repair itself cost (the PM
             checkpoint read of a WAL restart, or the hedge penalty of a
             promotion).
+        seq: the store's lookup sequence number when the incident was
+            acted on — the coordinate forensics joins incidents onto
+            request trees with.
+        sim_now_s: simulated clock position of the serve call that
+            triggered the sweep (``None`` when :meth:`check` ran with
+            no clock in hand, e.g. a bare health-check loop).
     """
 
     shard_id: int
@@ -129,6 +135,8 @@ class Incident:
     lost_versions: int = 0
     backoff_s: float = 0.0
     recovery_s: float = 0.0
+    seq: int = 0
+    sim_now_s: float | None = None
 
 
 class ShardSupervisor:
@@ -145,6 +153,9 @@ class ShardSupervisor:
         self.metrics = metrics if metrics is not None else manager.metrics
         self.incidents: list[Incident] = []
         self.sim_backoff_seconds = 0.0
+        #: Simulated clock position of the serve call currently being
+        #: supervised (stamped onto incidents for forensic joining).
+        self._sim_now: float | None = None
         #: Heartbeat progress tracking: {(shard, generation): (value, wall_ts)}.
         self._beats: dict[tuple[int, int], tuple[int, float]] = {}
         #: Routing epoch last seen; a bump invalidates every beat key
@@ -166,8 +177,16 @@ class ShardSupervisor:
 
     # -- proactive path --------------------------------------------------
 
-    def check(self) -> list[Incident]:
-        """One supervision sweep; returns the incidents acted on."""
+    def check(self, sim_now: float | None = None) -> list[Incident]:
+        """One supervision sweep; returns the incidents acted on.
+
+        ``sim_now`` is the caller's simulated clock position (the serve
+        loop passes it); incidents raised during this sweep — and by
+        reactive repairs until the next sweep — carry it, so forensics
+        can join them onto overlapping request deadlines.
+        """
+        if sim_now is not None:
+            self._sim_now = sim_now
         sweep: list[Incident] = []
         self._check_reshard(sweep)
         now = time.monotonic()
@@ -231,7 +250,8 @@ class ShardSupervisor:
             return
         manager.begin_split(hottest)
         incident = Incident(
-            shard_id=hottest, reason="imbalance", action="reshard"
+            shard_id=hottest, reason="imbalance", action="reshard",
+            seq=manager.lookup_seq, sim_now_s=self._sim_now,
         )
         self._record(incident)
         sweep.append(incident)
@@ -258,13 +278,16 @@ class ShardSupervisor:
                     action="promote",
                     lost_versions=0,
                     recovery_s=host.recovery_sim_seconds - before,
+                    seq=self.manager.lookup_seq,
+                    sim_now_s=self._sim_now,
                 )
                 self._record(incident)
                 return [incident]
         if host.restarts >= self.policy.max_restarts:
             host.abandoned = True
             incident = Incident(
-                shard_id=host.shard_id, reason=reason, action="abandon"
+                shard_id=host.shard_id, reason=reason, action="abandon",
+                seq=self.manager.lookup_seq, sim_now_s=self._sim_now,
             )
             self._record(incident)
             return [incident]
@@ -278,7 +301,8 @@ class ShardSupervisor:
             # shard cannot reopen with trusted rows, so abandon it.
             host.abandoned = True
             incident = Incident(
-                shard_id=host.shard_id, reason=reason, action="abandon"
+                shard_id=host.shard_id, reason=reason, action="abandon",
+                seq=self.manager.lookup_seq, sim_now_s=self._sim_now,
             )
             self._record(incident)
             return [incident]
@@ -290,6 +314,8 @@ class ShardSupervisor:
             lost_versions=lost,
             backoff_s=backoff,
             recovery_s=host.recovery_sim_seconds - before,
+            seq=self.manager.lookup_seq,
+            sim_now_s=self._sim_now,
         )
         self._record(incident)
         return [incident]
@@ -333,5 +359,7 @@ class ShardSupervisor:
             "lost_versions": incident.lost_versions,
             "backoff_s": incident.backoff_s,
             "recovery_s": incident.recovery_s,
+            "seq": incident.seq,
+            "sim_now_s": incident.sim_now_s,
         }
         self.manager._emit(record)

@@ -59,7 +59,12 @@ class TestSuite:
     def test_payload_deterministic_fields_only(self, clean_run):
         payload = clean_run.payload()
         assert payload["suite"] == "perf_gate"
-        assert set(payload) == {"suite", "config_hash", "stages"}
+        # Attribution fractions derive from the sim clock, so they are
+        # as deterministic as the stage timings.
+        assert set(payload) == {
+            "suite", "config_hash", "stages", "attribution",
+        }
+        assert all(0.0 <= v <= 1.0 for v in payload["attribution"].values())
 
 
 class TestCompare:
