@@ -1,22 +1,35 @@
-"""Parallel scaling: serial backend vs shared-memory workers (2 / 4).
+"""Parallel scaling: serial vs shared-memory vs threads (2 / 4 workers).
 
 Times the real SpMM kernel dispatch (``SpMMResult.kernel_wall_seconds``)
-on a seeded R-MAT graph under the serial simulated backend and the
-shared-memory pool at 2 and 4 workers, prints the speedup table, checks
-bit-identity of every parallel result against serial, and appends the
-measured speedups to the ``BENCH_omega.json`` trajectory.
+on a seeded R-MAT graph under the serial simulated backend, the
+shared-memory pool, and the thread pool at 2 and 4 workers.  Every real
+arm is measured twice over:
+
+- **cold** — the first multiply on a freshly reset pool, paying worker
+  start-up and operand staging (the shared copy of the matrix, the
+  mapped scratch segments);
+- **warm** — the median of the following calls, riding the persistent
+  segment cache and batched plan submission, plus the median *plan
+  overhead* (the executor's ``last_submit_wall_s``: staging + enqueue
+  time per call).
+
+The table, the ``BENCH_omega.json`` trajectory, and the assertions all
+carry both: on any machine the warm path must beat the cold path for
+the shared-memory backend (that is the point of the segment cache), and
+bit-identity of every parallel result against serial is unconditional.
 
 Each arm also runs one *instrumented* multiply with a real tracer, so
-the per-partition ``spmm_partition`` worker spans come back across the
-process boundary; their kernel walls give the partition imbalance
-(max/median) — the number EaTA allocation is supposed to hold near 1.
+the per-partition ``spmm_partition`` spans come back across the process
+boundary; their kernel walls give the partition imbalance (max/median)
+— the number EaTA allocation is supposed to hold near 1.
 
 Wall-clock speedup is a *physical* property: it requires free cores.
 The benchmark measures and reports honestly on any machine, and asserts
-the >= 1.5x 4-worker speedup target only where at least 4 cores are
-available to this process (``os.sched_getaffinity``); on smaller
-machines the table and trajectory still record the observed ratios so
-the number is auditable wherever CI has real parallelism.
+the >= 1.5x 4-worker speedup target (for at least one real backend)
+only where at least 4 cores are available to this process
+(``os.sched_getaffinity``); on smaller machines the table and
+trajectory still record the observed ratios so the number is auditable
+wherever CI has real parallelism.
 """
 
 import os
@@ -38,7 +51,10 @@ from repro.obs.observatory import append_trajectory_point
 from repro.obs.observatory.manifest import git_sha
 from repro.obs.observatory.perfgate import DEFAULT_TRAJECTORY
 from repro.obs.tracer import SpanTracer
-from repro.parallel import close_shared_executors
+from repro.parallel import (
+    close_shared_executors,
+    shutdown_threads_executors,
+)
 
 SCALE = 13
 EDGE_FACTOR = 16.0
@@ -46,6 +62,7 @@ DIM = 64
 SEED = 0
 REPEATS = 3
 SPEEDUP_TARGET = 1.5
+REAL_BACKENDS = (ExecBackend.SHARED_MEMORY, ExecBackend.THREADS)
 
 
 def _available_cores() -> int:
@@ -53,6 +70,12 @@ def _available_cores() -> int:
         return len(os.sched_getaffinity(0))
     except AttributeError:  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def _reset_pools() -> None:
+    """Tear down every process-wide pool so cold timings are honest."""
+    close_shared_executors()
+    shutdown_threads_executors()
 
 
 def _engine(
@@ -68,15 +91,35 @@ def _engine(
     )
 
 
-def _median_kernel_wall(engine, matrix, dense) -> tuple[float, np.ndarray]:
-    """Median dispatch wall over REPEATS runs (first run warms the pool)."""
-    output = engine.multiply(matrix, dense).output  # warm-up, not timed
-    samples = []
+def _measure_arm(
+    backend: ExecBackend, n_workers: int, matrix, dense
+) -> tuple[float, float, float, np.ndarray]:
+    """(cold wall, median warm wall, median plan overhead, output).
+
+    The pool registries are reset first, so the cold call genuinely
+    pays worker start-up and operand staging; the warm calls then ride
+    whatever the backend persists between calls.
+    """
+    _reset_pools()
+    engine = _engine(backend, n_workers)
+    result = engine.multiply(matrix, dense)
+    cold_s = result.kernel_wall_seconds
+    output = result.output
+    warm_samples, overhead_samples = [], []
     for _ in range(REPEATS):
         result = engine.multiply(matrix, dense)
-        samples.append(result.kernel_wall_seconds)
+        warm_samples.append(result.kernel_wall_seconds)
+        stats = getattr(engine.kernel_executor, "stats", None)
+        overhead_samples.append(
+            stats.last_submit_wall_s if stats is not None else 0.0
+        )
         output = result.output
-    return statistics.median(samples), output
+    return (
+        cold_s,
+        statistics.median(warm_samples),
+        statistics.median(overhead_samples),
+        output,
+    )
 
 
 def _partition_imbalance(
@@ -85,8 +128,9 @@ def _partition_imbalance(
     """max/median per-partition kernel wall of one instrumented multiply.
 
     The tracer makes the engine thread a trace context into the kernel
-    dispatch, so every partition (worker process or serial loop) ships
-    back an ``spmm_partition`` span with its own kernel wall.
+    dispatch, so every partition (worker process, pool thread, or the
+    serial loop) ships back an ``spmm_partition`` span with its own
+    kernel wall.
     """
     tracer = SpanTracer()
     engine = _engine(backend, n_workers, tracer=tracer)
@@ -117,34 +161,40 @@ def test_parallel_scaling(run_once):
     cores = _available_cores()
 
     def experiment():
-        serial_s, serial_out = _median_kernel_wall(
-            _engine(ExecBackend.SIMULATED, 1), matrix, dense
+        cold_s, warm_s, overhead_s, serial_out = _measure_arm(
+            ExecBackend.SIMULATED, 1, matrix, dense
         )
         serial_imb = _partition_imbalance(
             ExecBackend.SIMULATED, 1, matrix, dense
         )
-        rows = [("serial", 1, serial_s, 1.0, True, serial_imb)]
-        for n_workers in (2, 4):
-            wall_s, out = _median_kernel_wall(
-                _engine(ExecBackend.SHARED_MEMORY, n_workers), matrix, dense
-            )
-            imbalance = _partition_imbalance(
-                ExecBackend.SHARED_MEMORY, n_workers, matrix, dense
-            )
-            rows.append(
-                (
-                    "shared_memory",
-                    n_workers,
-                    wall_s,
-                    serial_s / wall_s if wall_s > 0 else float("inf"),
-                    np.array_equal(out, serial_out),
-                    imbalance,
+        rows = [
+            ("serial", 1, cold_s, warm_s, overhead_s, 1.0, True, serial_imb)
+        ]
+        serial_warm = warm_s
+        for backend in REAL_BACKENDS:
+            for n_workers in (2, 4):
+                cold_s, warm_s, overhead_s, out = _measure_arm(
+                    backend, n_workers, matrix, dense
                 )
-            )
+                imbalance = _partition_imbalance(
+                    backend, n_workers, matrix, dense
+                )
+                rows.append(
+                    (
+                        backend.value,
+                        n_workers,
+                        cold_s,
+                        warm_s,
+                        overhead_s,
+                        serial_warm / warm_s if warm_s > 0 else float("inf"),
+                        np.array_equal(out, serial_out),
+                        imbalance,
+                    )
+                )
         return rows
 
     rows = run_once(experiment)
-    close_shared_executors()
+    _reset_pools()
 
     session = telemetry_session(
         "parallel_scaling",
@@ -153,12 +203,17 @@ def test_parallel_scaling(run_once):
         nnz=int(matrix.nnz),
         cores=cores,
     )
-    for backend, workers, wall_s, speedup, identical, imbalance in rows:
+    for (
+        backend, workers, cold_s, warm_s, overhead_s, speedup, identical,
+        imbalance,
+    ) in rows:
         session.event(
             "scaling_point",
             backend=backend,
             workers=workers,
-            kernel_wall_s=wall_s,
+            cold_wall_s=cold_s,
+            kernel_wall_s=warm_s,
+            plan_overhead_s=overhead_s,
             speedup=speedup,
             bit_identical=identical,
             partition_imbalance=imbalance,
@@ -167,23 +222,28 @@ def test_parallel_scaling(run_once):
 
     table = format_table(
         [
-            "backend", "workers", "kernel wall", "speedup",
-            "bit-identical", "imbalance",
+            "backend", "workers", "cold wall", "warm wall", "plan ovh",
+            "speedup", "bit-identical", "imbalance",
         ],
         [
             [
                 backend,
                 workers,
-                format_seconds(wall_s),
+                format_seconds(cold_s),
+                format_seconds(warm_s),
+                format_seconds(overhead_s),
                 f"{speedup:.2f}x",
                 "yes" if identical else "NO",
                 f"{imbalance:.2f}",
             ]
-            for backend, workers, wall_s, speedup, identical, imbalance in rows
+            for (
+                backend, workers, cold_s, warm_s, overhead_s, speedup,
+                identical, imbalance,
+            ) in rows
         ],
         title=(
             f"Parallel scaling — R-MAT s{SCALE}, d={DIM},"
-            f" {matrix.nnz} nnz, median of {REPEATS}"
+            f" {matrix.nnz} nnz, warm = median of {REPEATS}"
             f" ({cores} core(s) available)"
         ),
     )
@@ -202,13 +262,17 @@ def test_parallel_scaling(run_once):
                 {
                     "backend": backend,
                     "workers": workers,
-                    "kernel_wall_s": wall_s,
+                    "cold_wall_s": cold_s,
+                    "kernel_wall_s": warm_s,
+                    "plan_overhead_s": overhead_s,
                     "speedup": speedup,
                     "bit_identical": identical,
                     "partition_imbalance": imbalance,
                 }
-                for backend, workers, wall_s, speedup, identical, imbalance
-                in rows
+                for (
+                    backend, workers, cold_s, warm_s, overhead_s, speedup,
+                    identical, imbalance,
+                ) in rows
             ],
         },
     )
@@ -218,11 +282,21 @@ def test_parallel_scaling(run_once):
     # The imbalance ratio is max/median: finite and >= 1 by construction
     # whenever real per-partition walls came back.
     assert all(np.isfinite(imb) and imb >= 1.0 for *_, imb in rows)
+    # The warm path must amortize what the cold path pays: on any
+    # machine — cores or not — a shared-memory call that reuses the
+    # cached segments has strictly less to do than one that shares the
+    # matrix and spawns workers first.
+    for backend, workers, cold_s, warm_s, *_ in rows:
+        if backend == ExecBackend.SHARED_MEMORY.value:
+            assert warm_s < cold_s, (
+                f"{backend}@{workers}: warm {warm_s * 1e3:.1f}ms not below"
+                f" cold {cold_s * 1e3:.1f}ms — segment cache not engaged?"
+            )
     # Wall speedup needs physical cores; enforce the target only where
-    # the machine can express it.
-    four_worker = next(r for r in rows if r[1] == 4)
+    # the machine can express it, for the best 4-worker real backend.
     if cores >= 4:
-        assert four_worker[3] >= SPEEDUP_TARGET, (
-            f"4-worker speedup {four_worker[3]:.2f}x below"
+        best = max(r[5] for r in rows if r[1] == 4)
+        assert best >= SPEEDUP_TARGET, (
+            f"best 4-worker speedup {best:.2f}x below"
             f" {SPEEDUP_TARGET}x on a {cores}-core machine"
         )

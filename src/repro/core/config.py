@@ -60,13 +60,17 @@ class ExecBackend(enum.Enum):
     serially in-process while only simulated clocks advance per logical
     thread.  ``SHARED_MEMORY`` runs EaTA partitions concurrently on a
     pool of worker processes over zero-copy shared-memory views of the
-    CSDB arrays (see :mod:`repro.parallel.shared`); the simulated cost
-    accounting is charged identically in both backends, and the numeric
-    output is bit-identical.
+    CSDB arrays (see :mod:`repro.parallel.shared`).  ``THREADS`` runs
+    them on a persistent in-process thread pool with zero segment
+    copies (see :mod:`repro.parallel.threads`) — the numpy kernels
+    release the GIL, and on free-threaded CPython the threads are fully
+    concurrent.  The simulated cost accounting is charged identically
+    in every backend, and the numeric output is bit-identical.
     """
 
     SIMULATED = "simulated"
     SHARED_MEMORY = "shared_memory"
+    THREADS = "threads"
 
 
 #: Default byte budget for the blocked SpMM gather intermediate (bounds
@@ -81,7 +85,8 @@ class ParallelConfig:
     Attributes:
         backend: which executor runs the numpy kernels.  The simulated
             cost model is unaffected by this choice.
-        n_workers: worker processes in the shared-memory pool.  This is
+        n_workers: worker processes in the shared-memory pool (or
+            threads in the threads pool).  This is
             a *physical* resource knob, distinct from the *logical*
             ``OMeGaConfig.n_threads`` the cost model partitions over;
             the pool consumes the logical partitions work-stealing

@@ -69,6 +69,7 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, SpanTracer
 from repro.parallel.scheduler import KernelExecutor, SimulatedExecutor
 from repro.parallel.shared import get_shared_executor
 from repro.parallel.stats import ThreadStats, summarize_thread_times
+from repro.parallel.threads import get_threads_executor
 
 #: Bytes of CSDB per-row metadata touched by ``read_index`` (degree-block
 #: lookup + running offset).
@@ -181,6 +182,8 @@ class SpMMEngine:
             self.kernel_executor: KernelExecutor = get_shared_executor(
                 parallel.n_workers
             )
+        elif parallel.backend is ExecBackend.THREADS:
+            self.kernel_executor = get_threads_executor(parallel.n_workers)
         else:
             self.kernel_executor = SimulatedExecutor()
         pm = self.topology.device(MemoryKind.PM)
@@ -356,6 +359,17 @@ class SpMMEngine:
             if needs_full_pass:
                 output[:] = matrix.spmm(dense, budget_bytes=budget)
             else:
+                stats = getattr(self.kernel_executor, "stats", None)
+                before = (
+                    (
+                        stats.plans,
+                        stats.shared_cache_hits,
+                        stats.shared_cache_misses,
+                        stats.invalidations,
+                    )
+                    if stats is not None
+                    else None
+                )
                 self.kernel_executor.run_partitions(
                     matrix,
                     dense,
@@ -365,6 +379,27 @@ class SpMMEngine:
                     trace_ctx=trace_ctx,
                     span_sink=span_sink,
                 )
+                if stats is not None and before is not None:
+                    # Warm-path observability: fold the executor's
+                    # counters into the run's metrics as deltas, so
+                    # cache reuse and per-call submission overhead show
+                    # up in reports without the executor knowing about
+                    # the registry.
+                    self.metrics.counter("spmm.executor.plans").inc(
+                        stats.plans - before[0]
+                    )
+                    self.metrics.counter("spmm.executor.cache_hits").inc(
+                        stats.shared_cache_hits - before[1]
+                    )
+                    self.metrics.counter("spmm.executor.cache_misses").inc(
+                        stats.shared_cache_misses - before[2]
+                    )
+                    self.metrics.counter("spmm.executor.invalidations").inc(
+                        stats.invalidations - before[3]
+                    )
+                    self.metrics.counter(
+                        "spmm.executor.submit_wall_seconds"
+                    ).inc(stats.last_submit_wall_s)
             kernel_wall = time.perf_counter() - wall_start
             self.metrics.counter("spmm.kernel_wall_seconds").inc(kernel_wall)
         thread_times = clock.thread_times

@@ -64,7 +64,12 @@ def extract_point_series(point: dict[str, Any]) -> dict[str, float]:
                 continue
             backend = sub.get("backend", "?")
             workers = sub.get("workers", "?")
-            for field in ("kernel_wall_s", "speedup"):
+            for field in (
+                "kernel_wall_s",
+                "cold_wall_s",
+                "plan_overhead_s",
+                "speedup",
+            ):
                 value = sub.get(field)
                 if isinstance(value, (int, float)) and not isinstance(
                     value, bool

@@ -1,16 +1,24 @@
-"""Parallel execution: simulated and shared-memory backends, thread stats.
+"""Parallel execution: simulated, shared-memory, and thread backends.
 
-Two interchangeable backends implement the :class:`KernelExecutor`
+Three interchangeable backends implement the :class:`KernelExecutor`
 protocol behind the engine's kernel-dispatch seam:
 
 - :class:`SimulatedExecutor` — serial in-process kernels, simulated
   per-thread clocks (the deterministic default);
 - :class:`SharedMemoryExecutor` — EaTA partitions executed concurrently
   on worker processes over zero-copy shared-memory views of the CSDB
-  arrays, bit-identical to the serial result.
+  arrays, with a persistent warm segment cache and batched plan
+  submission, bit-identical to the serial result;
+- :class:`ThreadsExecutor` — partitions on a persistent in-process
+  thread pool, zero segment copies (the numpy kernels release the
+  GIL), bit-identical to the serial result.
+
+Real backends expose :class:`ExecutorStats` warm-path counters that the
+engine folds into its metrics registry.
 """
 
 from repro.parallel.scheduler import (
+    ExecutorStats,
     KernelExecutor,
     SimulatedExecutor,
     ThreadTask,
@@ -20,17 +28,28 @@ from repro.parallel.shared import (
     WorkerCrashError,
     close_shared_executors,
     get_shared_executor,
+    shutdown_shared_executors,
 )
 from repro.parallel.stats import ThreadStats, summarize_thread_times
+from repro.parallel.threads import (
+    ThreadsExecutor,
+    get_threads_executor,
+    shutdown_threads_executors,
+)
 
 __all__ = [
+    "ExecutorStats",
     "KernelExecutor",
     "SharedMemoryExecutor",
     "SimulatedExecutor",
     "ThreadStats",
     "ThreadTask",
+    "ThreadsExecutor",
     "WorkerCrashError",
     "close_shared_executors",
     "get_shared_executor",
+    "get_threads_executor",
+    "shutdown_shared_executors",
+    "shutdown_threads_executors",
     "summarize_thread_times",
 ]

@@ -56,6 +56,43 @@ class KernelExecutor(Protocol):
 
 
 @dataclass
+class ExecutorStats:
+    """Warm-path counters a real executor keeps across calls.
+
+    The engine snapshots these around each dispatched ``multiply()``
+    and feeds the deltas into its metrics registry, so cache reuse and
+    submission overhead are observable per run (``repro report`` /
+    ``repro top``) without the executor knowing about metrics at all.
+
+    Attributes:
+        plans: batched plan submissions (one per dispatched call per
+            participating worker for process pools; one per call for
+            thread pools).
+        partitions: partition kernels executed.
+        shared_cache_hits: calls that reused a cached shared copy of
+            the operand matrix (and the mapped scratch segments).
+        shared_cache_misses: calls that had to share (or re-share) the
+            matrix.
+        invalidations: cached shared copies retired because the
+            matrix's content hash changed (see
+            :meth:`~repro.formats.csdb.CSDBMatrix.mark_mutated`).
+        last_submit_wall_s: wall seconds the last call spent staging
+            operands and enqueueing its plan (the per-call overhead the
+            warm path amortizes).
+        last_call_wall_s: wall seconds of the last full call
+            (submission + kernels + join).
+    """
+
+    plans: int = 0
+    partitions: int = 0
+    shared_cache_hits: int = 0
+    shared_cache_misses: int = 0
+    invalidations: int = 0
+    last_submit_wall_s: float = 0.0
+    last_call_wall_s: float = 0.0
+
+
+@dataclass
 class ThreadTask:
     """One unit of simulated-parallel work.
 

@@ -18,18 +18,38 @@ Design invariants:
 - **Simulated time is untouched.**  The executor only runs kernels; the
   engine charges Eq. 2 costs to the per-thread :class:`SimClock` exactly
   as under the simulated backend.
+- **Warm path.**  The shared copy of each operand matrix and the mapped
+  dense/output scratch segments persist across calls, keyed by matrix
+  identity *and* content hash (see
+  :meth:`~repro.formats.csdb.CSDBMatrix.content_hash`): the second and
+  every later ``multiply()`` of a Chebyshev run pays only the dense
+  copy and one batched plan enqueue per worker.  In-place mutation is
+  announced via :meth:`~repro.formats.csdb.CSDBMatrix.mark_mutated`,
+  which changes the content hash and makes the executor retire and
+  re-share the matrix on its next call.
+- **Batched submission.**  Each call enqueues *one* plan message per
+  worker carrying that worker's whole share of the partition plan
+  (largest-nnz-first assignment onto the least-loaded worker) and
+  receives one coalesced ack, instead of a queue round-trip per
+  partition.
 - **Crash safety.**  A worker death or in-worker exception surfaces as a
   typed :class:`WorkerCrashError`; the pool tears down and every shared
   segment it created is unlinked before the error propagates.
+- **Fork safety.**  A forked child (e.g. a shard host) inherits the
+  parent's executors but must never shut down the parent's workers or
+  unlink its segments: an ``os.register_at_fork`` hook abandons every
+  executor in the child (bookkeeping cleared, nothing touched), so
+  child-side ``close()``/``__del__`` are no-ops and the next
+  :func:`get_shared_executor` in the child builds a fresh pool.
 - **Observable workers.**  When the engine passes a
   :class:`~repro.obs.live.TraceContext`, each worker measures its
-  partition (queue wait, kernel wall, scatter wall, rows, nnz) and ships
-  a span payload back with the ack — on the error ack too, so partition
-  telemetry survives the :class:`WorkerCrashError` path.  With a live
-  stream attached, workers additionally append their spans to sibling
-  stream files (``<stream>.w<pid>``) that
-  :func:`~repro.obs.live.merge_streams` stitches back together even if
-  the coordinator never gets the ack.
+  partitions (queue wait, kernel wall, scatter wall, rows, nnz) and
+  ships the span payloads back with its coalesced ack — on the partial
+  and error acks too, so partition telemetry survives the
+  :class:`WorkerCrashError` path.  With a live stream attached, workers
+  additionally append their spans to sibling stream files
+  (``<stream>.w<pid>``) that :func:`~repro.obs.live.merge_streams`
+  stitches back together even if the coordinator never gets the ack.
 
 The pool is lazy (no processes are spawned until the first dispatched
 kernel) and process-wide pools are shared across engines via
@@ -65,6 +85,7 @@ from repro.obs.live import (
     next_span_uid,
     partition_span_payload,
 )
+from repro.parallel.scheduler import ExecutorStats
 
 #: Default per-call completion deadline; a pool that produces neither
 #: results nor progress for this long is declared crashed.
@@ -110,22 +131,34 @@ def _worker_stream(
 
 
 def _worker_main(jobs, results) -> None:
-    """Worker loop: attach shared operands once, run kernels forever.
+    """Worker loop: attach shared operands once, run whole plans forever.
 
-    Job shapes (plain tuples, picklable):
+    Each worker owns a private job queue and receives *plans* — one
+    message per ``run_partitions`` call carrying every partition
+    assigned to this worker (plain tuples, picklable):
 
-    - ``("spmm", call_id, job_id, handle, dense_spec, out_spec,
-      row_start, row_end, budget_bytes, retired, ctx, enqueued_at)`` —
-      run one partition (``ctx`` is a
+    - ``("plan", call_id, slot, handle, dense_spec, out_spec, tasks,
+      budget_bytes, retired, ctx, enqueued_at)`` — run the plan's tasks
+      in order.  ``tasks`` is a tuple of ``(job_id, row_start, row_end,
+      crash)`` sorted by ``job_id``; ``crash`` marks injected
+      hard-exits (crash-safety tests).  ``ctx`` is a
       :class:`~repro.obs.live.TraceContext` or None; ``enqueued_at`` is
       the coordinator's ``time.monotonic()`` at submission, comparable
-      across forked processes on Linux);
-    - ``("crash", call_id, job_id)`` — hard-exit (crash-safety tests);
+      across forked processes on Linux.  ``retired`` names segments to
+      drop — every plan carries it (empty plans included), so all
+      workers release retired attachments deterministically.
     - ``None`` — shut down.
 
-    With a trace context, the ack carries the partition's span payload:
-    ``("ok", call_id, job_id, payload)`` /
-    ``("error", call_id, job_id, message, payload)``.
+    One coalesced ack per plan, with the span payloads of every
+    completed partition riding along:
+
+    - ``("ok", call_id, slot, n_done, payloads)`` — all tasks done;
+    - ``("partial", call_id, slot, n_done, payloads)`` — an injected
+      crash task was reached after ``n_done`` completed partitions; the
+      ack (and any live-stream appends) is flushed, then the worker
+      hard-exits;
+    - ``("error", call_id, slot, message, payloads)`` — a task raised;
+      ``payloads`` includes the failing partition's error-status span.
     """
     matrices: dict[str, CSDBMatrix] = {}
     scratch: dict[str, tuple] = {}  # name -> (ndarray view, segment)
@@ -137,77 +170,93 @@ def _worker_main(jobs, results) -> None:
             scratch.pop(name, None)
 
     while True:
-        job = jobs.get()
-        if job is None:
+        plan = jobs.get()
+        if plan is None:
             return
-        kind = job[0]
-        if kind == "crash":
-            # Flush acks already put for earlier jobs (the feeder
-            # thread is async and os._exit would drop them), then die
-            # hard: the crash job itself is never acked.
-            results.close()
-            results.join_thread()
-            os._exit(17)
-        received_at = time.monotonic()
-        _, call_id, job_id, handle, dense_spec, out_spec = job[:6]
-        row_start, row_end, budget_bytes, retired, ctx, enqueued_at = job[6:]
-        queue_wait_s = max(0.0, received_at - enqueued_at)
-        kernel_wall_s = scatter_wall_s = 0.0
+        (
+            _, call_id, slot, handle, dense_spec, out_spec,
+            tasks, budget_bytes, retired, ctx, enqueued_at,
+        ) = plan
+        drop(retired)
+        payloads: list = []
+        n_done = 0
+        job_id = row_start = row_end = 0
+        queue_wait_s = kernel_wall_s = scatter_wall_s = 0.0
         nnz = 0
+        dense = out = None
         try:
-            drop(retired)
-            matrix = matrices.get(handle.key)
-            if matrix is None:
-                matrix = CSDBMatrix.from_shared(handle)
-                matrices[handle.key] = matrix
-            if dense_spec.name not in scratch:
-                scratch[dense_spec.name] = attach_shared_array(dense_spec)
-            if out_spec.name not in scratch:
-                scratch[out_spec.name] = attach_shared_array(out_spec)
-            # Re-view per job: the segment is cached, but its logical
-            # shape can change between calls (d varies across pipeline
-            # stages while the byte capacity stays sufficient).
-            dense_seg = scratch[dense_spec.name][1]
-            out_seg = scratch[out_spec.name][1]
-            dense = np.ndarray(
-                dense_spec.shape, dtype=np.dtype(dense_spec.dtype),
-                buffer=dense_seg.buf,
-            )
-            out = np.ndarray(
-                out_spec.shape, dtype=np.dtype(out_spec.dtype),
-                buffer=out_seg.buf,
-            )
-            if ctx is not None:
-                prefix = matrix.nnz_prefix()
-                nnz = int(prefix[row_end] - prefix[row_start])
-            kernel_start = time.perf_counter()
-            partial = matrix.spmm_rows(
-                dense, row_start, row_end, budget_bytes=budget_bytes
-            )
-            kernel_wall_s = time.perf_counter() - kernel_start
-            scatter_start = time.perf_counter()
-            out[matrix.perm[row_start:row_end]] = partial
-            scatter_wall_s = time.perf_counter() - scatter_start
-            del dense, out, partial
-            payload = None
-            if ctx is not None:
-                payload = partition_span_payload(
-                    ctx,
-                    row_start=row_start,
-                    row_end=row_end,
-                    nnz=nnz,
-                    kernel_wall_s=kernel_wall_s,
-                    scatter_wall_s=scatter_wall_s,
-                    queue_wait_s=queue_wait_s,
-                    uid=next_span_uid(),
+            if tasks:
+                matrix = matrices.get(handle.key)
+                if matrix is None:
+                    matrix = CSDBMatrix.from_shared(handle)
+                    matrices[handle.key] = matrix
+                if dense_spec.name not in scratch:
+                    scratch[dense_spec.name] = attach_shared_array(dense_spec)
+                if out_spec.name not in scratch:
+                    scratch[out_spec.name] = attach_shared_array(out_spec)
+                # Re-view per plan: the segment is cached, but its
+                # logical shape can change between calls (d varies
+                # across pipeline stages while the byte capacity stays
+                # sufficient).
+                dense_seg = scratch[dense_spec.name][1]
+                out_seg = scratch[out_spec.name][1]
+                dense = np.ndarray(
+                    dense_spec.shape, dtype=np.dtype(dense_spec.dtype),
+                    buffer=dense_seg.buf,
                 )
-                stream = _worker_stream(streams, ctx)
-                if stream is not None:
-                    stream.emit(payload)
-            results.put(("ok", call_id, job_id, payload))
+                out = np.ndarray(
+                    out_spec.shape, dtype=np.dtype(out_spec.dtype),
+                    buffer=out_seg.buf,
+                )
+            for job_id, row_start, row_end, crash in tasks:
+                if crash:
+                    # Flush the partial ack (the feeder thread is async
+                    # and os._exit would drop it), then die hard: the
+                    # crash task itself never completes.
+                    dense = out = None
+                    results.put(
+                        ("partial", call_id, slot, n_done, tuple(payloads))
+                    )
+                    results.close()
+                    results.join_thread()
+                    os._exit(17)
+                started_at = time.monotonic()
+                queue_wait_s = max(0.0, started_at - enqueued_at)
+                kernel_wall_s = scatter_wall_s = 0.0
+                nnz = 0
+                if ctx is not None:
+                    prefix = matrix.nnz_prefix()
+                    nnz = int(prefix[row_end] - prefix[row_start])
+                kernel_start = time.perf_counter()
+                partial = matrix.spmm_rows(
+                    dense, row_start, row_end, budget_bytes=budget_bytes
+                )
+                kernel_wall_s = time.perf_counter() - kernel_start
+                scatter_start = time.perf_counter()
+                out[matrix.perm[row_start:row_end]] = partial
+                scatter_wall_s = time.perf_counter() - scatter_start
+                del partial
+                if ctx is not None:
+                    payload = partition_span_payload(
+                        ctx,
+                        row_start=row_start,
+                        row_end=row_end,
+                        nnz=nnz,
+                        kernel_wall_s=kernel_wall_s,
+                        scatter_wall_s=scatter_wall_s,
+                        queue_wait_s=queue_wait_s,
+                        uid=next_span_uid(),
+                    )
+                    stream = _worker_stream(streams, ctx)
+                    if stream is not None:
+                        stream.emit(payload)
+                    payloads.append(payload)
+                n_done += 1
+            dense = out = None
+            results.put(("ok", call_id, slot, n_done, tuple(payloads)))
         except BaseException as exc:  # noqa: BLE001 - forwarded to parent
             try:
-                payload = None
+                dense = out = None
                 if ctx is not None:
                     payload = partition_span_payload(
                         ctx,
@@ -223,13 +272,14 @@ def _worker_main(jobs, results) -> None:
                     stream = _worker_stream(streams, ctx)
                     if stream is not None:
                         stream.emit(payload)
+                    payloads.append(payload)
                 results.put(
                     (
                         "error",
                         call_id,
-                        job_id,
-                        f"{type(exc).__name__}: {exc}",
-                        payload,
+                        slot,
+                        f"partition {job_id}: {type(exc).__name__}: {exc}",
+                        tuple(payloads),
                     )
                 )
             except Exception:
@@ -274,18 +324,21 @@ class SharedMemoryExecutor:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
         self.call_timeout_s = call_timeout_s
+        self.stats = ExecutorStats()
         self._ctx = _mp_context()
         self._prefix = f"omega-{os.getpid()}-{secrets.token_hex(4)}"
         self._workers: list = []
-        self._jobs = None
+        self._job_queues: list = []
         self._results = None
         self._call_seq = 0
         self._scratch_seq = 0
-        # id(matrix) -> (weakref to matrix, owner-side SharedCSDB)
+        # id(matrix) -> (weakref to matrix, owner-side SharedCSDB,
+        #                content hash at share time)
         self._matrices: dict[int, tuple] = {}
         self._scratch: dict[str, _ScratchSegment] = {}
         self._retired: list[str] = []
         self._closed = False
+        _ALL_EXECUTORS.add(self)
 
     # -- pool lifecycle ---------------------------------------------------
 
@@ -302,12 +355,12 @@ class SharedMemoryExecutor:
             raise WorkerCrashError("executor is closed")
         if self._workers:
             return
-        self._jobs = self._ctx.Queue()
+        self._job_queues = [self._ctx.Queue() for _ in range(self.n_workers)]
         self._results = self._ctx.Queue()
-        for _ in range(self.n_workers):
+        for slot in range(self.n_workers):
             proc = self._ctx.Process(
                 target=_worker_main,
-                args=(self._jobs, self._results),
+                args=(self._job_queues[slot], self._results),
                 daemon=True,
             )
             proc.start()
@@ -319,9 +372,9 @@ class SharedMemoryExecutor:
             return
         self._closed = True
         if self._workers:
-            for _ in self._workers:
+            for jobs in self._job_queues:
                 try:
-                    self._jobs.put(None)
+                    jobs.put(None)
                 except Exception:
                     break
             for proc in self._workers:
@@ -331,6 +384,23 @@ class SharedMemoryExecutor:
                     proc.join(timeout=5.0)
         self._release_shared()
         self._workers = []
+        self._job_queues = []
+
+    def _abandon(self) -> None:
+        """Forget workers and segments without touching either.
+
+        For forked children only: the parent owns the worker processes
+        and the shared segments, so the child must not join, terminate,
+        close, or unlink anything — it just drops its inherited
+        bookkeeping so ``close()``/``__del__`` become no-ops.
+        """
+        self._closed = True
+        self._workers = []
+        self._job_queues = []
+        self._results = None
+        self._matrices = {}
+        self._scratch = {}
+        self._retired = []
 
     def _kill_workers(self) -> None:
         for proc in self._workers:
@@ -339,6 +409,7 @@ class SharedMemoryExecutor:
         for proc in self._workers:
             proc.join(timeout=5.0)
         self._workers = []
+        self._job_queues = []
 
     def _release_shared(self) -> None:
         """Unlink every owned segment, even when some releases fail.
@@ -350,9 +421,9 @@ class SharedMemoryExecutor:
         re-raised once the sweep is complete.
         """
         first: BaseException | None = None
-        for _, shared_mat in self._matrices.values():
+        for entry in self._matrices.values():
             try:
-                shared_mat.close()
+                entry[1].close()
             except BaseException as exc:  # noqa: BLE001 - sweep all
                 first = first if first is not None else exc
         self._matrices = {}
@@ -390,20 +461,44 @@ class SharedMemoryExecutor:
     # -- operand staging --------------------------------------------------
 
     def _shared_matrix(self, matrix: CSDBMatrix) -> SharedCSDBHandle:
-        """Owner-side shared copy of a matrix, cached per live instance."""
-        for key, (ref, shared_mat) in list(self._matrices.items()):
-            if ref() is None:
-                self._retired.extend(s.name for s in shared_mat.handle.specs)
-                shared_mat.close()
+        """Owner-side shared copy of a matrix, cached across calls.
+
+        Cache key is the live instance (``id`` guarded by a weakref) and
+        the value recorded at share time includes the content hash:
+
+        - same instance, same hash → reuse the existing segments (the
+          warm path — no copying, workers keep their attachments);
+        - same instance, changed hash (``mark_mutated`` after in-place
+          edits) → retire the stale segments and re-share;
+        - instance died → segments retired on the next call.
+
+        Mutating array contents *without* calling ``mark_mutated`` is
+        not detected — hashing every call would defeat the warm path —
+        and is documented as unsupported.
+        """
+        for key, entry in list(self._matrices.items()):
+            if entry[0]() is None:
+                self._retired.extend(s.name for s in entry[1].handle.specs)
+                entry[1].close()
                 del self._matrices[key]
         entry = self._matrices.get(id(matrix))
         if entry is not None:
-            return entry[1].handle
+            if len(entry) > 2 and entry[2] != matrix.content_hash():
+                self._retired.extend(s.name for s in entry[1].handle.specs)
+                entry[1].close()
+                del self._matrices[id(matrix)]
+                self.stats.invalidations += 1
+            else:
+                self.stats.shared_cache_hits += 1
+                return entry[1].handle
+        self.stats.shared_cache_misses += 1
         shared_mat = matrix.to_shared(
             prefix=f"{self._prefix}-m{len(self._matrices)}-"
             f"{secrets.token_hex(2)}"
         )
-        self._matrices[id(matrix)] = (weakref.ref(matrix), shared_mat)
+        self._matrices[id(matrix)] = (
+            weakref.ref(matrix), shared_mat, matrix.content_hash()
+        )
         return shared_mat.handle
 
     def _scratch_spec(
@@ -445,8 +540,13 @@ class SharedMemoryExecutor:
         ``output`` (original row order, shape ``(n_rows, d)``) receives
         the joined result; rows not covered by any range are zeroed.
 
+        Submission is batched: partitions are assigned largest-nnz-first
+        onto the least-loaded worker and each worker receives *one* plan
+        message (and sends one coalesced ack), so per-call queue traffic
+        is O(workers) instead of O(partitions).
+
         With ``trace_ctx`` set, workers measure each partition and ship
-        a span payload back with the ack; payloads are fed to
+        the span payloads back with their acks; payloads are fed to
         ``span_sink`` (typically ``SpanTracer.attach``) as acks arrive —
         including every payload received before a
         :class:`WorkerCrashError` is raised, so partial telemetry
@@ -456,6 +556,7 @@ class SharedMemoryExecutor:
             WorkerCrashError: a worker died, failed, or the call timed
                 out; the pool is torn down and its segments released.
         """
+        call_start = time.perf_counter()
         if self._closed:
             raise WorkerCrashError("executor is closed")
         dense = np.ascontiguousarray(dense, dtype=np.float64)
@@ -476,38 +577,68 @@ class SharedMemoryExecutor:
         retired = tuple(self._retired)
         self._retired = []
 
-        # ``_inject_crash=True`` crashes every job; an integer N lets
-        # jobs 0..N-1 complete first, exercising the partial-telemetry
-        # crash path (payloads for completed partitions still arrive).
+        # ``_inject_crash=True`` crashes every partition; an integer N
+        # lets partitions 0..N-1 complete first, exercising the
+        # partial-telemetry crash path (payloads for completed
+        # partitions still arrive).
         crash_from: int | None = None
         if _inject_crash:
             crash_from = 0 if _inject_crash is True else int(_inject_crash)
 
         self._call_seq += 1
         call_id = self._call_seq
-        for job_id, (row_start, row_end) in enumerate(ranges):
-            self._jobs.put(
+
+        # LPT assignment: largest partition (by nnz) onto the least
+        # loaded worker; deterministic (stable sort, lowest slot wins
+        # ties).  Each worker runs its tasks in job-id order, so with
+        # injected crashes every real partition in a plan precedes the
+        # plan's first crash task and its payload is flushed with the
+        # partial ack.
+        prefix = matrix.nnz_prefix()
+        jobs = [
+            (
+                job_id,
+                row_start,
+                row_end,
+                crash_from is not None and job_id >= crash_from,
+                int(prefix[row_end] - prefix[row_start]),
+            )
+            for job_id, (row_start, row_end) in enumerate(ranges)
+        ]
+        assignment: list[list[tuple]] = [[] for _ in self._workers]
+        loads = [0] * len(self._workers)
+        for job in sorted(jobs, key=lambda j: -j[4]):
+            slot = min(range(len(loads)), key=loads.__getitem__)
+            assignment[slot].append(job[:4])
+            loads[slot] += max(job[4], 1)
+        enqueued_at = time.monotonic()
+        # Every worker gets a plan — empty ones included, so retired
+        # segment drops reach all workers deterministically.
+        for slot, tasks in enumerate(assignment):
+            tasks.sort(key=lambda t: t[0])
+            self._job_queues[slot].put(
                 (
-                    "crash"
-                    if crash_from is not None and job_id >= crash_from
-                    else "spmm",
+                    "plan",
                     call_id,
-                    job_id,
+                    slot,
                     handle,
                     dense_spec,
                     out_spec,
-                    row_start,
-                    row_end,
+                    tuple(tasks),
                     budget_bytes,
-                    retired if job_id == 0 else (),
+                    retired,
                     trace_ctx,
-                    time.monotonic(),
+                    enqueued_at,
                 )
             )
-        self._await(call_id, len(ranges), span_sink)
+        self.stats.plans += len(self._workers)
+        self.stats.partitions += len(ranges)
+        self.stats.last_submit_wall_s = time.perf_counter() - call_start
+        self._await(call_id, len(self._workers), span_sink)
         out_view = self._scratch["out"].view(output.shape)
         np.copyto(output, out_view)
         del out_view
+        self.stats.last_call_wall_s = time.perf_counter() - call_start
 
     def _drain_payloads(
         self,
@@ -518,33 +649,41 @@ class SharedMemoryExecutor:
 
         Called just before raising :class:`WorkerCrashError`: acks that
         arrived between the last blocking get and the liveness check
-        still carry telemetry worth keeping.
+        still carry telemetry worth keeping.  A short timeout covers
+        acks a dying worker flushed into the pipe but the feeder had
+        not yet made visible.
         """
         if span_sink is None:
             return
         while True:
             try:
-                ack = self._results.get_nowait()
+                ack = self._results.get(timeout=0.1)
             except queue_module.Empty:
                 return
-            if ack[1] == call_id and ack[-1] is not None:
-                span_sink(ack[-1])
+            if ack[1] == call_id:
+                for payload in ack[-1]:
+                    if payload is not None:
+                        span_sink(payload)
 
     def _await(
         self,
         call_id: int,
-        n_jobs: int,
+        n_plans: int,
         span_sink: Callable[[dict[str, Any]], Any] | None = None,
     ) -> None:
-        """Barrier: collect one ack per job, watching worker liveness.
+        """Barrier: collect one ack per plan, watching worker liveness.
 
         Span payloads riding on the acks are fed to ``span_sink``
         immediately — before any failure is raised, so the coordinator
-        trace keeps every partition that completed.
+        trace keeps every partition that completed.  A ``partial`` ack
+        marks the call crashed but the barrier keeps collecting, so the
+        payloads of every surviving plan land in the sink before the
+        :class:`WorkerCrashError` propagates.
         """
         done = 0
+        crash_msg: str | None = None
         deadline = time.monotonic() + self.call_timeout_s
-        while done < n_jobs:
+        while done < n_plans:
             try:
                 ack = self._results.get(timeout=0.1)
             except queue_module.Empty:
@@ -553,32 +692,44 @@ class SharedMemoryExecutor:
                     self._drain_payloads(call_id, span_sink)
                     codes = sorted({p.exitcode for p in dead})
                     raise self._fail(
-                        f"{len(dead)} shared-memory worker(s) died"
+                        crash_msg
+                        or f"{len(dead)} shared-memory worker(s) died"
                         f" (exit codes {codes}) with"
-                        f" {n_jobs - done} partition(s) outstanding"
+                        f" {n_plans - done} plan(s) outstanding"
                     )
                 if time.monotonic() > deadline:
                     self._drain_payloads(call_id, span_sink)
                     raise self._fail(
                         f"shared-memory call timed out after"
                         f" {self.call_timeout_s:.0f}s"
-                        f" ({n_jobs - done} partition(s) outstanding)"
+                        f" ({n_plans - done} plan(s) outstanding)"
                     )
                 continue
             if ack[1] != call_id:
                 continue  # stale ack from an abandoned call
-            if span_sink is not None and ack[-1] is not None:
-                span_sink(ack[-1])
+            if span_sink is not None:
+                for payload in ack[-1]:
+                    if payload is not None:
+                        span_sink(payload)
             if ack[0] == "error":
                 raise self._fail(
-                    f"shared-memory worker failed on partition"
-                    f" {ack[2]}: {ack[3]}"
+                    f"shared-memory worker failed on {ack[3]}"
+                )
+            if ack[0] == "partial":
+                crash_msg = (
+                    f"shared-memory worker (slot {ack[2]}) died mid-plan"
+                    f" ({ack[3]} partition(s) completed first)"
                 )
             done += 1
+        if crash_msg is not None:
+            raise self._fail(crash_msg)
 
 
 #: Process-wide executor pools, one per worker count.
 _POOLS: dict[int, SharedMemoryExecutor] = {}
+
+#: Every live executor (pooled or direct), for the fork hook.
+_ALL_EXECUTORS: "weakref.WeakSet[SharedMemoryExecutor]" = weakref.WeakSet()
 
 
 def get_shared_executor(n_workers: int) -> SharedMemoryExecutor:
@@ -590,11 +741,36 @@ def get_shared_executor(n_workers: int) -> SharedMemoryExecutor:
     return pool
 
 
-def close_shared_executors() -> None:
-    """Close every process-wide pool (tests / interpreter exit)."""
+def shutdown_shared_executors() -> None:
+    """Close every process-wide pool (tests / interpreter exit).
+
+    Idempotent; also registered with :mod:`atexit`, so leaked worker
+    processes and shared segments are reclaimed even when callers never
+    shut down explicitly.
+    """
     for pool in list(_POOLS.values()):
         pool.close()
     _POOLS.clear()
 
 
-atexit.register(close_shared_executors)
+#: Backwards-compatible alias (pre-warm-path name).
+close_shared_executors = shutdown_shared_executors
+
+
+def _abandon_executors_after_fork() -> None:
+    """Fork hook: a child must not touch the parent's pools.
+
+    Clears the pool registry and abandons every inherited executor so
+    child-side ``close()``/``atexit``/``__del__`` cannot shut down the
+    parent's workers or unlink its segments.  The child's first
+    :func:`get_shared_executor` call builds a fresh pool.
+    """
+    for pool in list(_ALL_EXECUTORS):
+        pool._abandon()
+    _POOLS.clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX in CI
+    os.register_at_fork(after_in_child=_abandon_executors_after_fork)
+
+atexit.register(shutdown_shared_executors)

@@ -330,7 +330,7 @@ class TestExecBackendFlags:
         path = tmp_path / "graph.txt"
         save_edge_list(path, chung_lu_edges(40, 100, seed=3))
         with pytest.raises(SystemExit):
-            main(["embed", str(path), "--exec-backend", "threads"])
+            main(["embed", str(path), "--exec-backend", "gpu"])
 
 
 class TestPerfGateWallFlags:

@@ -118,8 +118,8 @@ class TestCrashSafety:
         pool.run_partitions(matrix, dense, [(0, matrix.n_rows)], out)
         segment_names = [
             spec.name
-            for _, shared_mat in pool._matrices.values()
-            for spec in shared_mat.handle.specs
+            for entry in pool._matrices.values()
+            for spec in entry[1].handle.specs
         ] + [seg.segment.name for seg in pool._scratch.values()]
         assert segment_names
 
@@ -161,7 +161,12 @@ class TestCrashSafety:
 class TestEngineDispatch:
     def _engines(self, n_workers=2, **overrides):
         base = dict(n_threads=4, dim=8, **overrides)
-        sim = SpMMEngine(OMeGaConfig(**base))
+        # Explicit simulated backend: the smoke CI jobs flip the
+        # process-wide default via REPRO_EXEC_BACKEND, and this class
+        # asserts on executor *types*.
+        sim = SpMMEngine(
+            OMeGaConfig(**base, parallel=ParallelConfig())
+        )
         shm = SpMMEngine(
             OMeGaConfig(
                 **base,
